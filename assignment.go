@@ -1,0 +1,80 @@
+package plurality
+
+import (
+	"fmt"
+
+	"plurality/internal/opinion"
+	"plurality/internal/xrand"
+)
+
+// PlantedBias returns an n-node assignment over k opinions in which opinion
+// 0 has multiplicative bias approximately alpha over every other opinion
+// (the minority opinions share the remainder evenly — the worst case of the
+// paper's Remark 2). The slice is shuffled deterministically from seed.
+func PlantedBias(n, k int, alpha float64, seed uint64) ([]int, error) {
+	if n < 0 || k <= 0 {
+		return nil, fmt.Errorf("plurality: PlantedBias with n=%d k=%d", n, k)
+	}
+	if alpha < 1 {
+		return nil, fmt.Errorf("plurality: PlantedBias with alpha=%v < 1", alpha)
+	}
+	a := opinion.PlantedBias(n, k, alpha, xrand.New(seed).SplitNamed("assignment"))
+	return fromInternal(a), nil
+}
+
+// PlantedGap returns an assignment in which opinion 0 has an additive lead
+// of about gap supporters over each other opinion.
+func PlantedGap(n, k, gap int, seed uint64) ([]int, error) {
+	if n < 0 || k <= 0 || gap < 0 {
+		return nil, fmt.Errorf("plurality: PlantedGap with n=%d k=%d gap=%d", n, k, gap)
+	}
+	a := opinion.PlantedGap(n, k, gap, xrand.New(seed).SplitNamed("assignment"))
+	return fromInternal(a), nil
+}
+
+// UniformAssignment returns i.i.d. uniform opinions — the unbiased α ≈ 1
+// stress case.
+func UniformAssignment(n, k int, seed uint64) ([]int, error) {
+	if n < 0 || k <= 0 {
+		return nil, fmt.Errorf("plurality: UniformAssignment with n=%d k=%d", n, k)
+	}
+	a := opinion.Uniform(n, k, xrand.New(seed).SplitNamed("assignment"))
+	return fromInternal(a), nil
+}
+
+// ZipfAssignment returns i.i.d. Zipf(s) opinions: opinion i has probability
+// proportional to (i+1)^{-s} — a skewed long-tail workload.
+func ZipfAssignment(n, k int, s float64, seed uint64) ([]int, error) {
+	if n < 0 || k <= 0 || s < 0 {
+		return nil, fmt.Errorf("plurality: ZipfAssignment with n=%d k=%d s=%v", n, k, s)
+	}
+	a := opinion.Zipf(n, k, s, xrand.New(seed).SplitNamed("assignment"))
+	return fromInternal(a), nil
+}
+
+// Bias returns the multiplicative bias (largest count over second-largest)
+// of an assignment over k opinions.
+func Bias(assignment []int, k int) (float64, error) {
+	a, err := toInternalAssignment(assignment, len(assignment), k)
+	if err != nil {
+		return 0, err
+	}
+	return opinion.CountOf(a, k).Bias(), nil
+}
+
+// Counts tallies an assignment over k opinions.
+func Counts(assignment []int, k int) ([]int, error) {
+	a, err := toInternalAssignment(assignment, len(assignment), k)
+	if err != nil {
+		return nil, err
+	}
+	return opinion.CountOf(a, k), nil
+}
+
+func fromInternal(a []opinion.Opinion) []int {
+	out := make([]int, len(a))
+	for i, v := range a {
+		out[i] = int(v)
+	}
+	return out
+}

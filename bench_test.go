@@ -1,0 +1,126 @@
+package plurality
+
+// This file maps every reproduction experiment (the E1–E13 index in
+// DESIGN.md — both paper figures plus each measurable claim) to a `go test
+// -bench` target, and adds end-to-end protocol benchmarks so throughput
+// regressions in the simulator surface in -benchmem output. Benchmarks run
+// the experiments in Quick mode with one replication; cmd/experiments is the
+// way to run them at full size.
+
+import (
+	"testing"
+
+	"plurality/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	spec, err := experiments.Lookup(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		tb := spec.Run(experiments.Opts{Reps: 1, Quick: true, Seed: uint64(i)})
+		if len(tb.Rows) == 0 {
+			b.Fatalf("experiment %s produced no rows", name)
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates Figure 1 (steps per time unit vs 1/λ).
+func BenchmarkFigure1(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkFigure2 regenerates Figure 2 (leader phase marks per generation).
+func BenchmarkFigure2(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkTheorem1 regenerates the Theorem 1 synchronous scaling table.
+func BenchmarkTheorem1(b *testing.B) { benchExperiment(b, "t1") }
+
+// BenchmarkTheorem13 regenerates the Theorem 13 single-leader table.
+func BenchmarkTheorem13(b *testing.B) { benchExperiment(b, "t13") }
+
+// BenchmarkTheorem26 regenerates the Theorem 26 head-to-head table.
+func BenchmarkTheorem26(b *testing.B) { benchExperiment(b, "t26") }
+
+// BenchmarkTheorem27 regenerates the clustering table (Theorem 27).
+func BenchmarkTheorem27(b *testing.B) { benchExperiment(b, "clustering") }
+
+// BenchmarkTheorem28 regenerates the broadcast table (Theorem 28).
+func BenchmarkTheorem28(b *testing.B) { benchExperiment(b, "broadcast") }
+
+// BenchmarkBiasSquaring regenerates the Lemma 4 bias-squaring table.
+func BenchmarkBiasSquaring(b *testing.B) { benchExperiment(b, "bias") }
+
+// BenchmarkGenerationGrowth regenerates the Proposition 9 growth table.
+func BenchmarkGenerationGrowth(b *testing.B) { benchExperiment(b, "growth") }
+
+// BenchmarkGammaSweep regenerates the §2.2 γ-sweep table.
+func BenchmarkGammaSweep(b *testing.B) { benchExperiment(b, "gamma") }
+
+// BenchmarkLatencyAging regenerates the positive-aging latency table.
+func BenchmarkLatencyAging(b *testing.B) { benchExperiment(b, "aging") }
+
+// BenchmarkRemark14 regenerates the C1-constants table (Remark 14 /
+// Example 15).
+func BenchmarkRemark14(b *testing.B) { benchExperiment(b, "c1") }
+
+// BenchmarkShootout regenerates the baseline comparison table.
+func BenchmarkShootout(b *testing.B) { benchExperiment(b, "shootout") }
+
+// BenchmarkTailGenerations regenerates the Lemma 11/25 tail table.
+func BenchmarkTailGenerations(b *testing.B) { benchExperiment(b, "tail") }
+
+// BenchmarkAblations regenerates the design-choice ablation table
+// (two-choices window, generation threshold, signal loss).
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablation") }
+
+// BenchmarkCongestion regenerates the §4.5 leader-congestion table.
+func BenchmarkCongestion(b *testing.B) { benchExperiment(b, "congestion") }
+
+// BenchmarkAsyncShootout regenerates the asynchronous baseline comparison.
+func BenchmarkAsyncShootout(b *testing.B) { benchExperiment(b, "asyncshootout") }
+
+// --- end-to-end protocol throughput benchmarks ---
+
+// BenchmarkProtocolSync measures one full synchronous run at n=10k.
+func BenchmarkProtocolSync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunSynchronous(SyncConfig{N: 10000, K: 8, Alpha: 2, Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Winner < 0 {
+			b.Fatal("impossible winner")
+		}
+	}
+}
+
+// BenchmarkProtocolSingleLeader measures one full single-leader run at n=1k.
+func BenchmarkProtocolSingleLeader(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSingleLeader(AsyncConfig{N: 1000, K: 4, Alpha: 2.5, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProtocolDecentralized measures one full decentralized run
+// (clustering + consensus) at n=1.5k.
+func BenchmarkProtocolDecentralized(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunDecentralized(AsyncConfig{N: 1500, K: 4, Alpha: 2.5, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProtocolThreeMajority measures one 3-majority run at n=10k.
+func BenchmarkProtocolThreeMajority(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunBaseline("3-majority", BaselineConfig{
+			N: 10000, K: 8, Alpha: 2, Seed: uint64(i), RecordEvery: 8,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

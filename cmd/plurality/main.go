@@ -1,0 +1,122 @@
+// Command plurality runs a single plurality-consensus instance and prints
+// its trajectory and outcome.
+//
+// Usage:
+//
+//	plurality -protocol sync -n 100000 -k 8 -alpha 1.5 -seed 1
+//	plurality -protocol leader -n 5000 -k 4 -alpha 2 -latency-mean 2
+//	plurality -protocol decentralized -n 5000 -k 4 -alpha 2
+//	plurality -protocol 3-majority -n 10000 -k 8 -alpha 2
+//
+// Protocols: sync, leader, decentralized, and every baseline listed by
+// plurality.Baselines().
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"plurality"
+)
+
+func main() {
+	var (
+		protocol    = flag.String("protocol", "sync", "sync | leader | decentralized | pull-voting | two-choices | 3-majority | undecided-state")
+		n           = flag.Int("n", 10000, "number of nodes")
+		k           = flag.Int("k", 4, "number of opinions")
+		alpha       = flag.Float64("alpha", 2, "initial multiplicative bias")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		gamma       = flag.Float64("gamma", 0.5, "generation density threshold (sync)")
+		theoretical = flag.Bool("theoretical", false, "use the paper's predefined schedule (sync)")
+		latencyKind = flag.String("latency", "exp", "latency kind: exp | const | uniform | erlang")
+		latencyMean = flag.Float64("latency-mean", 1, "mean channel latency")
+		maxTime     = flag.Float64("max-time", 0, "abort horizon (async protocols)")
+		trajectory  = flag.Bool("trajectory", false, "print the full trajectory")
+		quiet       = flag.Bool("q", false, "print only the outcome line")
+	)
+	flag.Parse()
+
+	res, err := run(*protocol, *n, *k, *alpha, *seed, *gamma, *theoretical,
+		*latencyKind, *latencyMean, *maxTime)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plurality:", err)
+		os.Exit(1)
+	}
+
+	if !*quiet {
+		fmt.Printf("protocol=%s n=%d k=%d alpha=%g seed=%d\n",
+			*protocol, *n, *k, *alpha, *seed)
+		if *trajectory {
+			fmt.Printf("%10s  %8s  %8s  %10s  %6s\n", "time", "top", "plural", "bias", "gen")
+			for _, p := range res.Trajectory {
+				fmt.Printf("%10.2f  %8.4f  %8.4f  %10.3g  %6d\n",
+					p.Time, p.TopFrac, p.PluralityFrac, p.Bias, p.MaxGen)
+			}
+		}
+		fmt.Printf("plurality frac  %s\n", sparkline(res, 60))
+		for key, v := range res.Stats {
+			fmt.Printf("stat %-20s %g\n", key, v)
+		}
+		if res.EpsReached {
+			fmt.Printf("ε=%.3g-convergence at t=%.4g\n", res.Eps, res.EpsTime)
+		}
+	}
+	fmt.Println(res)
+	if !res.PluralityWon {
+		os.Exit(2)
+	}
+}
+
+// sparkline renders the PluralityFrac trajectory as a width-character bar
+// strip, resampling the recorded points evenly over the run's duration.
+func sparkline(res *plurality.Result, width int) string {
+	if len(res.Trajectory) == 0 || width <= 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	out := make([]rune, width)
+	duration := res.Trajectory[len(res.Trajectory)-1].Time
+	j := 0
+	for i := 0; i < width; i++ {
+		target := duration * float64(i) / float64(width-1)
+		for j < len(res.Trajectory)-1 && res.Trajectory[j+1].Time <= target {
+			j++
+		}
+		v := res.Trajectory[j].PluralityFrac
+		idx := int(v * float64(len(levels)))
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		out[i] = levels[idx]
+	}
+	return string(out)
+}
+
+func run(protocol string, n, k int, alpha float64, seed uint64, gamma float64,
+	theoretical bool, latKind string, latMean, maxTime float64) (*plurality.Result, error) {
+	switch protocol {
+	case "sync":
+		return plurality.RunSynchronous(plurality.SyncConfig{
+			N: n, K: k, Alpha: alpha, Seed: seed, Gamma: gamma,
+			TheoreticalSchedule: theoretical,
+		})
+	case "leader":
+		return plurality.RunSingleLeader(plurality.AsyncConfig{
+			N: n, K: k, Alpha: alpha, Seed: seed, MaxTime: maxTime,
+			Latency: plurality.LatencySpec{Kind: latKind, Mean: latMean},
+		})
+	case "decentralized":
+		return plurality.RunDecentralized(plurality.AsyncConfig{
+			N: n, K: k, Alpha: alpha, Seed: seed, MaxTime: maxTime,
+			Latency: plurality.LatencySpec{Kind: latKind, Mean: latMean},
+		})
+	default:
+		return plurality.RunBaseline(protocol, plurality.BaselineConfig{
+			N: n, K: k, Alpha: alpha, Seed: seed,
+		})
+	}
+}

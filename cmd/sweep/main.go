@@ -1,0 +1,144 @@
+// Command sweep runs one protocol across a factor grid and prints a table —
+// the generic workhorse behind ad-hoc scaling questions ("how does the
+// decentralized protocol's ε-convergence time move with k at n=50000?").
+//
+// Usage:
+//
+//	sweep -protocol sync -n 1000,10000,100000 -k 8 -alpha 2 -reps 5
+//	sweep -protocol leader -n 2000 -k 2,4,8,16 -alpha 1.5 -metric eps_time
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"plurality"
+	"plurality/internal/harness"
+)
+
+func main() {
+	var (
+		protocol = flag.String("protocol", "sync", "sync | leader | decentralized | baseline name")
+		ns       = flag.String("n", "10000", "comma-separated node counts")
+		ks       = flag.String("k", "4", "comma-separated opinion counts")
+		alphas   = flag.String("alpha", "2", "comma-separated initial biases")
+		reps     = flag.Int("reps", 5, "replications per grid point")
+		seed     = flag.Uint64("seed", 0, "seed offset")
+		latMean  = flag.Float64("latency-mean", 1, "mean channel latency (async)")
+		csvOut   = flag.Bool("csv", false, "emit CSV instead of an ASCII table")
+	)
+	flag.Parse()
+
+	nList, err := parseInts(*ns)
+	ok(err)
+	kList, err := parseInts(*ks)
+	ok(err)
+	aList, err := parseFloats(*alphas)
+	ok(err)
+
+	table := harness.NewTable(
+		fmt.Sprintf("sweep: %s", *protocol),
+		[]string{"n", "k", "alpha"},
+		[]string{"duration", "eps_time", "consensus_time", "plurality_won"},
+	)
+	for _, n := range nList {
+		for _, k := range kList {
+			for _, a := range aList {
+				n, k, a := n, k, a
+				agg := harness.Replicate(*reps, func(rep uint64) harness.Metrics {
+					res, err := runOne(*protocol, n, k, a, *seed+rep*1e6+1, *latMean)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "sweep:", err)
+						os.Exit(1)
+					}
+					m := harness.Metrics{
+						"duration": res.Duration,
+						"plurality_won": b2f(res.PluralityWon &&
+							res.FullConsensus),
+					}
+					if res.EpsReached {
+						m["eps_time"] = res.EpsTime
+					}
+					if res.FullConsensus {
+						m["consensus_time"] = res.ConsensusTime
+					}
+					return m
+				})
+				table.Append(map[string]float64{
+					"n": float64(n), "k": float64(k), "alpha": a,
+				}, agg)
+			}
+		}
+	}
+	if *csvOut {
+		fmt.Print(table.CSV())
+	} else {
+		fmt.Print(table.Render())
+	}
+}
+
+func runOne(protocol string, n, k int, alpha float64, seed uint64, latMean float64) (*plurality.Result, error) {
+	switch protocol {
+	case "sync":
+		return plurality.RunSynchronous(plurality.SyncConfig{
+			N: n, K: k, Alpha: alpha, Seed: seed,
+		})
+	case "leader":
+		return plurality.RunSingleLeader(plurality.AsyncConfig{
+			N: n, K: k, Alpha: alpha, Seed: seed,
+			Latency: plurality.LatencySpec{Mean: latMean},
+		})
+	case "decentralized":
+		return plurality.RunDecentralized(plurality.AsyncConfig{
+			N: n, K: k, Alpha: alpha, Seed: seed,
+			Latency: plurality.LatencySpec{Mean: latMean},
+		})
+	default:
+		return plurality.RunBaseline(protocol, plurality.BaselineConfig{
+			N: n, K: k, Alpha: alpha, Seed: seed,
+		})
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad integer %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad float %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func ok(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

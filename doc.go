@@ -1,0 +1,30 @@
+// Package plurality is a Go implementation of the generation-based plurality
+// consensus protocols of Bankhamer, Elsässer, Kaaser and Krnc, "Positive
+// Aging Admits Fast Asynchronous Plurality Consensus" (PODC 2020;
+// arXiv:1806.02596).
+//
+// n nodes each hold one of k opinions; the goal is that (almost) all nodes
+// adopt the initially most frequent opinion, fast, using only tiny local
+// interactions. The package implements the paper's three protocols —
+// synchronous (Algorithm 1), asynchronous with a designated leader
+// (Algorithms 2–3) and fully decentralized with emergent cluster leaders
+// (Algorithms 4–5) — plus the classical baselines they are compared against
+// (pull voting, two-choices, 3-majority, undecided-state dynamics).
+//
+// Asynchronous protocols run on a deterministic discrete-event simulation of
+// the paper's communication model: a rate-1 Poisson clock per node and a
+// random latency per opened channel (exponential with rate λ in the paper,
+// generalizable here to constant, uniform or Erlang "positively aging"
+// latencies). Every run is reproducible from its Seed.
+//
+// Quick start:
+//
+//	res, err := plurality.RunSynchronous(plurality.SyncConfig{
+//		N: 100_000, K: 8, Alpha: 1.5, Seed: 1,
+//	})
+//	if err != nil { ... }
+//	fmt.Println(res.Winner, res.ConsensusTime)
+//
+// See the examples/ directory for complete programs and cmd/experiments for
+// the harness that regenerates the paper's figures and claims.
+package plurality

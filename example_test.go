@@ -1,0 +1,52 @@
+package plurality_test
+
+import (
+	"fmt"
+
+	"plurality"
+)
+
+// The synchronous protocol on a comfortable instance: 10k nodes, 4 opinions,
+// bias 2. Deterministic in the seed, so the output is stable.
+func ExampleRunSynchronous() {
+	res, err := plurality.RunSynchronous(plurality.SyncConfig{
+		N: 10_000, K: 4, Alpha: 2, Seed: 1,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("winner:", res.Winner)
+	fmt.Println("plurality won:", res.PluralityWon)
+	fmt.Println("full consensus:", res.FullConsensus)
+	// Output:
+	// winner: 0
+	// plurality won: true
+	// full consensus: true
+}
+
+// Building a skewed assignment and inspecting its bias before running.
+func ExamplePlantedBias() {
+	assign, err := plurality.PlantedBias(1000, 2, 3, 7)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	counts, _ := plurality.Counts(assign, 2)
+	fmt.Println("counts:", counts)
+	// Output:
+	// counts: [750 250]
+}
+
+// Interpreting asynchronous results in the paper's time units.
+func ExampleEstimateTimeUnit() {
+	unit, err := plurality.EstimateTimeUnit(plurality.LatencySpec{Kind: "exp", Mean: 1}, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// The unit for Exp(1) latencies is F⁻¹(0.9) of T3 ≈ 9-11 steps.
+	fmt.Println("plausible:", unit > 8 && unit < 12)
+	// Output:
+	// plausible: true
+}

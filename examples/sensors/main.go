@@ -1,0 +1,67 @@
+// Sensors: a fleet of sensors must agree on one of several calibration
+// profiles, coordinated by a gateway (the designated leader of §3). The
+// network is asynchronous — every reading costs a connection setup whose
+// latency we vary — and the point of the example is the paper's central
+// quantitative message: convergence time scales with the latency only
+// through the time-unit constant C1 ≈ F⁻¹(0.9), so doubling the mean
+// latency roughly doubles wall-clock time but leaves the time-unit count
+// unchanged.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"plurality"
+)
+
+func main() {
+	const (
+		n     = 5_000
+		k     = 5
+		alpha = 2.0
+	)
+	fmt.Printf("sensor fleet: %d sensors, %d calibration profiles, bias %.1f\n\n", n, k, alpha)
+	fmt.Printf("%-22s  %10s  %12s  %12s  %10s\n",
+		"latency", "C1 (steps)", "eps t", "eps units", "result")
+
+	specs := []plurality.LatencySpec{
+		{Kind: "exp", Mean: 0.5},
+		{Kind: "exp", Mean: 1},
+		{Kind: "exp", Mean: 2},
+		{Kind: "exp", Mean: 4},
+		{Kind: "const", Mean: 1},
+		{Kind: "erlang", Mean: 1, Shape: 4},
+	}
+	for _, spec := range specs {
+		res, err := plurality.RunSingleLeader(plurality.AsyncConfig{
+			N: n, K: k, Alpha: alpha, Seed: 11, Latency: spec,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		unit := res.Stats["c1"]
+		status := "consensus"
+		if !res.FullConsensus {
+			status = "timeout"
+		}
+		eps := "-"
+		units := "-"
+		if res.EpsReached {
+			eps = fmt.Sprintf("%.1f", res.EpsTime)
+			units = fmt.Sprintf("%.2f", res.EpsTime/unit)
+		}
+		fmt.Printf("%-22s  %10.2f  %12s  %12s  %10s\n",
+			fmt.Sprintf("%s(mean=%g)", orDefault(spec.Kind), spec.Mean),
+			unit, eps, units, status)
+	}
+	fmt.Println("\ntakeaway: ε-convergence measured in time units is nearly constant;")
+	fmt.Println("only the step count stretches with the latency mean (Figure 1).")
+}
+
+func orDefault(kind string) string {
+	if kind == "" {
+		return "exp"
+	}
+	return kind
+}

@@ -1,0 +1,144 @@
+package baseline
+
+import (
+	"math"
+
+	"plurality/internal/metrics"
+	"plurality/internal/opinion"
+	"plurality/internal/sim"
+	"plurality/internal/xrand"
+)
+
+// RunPoisson drives a rule under the paper's asynchronous communication
+// model (§3.1): every node ticks at Poisson rate 1, opens channels to its
+// samples in parallel (accumulated latency = max of the individual
+// latencies), reads their opinions when all channels are up, and updates
+// atomically. While waiting, the node is locked and skips further ticks.
+// This is the model-true asynchronous form of the classical dynamics,
+// letting E16 compare them head-to-head with the leader-based protocol on
+// identical semantics. Time in the result is virtual time steps; lat nil
+// means Exp(1).
+func RunPoisson(rule Rule, cfg Config, lat sim.Latency) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if lat == nil {
+		lat = sim.ExpLatency{Rate: 1}
+	}
+	root := xrand.New(cfg.Seed)
+	cols, plurality := initialState(&cfg, root)
+	res := &Result{Rule: rule.Name(), InitialPlurality: plurality}
+
+	sm := sim.New()
+	smp := root.SplitNamed("sampling")
+	latR := root.SplitNamed("latency")
+	locked := make([]bool, cfg.N)
+	counts := opinion.CountOf(cols, cfg.K)
+	undecided := 0
+	for _, c := range cols {
+		if c == opinion.None {
+			undecided++
+		}
+	}
+	mono := false
+	monoAt := 0.0
+	isMono := func() bool {
+		if undecided > 0 {
+			return false
+		}
+		for _, c := range counts {
+			if c == counts.Total() && c > 0 {
+				return true
+			}
+		}
+		return false
+	}
+
+	setNode := func(v int, c opinion.Opinion) {
+		old := cols[v]
+		if old == c {
+			return
+		}
+		cols[v] = c
+		if old == opinion.None {
+			undecided--
+		} else {
+			counts[old]--
+		}
+		if c == opinion.None {
+			undecided++
+		} else {
+			counts[c]++
+		}
+		if !mono && isMono() {
+			mono = true
+			monoAt = sm.Now()
+		}
+	}
+
+	nSamples := rule.Samples()
+	tick := func(v int) {
+		if mono || locked[v] {
+			return
+		}
+		locked[v] = true
+		targets := make([]int, nSamples)
+		for i := range targets {
+			targets[i] = sampleOther(smp, cfg.N, v)
+		}
+		d := 0.0
+		for range targets {
+			d = math.Max(d, lat.Sample(latR))
+		}
+		sm.After(d, func() {
+			defer func() { locked[v] = false }()
+			if mono {
+				return
+			}
+			samples := make([]opinion.Opinion, nSamples)
+			for i, u := range targets {
+				samples[i] = cols[u]
+			}
+			setNode(v, rule.Update(cols[v], samples))
+		})
+	}
+
+	clockR := root.SplitNamed("clocks")
+	for v := 0; v < cfg.N; v++ {
+		v := v
+		c := sim.NewClock(sm, clockR.Split(), 1, func() { tick(v) })
+		c.Start()
+	}
+
+	maxTime := float64(cfg.MaxRounds)
+	record := func() {
+		res.Trajectory.Append(metrics.Snapshot(sm.Now(), cols, cfg.K, plurality))
+	}
+	var recordTick func()
+	recordTick = func() {
+		record()
+		if mono || sm.Now() >= maxTime {
+			sm.Stop()
+			return
+		}
+		sm.After(float64(cfg.RecordEvery), recordTick)
+	}
+	record()
+	sm.After(float64(cfg.RecordEvery), recordTick)
+	sm.At(maxTime, func() {
+		if !mono {
+			record()
+			sm.Stop()
+		}
+	})
+	sm.Run()
+
+	res.Rounds = int(sm.Now())
+	res.FinalCounts = opinion.CountOf(cols, cfg.K)
+	res.Outcome = metrics.EvalOutcome(res.Trajectory, res.FinalCounts, plurality, cfg.Eps)
+	if mono {
+		res.Outcome.FullConsensus = true
+		res.Outcome.ConsensusTime = monoAt
+	}
+	return res, nil
+}

@@ -1,0 +1,250 @@
+package baseline
+
+import (
+	"testing"
+
+	"plurality/internal/opinion"
+	"plurality/internal/xrand"
+)
+
+func TestNewRule(t *testing.T) {
+	r := xrand.New(1)
+	for _, name := range RuleNames() {
+		rule, err := NewRule(name, r)
+		if err != nil {
+			t.Fatalf("NewRule(%q): %v", name, err)
+		}
+		if rule.Name() != name {
+			t.Errorf("rule %q reports name %q", name, rule.Name())
+		}
+		if rule.Samples() < 1 {
+			t.Errorf("rule %q samples %d", name, rule.Samples())
+		}
+	}
+	if _, err := NewRule("nope", r); err == nil {
+		t.Error("unknown rule accepted")
+	}
+	if _, err := NewRule("3-majority", nil); err == nil {
+		t.Error("3-majority without RNG accepted")
+	}
+}
+
+func TestPullVotingRule(t *testing.T) {
+	var p PullVoting
+	if got := p.Update(1, []opinion.Opinion{2}); got != 2 {
+		t.Errorf("pull update = %d", got)
+	}
+	if got := p.Update(1, []opinion.Opinion{opinion.None}); got != 1 {
+		t.Errorf("pull of undecided = %d", got)
+	}
+}
+
+func TestTwoChoicesRule(t *testing.T) {
+	var tc TwoChoices
+	if got := tc.Update(0, []opinion.Opinion{1, 1}); got != 1 {
+		t.Errorf("agreeing samples: %d", got)
+	}
+	if got := tc.Update(0, []opinion.Opinion{1, 2}); got != 0 {
+		t.Errorf("disagreeing samples: %d", got)
+	}
+}
+
+func TestThreeMajorityRule(t *testing.T) {
+	m := &ThreeMajority{R: xrand.New(2)}
+	if got := m.Update(0, []opinion.Opinion{1, 1, 2}); got != 1 {
+		t.Errorf("majority: %d", got)
+	}
+	if got := m.Update(0, []opinion.Opinion{2, 1, 2}); got != 2 {
+		t.Errorf("majority (split positions): %d", got)
+	}
+	// Three distinct: result must be one of the samples.
+	seen := map[opinion.Opinion]bool{}
+	for i := 0; i < 100; i++ {
+		got := m.Update(0, []opinion.Opinion{3, 4, 5})
+		if got != 3 && got != 4 && got != 5 {
+			t.Fatalf("tie-break outside samples: %d", got)
+		}
+		seen[got] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("tie-break not random: saw %v", seen)
+	}
+}
+
+func TestUndecidedRule(t *testing.T) {
+	var u Undecided
+	if got := u.Update(opinion.None, []opinion.Opinion{3}); got != 3 {
+		t.Errorf("undecided adopting: %d", got)
+	}
+	if got := u.Update(1, []opinion.Opinion{2}); got != opinion.None {
+		t.Errorf("conflict should undecide: %d", got)
+	}
+	if got := u.Update(1, []opinion.Opinion{1}); got != 1 {
+		t.Errorf("agreement should keep: %d", got)
+	}
+	if got := u.Update(1, []opinion.Opinion{opinion.None}); got != 1 {
+		t.Errorf("pulling undecided should keep: %d", got)
+	}
+}
+
+func TestRunSyncConvergence(t *testing.T) {
+	r := xrand.New(1)
+	for _, name := range RuleNames() {
+		rule, err := NewRule(name, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunSync(rule, Config{N: 1000, K: 2, Alpha: 2, Seed: 7})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Outcome.FullConsensus {
+			t.Errorf("%s did not reach consensus in %d rounds", name, res.Rounds)
+		}
+	}
+}
+
+func TestRunSequentialConvergence(t *testing.T) {
+	r := xrand.New(2)
+	for _, name := range []string{"two-choices", "3-majority", "undecided-state"} {
+		rule, err := NewRule(name, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunSequential(rule, Config{N: 500, K: 2, Alpha: 3, Seed: 11})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Outcome.FullConsensus {
+			t.Errorf("%s (sequential) did not converge in %d rounds", name, res.Rounds)
+		}
+	}
+}
+
+func TestStrongBiasPluralityWins(t *testing.T) {
+	r := xrand.New(3)
+	for _, name := range []string{"two-choices", "3-majority"} {
+		rule, err := NewRule(name, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wins := 0
+		const trials = 10
+		for seed := 0; seed < trials; seed++ {
+			res, err := RunSync(rule, Config{N: 2000, K: 3, Alpha: 3, Seed: uint64(seed)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Outcome.PluralityWon {
+				wins++
+			}
+		}
+		if wins < trials-1 {
+			t.Errorf("%s: plurality won only %d/%d", name, wins, trials)
+		}
+	}
+}
+
+func TestPullVotingSlowerThanTwoChoices(t *testing.T) {
+	// §1.1: pull voting needs Ω(n) expected rounds; two-choices O(log n).
+	// At n=1000 the gap should be unmistakable on average.
+	r := xrand.New(4)
+	pull, _ := NewRule("pull-voting", r)
+	two, _ := NewRule("two-choices", r)
+	var pullTotal, twoTotal int
+	const trials = 5
+	for seed := 0; seed < trials; seed++ {
+		rp, err := RunSync(pull, Config{N: 1000, K: 2, Alpha: 2, Seed: uint64(seed), RecordEvery: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := RunSync(two, Config{N: 1000, K: 2, Alpha: 2, Seed: uint64(seed), RecordEvery: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pullTotal += rp.Rounds
+		twoTotal += rt.Rounds
+	}
+	if pullTotal <= 2*twoTotal {
+		t.Errorf("pull voting (%d rounds) not clearly slower than two-choices (%d rounds)",
+			pullTotal, twoTotal)
+	}
+}
+
+func TestMaxRoundsRespected(t *testing.T) {
+	r := xrand.New(5)
+	rule, _ := NewRule("pull-voting", r)
+	res, err := RunSync(rule, Config{N: 5000, K: 2, Alpha: 1.01, Seed: 1, MaxRounds: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds > 7 {
+		t.Errorf("ran %d rounds beyond MaxRounds", res.Rounds)
+	}
+}
+
+func TestAssignmentNotMutated(t *testing.T) {
+	r := xrand.New(6)
+	assign := opinion.PlantedBias(300, 2, 2, r)
+	orig := make([]opinion.Opinion, len(assign))
+	copy(orig, assign)
+	rule, _ := NewRule("undecided-state", r)
+	if _, err := RunSequential(rule, Config{N: 300, K: 2, Assignment: assign, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if assign[i] != orig[i] {
+			t.Fatal("sequential run mutated caller's assignment")
+		}
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	r := xrand.New(7)
+	rule, _ := NewRule("3-majority", r)
+	cfg := Config{N: 500, K: 3, Alpha: 2, Seed: 99}
+	a, err := RunSync(rule, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule2, _ := NewRule("3-majority", xrand.New(7))
+	b, err := RunSync(rule2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != b.Rounds || a.Outcome.Winner != b.Outcome.Winner {
+		t.Fatalf("replay diverged: %d vs %d rounds", a.Rounds, b.Rounds)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	r := xrand.New(8)
+	rule, _ := NewRule("pull-voting", r)
+	if _, err := RunSync(rule, Config{N: 1, K: 2}); err == nil {
+		t.Error("N=1 accepted")
+	}
+	if _, err := RunSequential(rule, Config{N: 10, K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := RunSync(rule, Config{N: 10, K: 2, Assignment: make([]opinion.Opinion, 9)}); err == nil {
+		t.Error("bad assignment length accepted")
+	}
+}
+
+func BenchmarkThreeMajorityRound(b *testing.B) {
+	r := xrand.New(1)
+	rule := &ThreeMajority{R: r}
+	cols := opinion.PlantedBias(10000, 8, 2, r)
+	next := make([]opinion.Opinion, len(cols))
+	samples := make([]opinion.Opinion, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for v := range cols {
+			for j := range samples {
+				samples[j] = cols[sampleOther(r, len(cols), v)]
+			}
+			next[v] = rule.Update(cols[v], samples)
+		}
+		cols, next = next, cols
+	}
+}

@@ -1,0 +1,196 @@
+package baseline
+
+import (
+	"fmt"
+
+	"plurality/internal/metrics"
+	"plurality/internal/opinion"
+	"plurality/internal/xrand"
+)
+
+// Config parametrizes one baseline run.
+type Config struct {
+	// N is the number of nodes (>= 2) and K the number of opinions (>= 1).
+	N, K int
+	// Alpha builds a planted-bias assignment when Assignment is nil.
+	Alpha float64
+	// Assignment optionally fixes the initial opinions (not mutated).
+	Assignment []opinion.Opinion
+	// MaxRounds caps the run; default 200·k·log₂n rounds, covering the
+	// Θ(k log n) bound of 3-majority with ample slack.
+	MaxRounds int
+	// Seed drives all randomness.
+	Seed uint64
+	// RecordEvery sets the snapshot interval in rounds; default 1.
+	RecordEvery int
+	// Eps defines ε-convergence for the outcome; default 1/log² n.
+	Eps float64
+}
+
+// Result captures one baseline run.
+type Result struct {
+	// Rule is the dynamics that ran.
+	Rule string
+	// Outcome summarizes correctness and hitting times. For the sequential
+	// scheduler times are parallel rounds (interactions / n).
+	Outcome metrics.Outcome
+	// Trajectory holds the recorded snapshots.
+	Trajectory metrics.Trajectory
+	// Rounds is the number of (parallel) rounds executed.
+	Rounds int
+	// FinalCounts are the opinion counts at termination (undecided nodes
+	// are not counted).
+	FinalCounts opinion.Counts
+	// InitialPlurality is the opinion that was initially dominant.
+	InitialPlurality opinion.Opinion
+}
+
+func (cfg *Config) normalize() error {
+	if cfg.N < 2 {
+		return fmt.Errorf("baseline: need N >= 2, got %d", cfg.N)
+	}
+	if cfg.K < 1 {
+		return fmt.Errorf("baseline: need K >= 1, got %d", cfg.K)
+	}
+	if cfg.Assignment != nil && len(cfg.Assignment) != cfg.N {
+		return fmt.Errorf("baseline: assignment length %d != N %d", len(cfg.Assignment), cfg.N)
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 200 * cfg.K * intLog2(cfg.N)
+	}
+	if cfg.RecordEvery <= 0 {
+		cfg.RecordEvery = 1
+	}
+	if cfg.Eps <= 0 {
+		l := float64(intLog2(cfg.N))
+		cfg.Eps = 1 / (l * l)
+	}
+	return nil
+}
+
+func intLog2(n int) int {
+	l := 0
+	for v := n; v > 1; v >>= 1 {
+		l++
+	}
+	if l == 0 {
+		l = 1
+	}
+	return l
+}
+
+func initialState(cfg *Config, rng *xrand.RNG) ([]opinion.Opinion, opinion.Opinion) {
+	var cols []opinion.Opinion
+	if cfg.Assignment != nil {
+		cols = make([]opinion.Opinion, cfg.N)
+		copy(cols, cfg.Assignment)
+	} else {
+		alpha := cfg.Alpha
+		if alpha < 1 {
+			alpha = 1
+		}
+		cols = opinion.PlantedBias(cfg.N, cfg.K, alpha, rng.SplitNamed("assignment"))
+	}
+	counts := opinion.CountOf(cols, cfg.K)
+	plurality, _ := counts.TopTwo()
+	return cols, opinion.Opinion(plurality)
+}
+
+// RunSync drives the rule in synchronous rounds: every node samples and
+// updates simultaneously against the previous round's state.
+func RunSync(rule Rule, cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	rng := xrand.New(cfg.Seed)
+	cols, plurality := initialState(&cfg, rng)
+	next := make([]opinion.Opinion, cfg.N)
+	res := &Result{Rule: rule.Name(), InitialPlurality: plurality}
+	record := func(round int) {
+		res.Trajectory.Append(metrics.Snapshot(float64(round), cols, cfg.K, plurality))
+	}
+	record(0)
+	stepRNG := rng.SplitNamed("steps")
+	samples := make([]opinion.Opinion, rule.Samples())
+	for round := 1; round <= cfg.MaxRounds; round++ {
+		for v := 0; v < cfg.N; v++ {
+			for i := range samples {
+				samples[i] = cols[sampleOther(stepRNG, cfg.N, v)]
+			}
+			next[v] = rule.Update(cols[v], samples)
+		}
+		cols, next = next, cols
+		res.Rounds = round
+		done := monochromatic(cols, cfg.K)
+		if round%cfg.RecordEvery == 0 || done {
+			record(round)
+		}
+		if done {
+			break
+		}
+	}
+	res.FinalCounts = opinion.CountOf(cols, cfg.K)
+	res.Outcome = metrics.EvalOutcome(res.Trajectory, res.FinalCounts, plurality, cfg.Eps)
+	return res, nil
+}
+
+// RunSequential drives the rule with the population-protocol scheduler: each
+// interaction picks one node uniformly at random, which samples and updates
+// immediately (asynchronous, sequentially consistent). Time is reported in
+// parallel rounds of n interactions.
+func RunSequential(rule Rule, cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	rng := xrand.New(cfg.Seed)
+	cols, plurality := initialState(&cfg, rng)
+	res := &Result{Rule: rule.Name(), InitialPlurality: plurality}
+	record := func(round float64) {
+		res.Trajectory.Append(metrics.Snapshot(round, cols, cfg.K, plurality))
+	}
+	record(0)
+	stepRNG := rng.SplitNamed("steps")
+	samples := make([]opinion.Opinion, rule.Samples())
+	maxInteractions := cfg.MaxRounds * cfg.N
+	for it := 1; it <= maxInteractions; it++ {
+		v := stepRNG.Intn(cfg.N)
+		for i := range samples {
+			samples[i] = cols[sampleOther(stepRNG, cfg.N, v)]
+		}
+		cols[v] = rule.Update(cols[v], samples)
+		if it%(cfg.RecordEvery*cfg.N) == 0 {
+			round := float64(it) / float64(cfg.N)
+			res.Rounds = int(round)
+			record(round)
+			if monochromatic(cols, cfg.K) {
+				break
+			}
+		}
+	}
+	res.FinalCounts = opinion.CountOf(cols, cfg.K)
+	res.Outcome = metrics.EvalOutcome(res.Trajectory, res.FinalCounts, plurality, cfg.Eps)
+	return res, nil
+}
+
+func sampleOther(r *xrand.RNG, n, v int) int {
+	u := r.Intn(n - 1)
+	if u >= v {
+		u++
+	}
+	return u
+}
+
+func monochromatic(cols []opinion.Opinion, k int) bool {
+	var seen opinion.Opinion = opinion.None
+	for _, c := range cols {
+		if c == opinion.None {
+			return false
+		}
+		if seen == opinion.None {
+			seen = c
+		} else if c != seen {
+			return false
+		}
+	}
+	return true
+}

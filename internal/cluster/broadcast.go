@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"plurality/internal/sim"
+	"plurality/internal/xrand"
+)
+
+// BroadcastResult reports one inter-cluster broadcast experiment
+// (Theorem 28): starting from a single informed leader, how long until all
+// participating leaders are informed.
+type BroadcastResult struct {
+	// CompleteTime is the virtual time at which the last participating
+	// leader became informed (-1 if the run timed out first).
+	CompleteTime float64
+	// LeaderCount is the number of participating leaders.
+	LeaderCount int
+	// InformTimes maps each informed leader to its inform time.
+	InformTimes map[int]float64
+	// TimedOut reports whether MaxTime passed before completion.
+	TimedOut bool
+}
+
+// Broadcast runs the §4.2 push–pull broadcast over an existing clustering:
+// on each tick an active node contacts its own leader and two random nodes,
+// obtains their leaders' addresses, contacts those, and equalizes the
+// informed bit across the three leaders. seed controls the randomness,
+// lat the channel latency (nil for Exp(1)), maxTime the abort horizon
+// (<= 0 for a default of 64·(1+mean latency)).
+func Broadcast(cl *Clustering, lat sim.Latency, seed uint64, maxTime float64) (*BroadcastResult, error) {
+	leaders := cl.ParticipatingLeaders()
+	if len(leaders) == 0 {
+		return nil, fmt.Errorf("cluster: broadcast needs at least one participating leader")
+	}
+	if lat == nil {
+		lat = sim.ExpLatency{Rate: 1}
+	}
+	if maxTime <= 0 {
+		maxTime = 64 * (1 + lat.Mean())
+	}
+	root := xrand.New(seed)
+	smp := root.SplitNamed("sampling")
+	latR := root.SplitNamed("latency")
+	sm := sim.New()
+
+	participating := make(map[int]bool, len(leaders))
+	for _, l := range leaders {
+		participating[l] = true
+	}
+	informed := make(map[int]bool, len(leaders))
+	informTimes := make(map[int]float64, len(leaders))
+	remaining := len(leaders)
+
+	inform := func(l int) {
+		if !participating[l] || informed[l] {
+			return
+		}
+		informed[l] = true
+		informTimes[l] = sm.Now()
+		remaining--
+		if remaining == 0 {
+			sm.Stop()
+		}
+	}
+	// The message originates at the first participating leader.
+	inform(leaders[0])
+	res := &BroadcastResult{LeaderCount: len(leaders), InformTimes: informTimes}
+	if remaining == 0 {
+		res.CompleteTime = 0
+		return res, nil
+	}
+
+	n := cl.N
+	locked := make([]bool, n)
+	tick := func(v int) {
+		my := int(cl.LeaderOf[v])
+		if my < 0 || !participating[my] {
+			return // inactive node: not in a participating cluster
+		}
+		if locked[v] {
+			return
+		}
+		locked[v] = true
+		a := sampleOther(smp, n, v)
+		b := sampleOther(smp, n, v)
+		// Own leader + two contacts in parallel, then their leaders in
+		// parallel: max(T2,T2,T2) + max(T2,T2).
+		d := math.Max(lat.Sample(latR), math.Max(lat.Sample(latR), lat.Sample(latR))) +
+			math.Max(lat.Sample(latR), lat.Sample(latR))
+		sm.After(d, func() {
+			defer func() { locked[v] = false }()
+			la, lb := int(cl.LeaderOf[a]), int(cl.LeaderOf[b])
+			group := [3]int{my, la, lb}
+			any := false
+			for _, l := range group {
+				if l >= 0 && informed[l] {
+					any = true
+					break
+				}
+			}
+			if any {
+				for _, l := range group {
+					if l >= 0 {
+						inform(l)
+					}
+				}
+			}
+		})
+	}
+
+	clockR := root.SplitNamed("clocks")
+	for v := 0; v < n; v++ {
+		v := v
+		c := sim.NewClock(sm, clockR.Split(), 1, func() { tick(v) })
+		c.Start()
+	}
+	sm.At(maxTime, func() {
+		res.TimedOut = true
+		sm.Stop()
+	})
+	sm.Run()
+
+	if res.TimedOut && remaining > 0 {
+		res.CompleteTime = -1
+		return res, nil
+	}
+	last := 0.0
+	for _, t := range informTimes {
+		if t > last {
+			last = t
+		}
+	}
+	res.CompleteTime = last
+	return res, nil
+}

@@ -1,0 +1,424 @@
+package leader
+
+import (
+	"fmt"
+	"math"
+
+	"plurality/internal/core/syncgen"
+	"plurality/internal/metrics"
+	"plurality/internal/opinion"
+	"plurality/internal/sim"
+	"plurality/internal/xrand"
+)
+
+// Phase labels the leader's mode for one generation.
+type Phase int
+
+const (
+	// PhaseTwoChoices means the leader currently allows two-choices
+	// promotions into its newest generation (prop = false).
+	PhaseTwoChoices Phase = iota + 1
+	// PhasePropagation means the leader allows pull propagation into the
+	// newest generation (prop = true).
+	PhasePropagation
+)
+
+// String names the phase for logs.
+func (p Phase) String() string {
+	switch p {
+	case PhaseTwoChoices:
+		return "two-choices"
+	case PhasePropagation:
+		return "propagation"
+	default:
+		return "unknown"
+	}
+}
+
+// PhaseEvent records one leader state change.
+type PhaseEvent struct {
+	// Time is the virtual time of the change.
+	Time float64
+	// Gen is the leader's generation after the change.
+	Gen int
+	// Phase is the leader's mode after the change.
+	Phase Phase
+}
+
+// Result captures one asynchronous single-leader run.
+type Result struct {
+	// Outcome summarizes correctness and hitting times (virtual time).
+	Outcome metrics.Outcome
+	// Trajectory holds the periodic snapshots.
+	Trajectory metrics.Trajectory
+	// EndTime is the virtual time at termination.
+	EndTime float64
+	// Events is the number of simulator events processed.
+	Events uint64
+	// PhaseLog records every leader phase/generation change.
+	PhaseLog []PhaseEvent
+	// FinalCounts are the opinion counts at termination.
+	FinalCounts opinion.Counts
+	// InitialPlurality is the opinion that was initially dominant.
+	InitialPlurality opinion.Opinion
+	// C1 is the steps-per-time-unit constant the run used.
+	C1 float64
+	// GStar is the generation cap the run used.
+	GStar int
+	// TimedOut reports that MaxTime was hit before full consensus.
+	TimedOut bool
+	// TotalLeaderMessages counts every message that reached the leader
+	// (0-signals, gen-signals and state reads), and PeakLeaderLoad the
+	// maximum number of those per time unit — the §4.5 bottleneck metric
+	// that motivates the decentralized protocol.
+	TotalLeaderMessages uint64
+	PeakLeaderLoad      float64
+}
+
+// runState bundles the mutable simulation state of one run.
+type runState struct {
+	cfg   Config
+	sm    *sim.Simulator
+	lat   sim.Latency
+	tickR *xrand.RNG // sampling randomness (targets)
+	latR  *xrand.RNG // latency randomness
+
+	cols   []opinion.Opinion
+	gens   []int32
+	locked []bool
+	seenG  []int32 // l.gen stored at the previous leader contact
+	seenP  []bool  // l.prop stored at the previous leader contact
+
+	colorCount []int
+	genCount   []int
+	maxGen     int
+
+	leaderGen  int
+	leaderProp bool
+	leaderT    int
+	leaderSize int
+	c3Ticks    int
+	genThresh  int
+	gStar      int
+
+	// propSeen[g] is true once the leader has been in (gen=g, prop) state;
+	// used for the §3.2 invariant check.
+	propSeen []bool
+
+	// loadBuckets counts leader-bound messages per time unit for the §4.5
+	// congestion metric.
+	loadBuckets map[int]uint64
+
+	res        *Result
+	plurality  opinion.Opinion
+	mono       bool
+	monoAt     float64
+	totalTicks uint64
+
+	// crashed marks fail-stopped nodes (CrashFrac extension); aliveN is the
+	// survivor count against which consensus is detected.
+	crashed []bool
+	aliveN  int
+}
+
+// Run executes Algorithms 2 and 3 under cfg.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	root := xrand.New(cfg.Seed)
+
+	cols := make([]opinion.Opinion, cfg.N)
+	if cfg.Assignment != nil {
+		copy(cols, cfg.Assignment)
+	} else {
+		alpha := cfg.Alpha
+		if alpha < 1 {
+			alpha = 1
+		}
+		cols = opinion.PlantedBias(cfg.N, cfg.K, alpha, root.SplitNamed("assignment"))
+	}
+	initCounts := opinion.CountOf(cols, cfg.K)
+	pl, _ := initCounts.TopTwo()
+	alphaHat := initCounts.Bias()
+
+	gStar := cfg.GStar
+	if gStar <= 0 {
+		gStar = syncgen.GenerationBudget(cfg.N, alphaHat) + 2
+	}
+	maxTime := cfg.MaxTime
+	if maxTime <= 0 {
+		perGen := cfg.C3 + cfg.C1*(math.Log(4.5*float64(cfg.K+1))/math.Log(1.4)+2)
+		maxTime = 16*float64(gStar)*perGen + 30*cfg.C1*math.Log2(float64(cfg.N))
+	}
+
+	rs := &runState{
+		cfg:         cfg,
+		sm:          sim.New(),
+		lat:         cfg.Latency,
+		tickR:       root.SplitNamed("ticks"),
+		latR:        root.SplitNamed("latency"),
+		cols:        cols,
+		gens:        make([]int32, cfg.N),
+		locked:      make([]bool, cfg.N),
+		seenG:       make([]int32, cfg.N),
+		seenP:       make([]bool, cfg.N),
+		colorCount:  initCounts,
+		genCount:    make([]int, gStar+1),
+		leaderGen:   1,
+		c3Ticks:     int(cfg.C3 * float64(cfg.N)),
+		genThresh:   int(math.Ceil(cfg.GenFraction * float64(cfg.N))),
+		gStar:       gStar,
+		propSeen:    make([]bool, gStar+2),
+		loadBuckets: make(map[int]uint64),
+		plurality:   opinion.Opinion(pl),
+		res: &Result{
+			InitialPlurality: opinion.Opinion(pl),
+			C1:               cfg.C1,
+			GStar:            gStar,
+		},
+	}
+	rs.genCount[0] = cfg.N
+	rs.aliveN = cfg.N
+	rs.crashed = make([]bool, cfg.N)
+	rs.res.PhaseLog = append(rs.res.PhaseLog,
+		PhaseEvent{Time: 0, Gen: 1, Phase: PhaseTwoChoices})
+	if cfg.CrashFrac > 0 {
+		m := int(cfg.CrashFrac * float64(cfg.N))
+		victims := root.SplitNamed("crash").Perm(cfg.N)[:m]
+		rs.sm.At(cfg.CrashTime, func() {
+			for _, v := range victims {
+				if rs.crashed[v] {
+					continue
+				}
+				rs.crashed[v] = true
+				rs.aliveN--
+				rs.colorCount[rs.cols[v]]--
+			}
+			// Survivors may already be unanimous.
+			for _, cnt := range rs.colorCount {
+				if cnt == rs.aliveN && rs.aliveN > 0 && !rs.mono {
+					rs.mono = true
+					rs.monoAt = rs.sm.Now()
+				}
+			}
+		})
+	}
+
+	// One Poisson clock per node.
+	clockR := root.SplitNamed("clocks")
+	for v := 0; v < cfg.N; v++ {
+		v := v
+		c := sim.NewClock(rs.sm, clockR.Split(), 1, func() { rs.tick(v) })
+		c.Start()
+	}
+
+	// Periodic recorder + termination watchdog.
+	var recordTick func()
+	record := func() {
+		p := metrics.Snapshot(rs.sm.Now(), rs.cols, cfg.K, rs.plurality)
+		p.MaxGen = rs.maxGen
+		p.MaxGenFrac = float64(rs.genCount[rs.maxGen]) / float64(cfg.N)
+		rs.res.Trajectory.Append(p)
+	}
+	recordTick = func() {
+		record()
+		if rs.mono {
+			rs.sm.Stop()
+			return
+		}
+		if rs.sm.Now() >= maxTime {
+			rs.res.TimedOut = true
+			rs.sm.Stop()
+			return
+		}
+		rs.sm.After(cfg.RecordEvery, recordTick)
+	}
+	record()
+	rs.sm.After(cfg.RecordEvery, recordTick)
+	// Hard deadline, independent of the recorder cadence.
+	rs.sm.At(maxTime, func() {
+		if !rs.mono {
+			record()
+			rs.res.TimedOut = true
+			rs.sm.Stop()
+		}
+	})
+
+	rs.sm.Run()
+
+	rs.res.EndTime = rs.sm.Now()
+	rs.res.Events = rs.sm.Processed()
+	for _, c := range rs.loadBuckets {
+		if f := float64(c); f > rs.res.PeakLeaderLoad {
+			rs.res.PeakLeaderLoad = f
+		}
+	}
+	rs.res.FinalCounts = opinion.CountOf(rs.cols, cfg.K)
+	// Ensure the final state is in the trajectory exactly once more (the
+	// stop path records before stopping, but a monochromatic flip between
+	// recordings would otherwise be missed).
+	if last, ok := rs.res.Trajectory.Last(); !ok || last.Time < rs.res.EndTime {
+		p := metrics.Snapshot(rs.res.EndTime, rs.cols, cfg.K, rs.plurality)
+		p.MaxGen = rs.maxGen
+		p.MaxGenFrac = float64(rs.genCount[rs.maxGen]) / float64(cfg.N)
+		rs.res.Trajectory.Append(p)
+	}
+	rs.res.Outcome = metrics.EvalOutcome(rs.res.Trajectory, rs.res.FinalCounts,
+		rs.plurality, cfg.Eps)
+	if rs.mono {
+		// Tighten the consensus time to the exact flip moment.
+		rs.res.Outcome.FullConsensus = true
+		rs.res.Outcome.ConsensusTime = rs.monoAt
+	}
+	return rs.res, nil
+}
+
+// tick handles one Poisson tick of node v (Algorithm 2 lines 1-3).
+func (rs *runState) tick(v int) {
+	if rs.mono || rs.crashed[v] {
+		return
+	}
+	rs.totalTicks++
+	// Line 1: 0-signal to the leader; fire-and-forget with latency.
+	// SignalLoss (an extension; 0 in the paper's model) may drop it.
+	if rs.cfg.SignalLoss == 0 || !rs.latR.Bernoulli(rs.cfg.SignalLoss) {
+		rs.sm.After(rs.lat.Sample(rs.latR), func() { rs.leaderSignal(0) })
+	}
+	// Line 2: locked nodes do nothing else.
+	if rs.locked[v] {
+		return
+	}
+	rs.locked[v] = true
+	// Lines 3-4: dial v', v'' in parallel, then the leader. Targets are
+	// chosen now; states are read when all channels are up.
+	a := sampleOther(rs.tickR, rs.cfg.N, v)
+	b := sampleOther(rs.tickR, rs.cfg.N, v)
+	d := math.Max(rs.lat.Sample(rs.latR), rs.lat.Sample(rs.latR)) +
+		rs.lat.Sample(rs.latR)
+	rs.sm.After(d, func() { rs.complete(v, a, b) })
+}
+
+// complete handles the established channels of node v (Algorithm 2 lines
+// 5-15).
+func (rs *runState) complete(v, a, b int) {
+	defer func() { rs.locked[v] = false }()
+	if rs.mono || rs.crashed[v] {
+		return
+	}
+	// Reading (gen, prop) is one more request the leader serves.
+	rs.leaderMessage()
+	// Crashed samples never answer: the affected branch simply sees no
+	// usable state from them.
+	aUp, bUp := !rs.crashed[a], !rs.crashed[b]
+	lGen, lProp := rs.leaderGen, rs.leaderProp
+	if int(rs.seenG[v]) != lGen || rs.seenP[v] != lProp {
+		// Line 13-14: out of sync; refresh the stored leader state only.
+		rs.seenG[v] = int32(lGen)
+		rs.seenP[v] = lProp
+		return
+	}
+	ga, gb := rs.gens[a], rs.gens[b]
+	if aUp && bUp &&
+		!lProp && ga == gb && int(ga) == lGen-1 && rs.cols[a] == rs.cols[b] {
+		// Lines 6-8: two-choices promotion into generation lGen.
+		if rs.cfg.CheckInvariants && rs.propSeen[lGen] {
+			panic(fmt.Sprintf("leader: two-choices into gen %d after its propagation phase", lGen))
+		}
+		rs.setNode(v, rs.cols[a], int32(lGen))
+		return
+	}
+	// Lines 9-11: propagation from the best qualifying sample.
+	pick := -1
+	var pickGen int32 = -1
+	for _, x := range [2]int{a, b} {
+		if rs.crashed[x] {
+			continue
+		}
+		gx := rs.gens[x]
+		if gx > rs.gens[v] && (int(gx) < lGen || lProp) && gx > pickGen {
+			pick = x
+			pickGen = gx
+		}
+	}
+	if pick >= 0 {
+		rs.setNode(v, rs.cols[pick], rs.gens[pick])
+	}
+}
+
+// setNode commits a color/generation update of node v and sends the
+// gen-signal of Algorithm 2 line 12 when the generation increased.
+func (rs *runState) setNode(v int, col opinion.Opinion, gen int32) {
+	if rs.cfg.CheckInvariants && int(gen) > rs.leaderGen {
+		panic(fmt.Sprintf("leader: node generation %d exceeds leader generation %d",
+			gen, rs.leaderGen))
+	}
+	old := rs.cols[v]
+	oldGen := rs.gens[v]
+	rs.cols[v] = col
+	rs.gens[v] = gen
+	if old != col {
+		rs.colorCount[old]--
+		rs.colorCount[col]++
+		if rs.colorCount[col] == rs.aliveN && !rs.mono {
+			rs.mono = true
+			rs.monoAt = rs.sm.Now()
+		}
+	}
+	if gen != oldGen {
+		rs.genCount[oldGen]--
+		rs.genCount[gen]++
+		if int(gen) > rs.maxGen {
+			rs.maxGen = int(gen)
+		}
+		if gen > oldGen {
+			g := int(gen)
+			if rs.cfg.SignalLoss == 0 || !rs.latR.Bernoulli(rs.cfg.SignalLoss) {
+				rs.sm.After(rs.lat.Sample(rs.latR), func() { rs.leaderSignal(g) })
+			}
+		}
+	}
+}
+
+// leaderMessage accounts one message (signal or state read) reaching the
+// leader, bucketed by time unit for the §4.5 congestion metric.
+func (rs *runState) leaderMessage() {
+	rs.res.TotalLeaderMessages++
+	rs.loadBuckets[int(rs.sm.Now()/rs.cfg.C1)]++
+}
+
+// leaderSignal processes one arriving i-signal at the leader (Algorithm 3).
+func (rs *runState) leaderSignal(i int) {
+	rs.leaderMessage()
+	if rs.mono {
+		return
+	}
+	if i == 0 {
+		rs.leaderT++
+		if !rs.leaderProp && rs.leaderT >= rs.c3Ticks {
+			rs.leaderProp = true
+			rs.propSeen[rs.leaderGen] = true
+			rs.res.PhaseLog = append(rs.res.PhaseLog, PhaseEvent{
+				Time: rs.sm.Now(), Gen: rs.leaderGen, Phase: PhasePropagation})
+		}
+	}
+	if i == rs.leaderGen {
+		rs.leaderSize++
+		if rs.leaderSize >= rs.genThresh && rs.leaderGen < rs.gStar {
+			rs.leaderGen++
+			rs.leaderT = 0
+			rs.leaderSize = 0
+			rs.leaderProp = false
+			rs.res.PhaseLog = append(rs.res.PhaseLog, PhaseEvent{
+				Time: rs.sm.Now(), Gen: rs.leaderGen, Phase: PhaseTwoChoices})
+		}
+	}
+}
+
+func sampleOther(r *xrand.RNG, n, v int) int {
+	u := r.Intn(n - 1)
+	if u >= v {
+		u++
+	}
+	return u
+}

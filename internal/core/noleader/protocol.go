@@ -1,0 +1,251 @@
+package noleader
+
+import (
+	"math"
+
+	"plurality/internal/cluster"
+	"plurality/internal/core/syncgen"
+	"plurality/internal/metrics"
+	"plurality/internal/opinion"
+	"plurality/internal/sim"
+	"plurality/internal/xrand"
+)
+
+// LeaderStateKind is a cluster leader's mode within one generation.
+type LeaderStateKind int
+
+const (
+	// StateTwoChoices (1) allows two-choices promotions into the leader's
+	// newest generation.
+	StateTwoChoices LeaderStateKind = 1
+	// StateSleeping (2) allows nothing; it absorbs broadcast skew.
+	StateSleeping LeaderStateKind = 2
+	// StatePropagation (3) allows pull propagation into the newest
+	// generation.
+	StatePropagation LeaderStateKind = 3
+)
+
+// String names the state for logs.
+func (s LeaderStateKind) String() string {
+	switch s {
+	case StateTwoChoices:
+		return "two-choices"
+	case StateSleeping:
+		return "sleeping"
+	case StatePropagation:
+		return "propagation"
+	default:
+		return "unknown"
+	}
+}
+
+// GenPhases records, for one generation, when the fastest and slowest
+// leaders entered each state — the six marks t̂₀..t̂₅ of the paper's
+// Figure 2.
+type GenPhases struct {
+	// Gen is the generation index.
+	Gen int
+	// FirstTwoChoices (t̂₀) and LastTwoChoices (t̂₁) bracket entry into
+	// state 1 across leaders; likewise for sleeping (t̂₂, t̂₃) and
+	// propagation (t̂₄, t̂₅). A mark is -1 if no leader entered that state.
+	FirstTwoChoices, LastTwoChoices   float64
+	FirstSleeping, LastSleeping       float64
+	FirstPropagation, LastPropagation float64
+}
+
+// Result captures one decentralized run.
+type Result struct {
+	// Outcome summarizes correctness and hitting times of the consensus
+	// phase (virtual time, clustering excluded).
+	Outcome metrics.Outcome
+	// Trajectory holds the consensus-phase snapshots.
+	Trajectory metrics.Trajectory
+	// Clustering is the structure the consensus phase ran on.
+	Clustering *cluster.Clustering
+	// PhaseSpans records the Figure 2 marks per generation.
+	PhaseSpans []GenPhases
+	// EndTime is the consensus-phase virtual time at termination, and
+	// ClusteringTime the formation time that preceded it.
+	EndTime        float64
+	ClusteringTime float64
+	// Events is the number of consensus-phase simulator events.
+	Events uint64
+	// FinalCounts are the opinion counts at termination.
+	FinalCounts opinion.Counts
+	// InitialPlurality is the opinion that was initially dominant.
+	InitialPlurality opinion.Opinion
+	// C1 is the steps-per-unit constant used, GStar the generation cap.
+	C1    float64
+	GStar int
+	// TimedOut reports that MaxTime was hit before full consensus.
+	TimedOut bool
+	// TotalLeaderMessages counts messages reaching any cluster leader, and
+	// PeakLeaderLoad the maximum any single leader served per time unit —
+	// the §4.5 congestion metric. The decentralized design exists so this
+	// stays polylog(n) where the single leader's is Θ(n).
+	TotalLeaderMessages uint64
+	PeakLeaderLoad      float64
+}
+
+// leaderState is one participating cluster leader during consensus.
+type leaderState struct {
+	gen      int
+	state    LeaderStateKind
+	card     int
+	t        int // 0-signal counter
+	genSize  int // hasChanged signals for the current gen
+	sleepAt  int // t threshold for state 2
+	propAt   int // t threshold for state 3
+	excluded bool
+}
+
+// Run forms clusters and then executes Algorithms 4 and 5 under cfg.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	root := xrand.New(cfg.Seed)
+
+	// Phase 1: clustering.
+	cp := cfg.Cluster
+	cp.N = cfg.N
+	cp.Latency = cfg.Latency
+	cp.Seed = root.SplitNamed("clustering").Uint64()
+	cl, err := cluster.Form(cp)
+	if err != nil {
+		return nil, err
+	}
+
+	// Initial opinions.
+	cols := make([]opinion.Opinion, cfg.N)
+	if cfg.Assignment != nil {
+		copy(cols, cfg.Assignment)
+	} else {
+		alpha := cfg.Alpha
+		if alpha < 1 {
+			alpha = 1
+		}
+		cols = opinion.PlantedBias(cfg.N, cfg.K, alpha, root.SplitNamed("assignment"))
+	}
+	initCounts := opinion.CountOf(cols, cfg.K)
+	pl, _ := initCounts.TopTwo()
+	alphaHat := initCounts.Bias()
+	gStar := cfg.GStar
+	if gStar <= 0 {
+		gStar = syncgen.GenerationBudget(cfg.N, alphaHat) + 2
+	}
+	maxTime := cfg.MaxTime
+	if maxTime <= 0 {
+		perGen := cfg.C1 * (cfg.TwoChoicesUnits + cfg.SleepUnits +
+			math.Log(4.5*float64(cfg.K+1))/math.Log(1.4) + 2)
+		maxTime = 6*float64(gStar)*perGen + 20*cfg.C1*math.Log2(float64(cfg.N))
+	}
+
+	rs := &consensusState{
+		cfg:       cfg,
+		cl:        cl,
+		sm:        sim.New(),
+		smp:       root.SplitNamed("sampling"),
+		latR:      root.SplitNamed("latency"),
+		cols:      cols,
+		gens:      make([]int32, cfg.N),
+		finished:  make([]bool, cfg.N),
+		locked:    make([]bool, cfg.N),
+		tmpGen:    make([]int32, cfg.N),
+		tmpState:  make([]int8, cfg.N),
+		counts:    initCounts,
+		leaders:   make(map[int]*leaderState),
+		gStar:     gStar,
+		load:      make(map[int]map[int]uint64),
+		plurality: opinion.Opinion(pl),
+		phase:     map[int]*GenPhases{},
+		res: &Result{
+			Clustering:       cl,
+			ClusteringTime:   cl.EndTime,
+			InitialPlurality: opinion.Opinion(pl),
+			C1:               cfg.C1,
+			GStar:            gStar,
+		},
+	}
+	for _, l := range cl.ParticipatingLeaders() {
+		st := &leaderState{gen: 1, state: StateTwoChoices, card: cl.Size[l]}
+		st.sleepAt = int(math.Ceil(cfg.TwoChoicesUnits * cfg.C1 * float64(st.card)))
+		st.propAt = st.sleepAt + int(math.Ceil(cfg.SleepUnits*cfg.C1*float64(st.card)))
+		rs.leaders[l] = st
+	}
+	rs.notePhase(1, StateTwoChoices, 0)
+	if len(rs.leaders) == 0 {
+		// Degenerate clustering: report a failed run rather than panic.
+		rs.res.TimedOut = true
+		rs.res.FinalCounts = initCounts
+		rs.res.Outcome = metrics.EvalOutcome(metrics.Trajectory{
+			metrics.Snapshot(0, cols, cfg.K, rs.plurality)},
+			initCounts, rs.plurality, cfg.Eps)
+		return rs.res, nil
+	}
+
+	clockR := root.SplitNamed("clocks")
+	for v := 0; v < cfg.N; v++ {
+		v := v
+		c := sim.NewClock(rs.sm, clockR.Split(), 1, func() { rs.tick(v) })
+		c.Start()
+	}
+
+	var recordTick func()
+	record := func() {
+		p := metrics.Snapshot(rs.sm.Now(), rs.cols, cfg.K, rs.plurality)
+		p.MaxGen = rs.maxGen
+		rs.res.Trajectory.Append(p)
+	}
+	recordTick = func() {
+		record()
+		if rs.mono {
+			rs.sm.Stop()
+			return
+		}
+		if rs.sm.Now() >= maxTime {
+			rs.res.TimedOut = true
+			rs.sm.Stop()
+			return
+		}
+		rs.sm.After(cfg.RecordEvery, recordTick)
+	}
+	record()
+	rs.sm.After(cfg.RecordEvery, recordTick)
+	rs.sm.At(maxTime, func() {
+		if !rs.mono {
+			record()
+			rs.res.TimedOut = true
+			rs.sm.Stop()
+		}
+	})
+
+	rs.sm.Run()
+
+	rs.res.EndTime = rs.sm.Now()
+	rs.res.Events = rs.sm.Processed()
+	for _, buckets := range rs.load {
+		for _, c := range buckets {
+			if f := float64(c); f > rs.res.PeakLeaderLoad {
+				rs.res.PeakLeaderLoad = f
+			}
+		}
+	}
+	rs.res.FinalCounts = opinion.CountOf(rs.cols, cfg.K)
+	if last, ok := rs.res.Trajectory.Last(); !ok || last.Time < rs.res.EndTime {
+		record()
+	}
+	rs.res.Outcome = metrics.EvalOutcome(rs.res.Trajectory, rs.res.FinalCounts,
+		rs.plurality, cfg.Eps)
+	if rs.mono {
+		rs.res.Outcome.FullConsensus = true
+		rs.res.Outcome.ConsensusTime = rs.monoAt
+	}
+	// Flatten the phase map into ordered spans.
+	for g := 1; g <= gStar+1; g++ {
+		if ph, ok := rs.phase[g]; ok {
+			rs.res.PhaseSpans = append(rs.res.PhaseSpans, *ph)
+		}
+	}
+	return rs.res, nil
+}

@@ -1,0 +1,298 @@
+package noleader
+
+import (
+	"math"
+
+	"plurality/internal/cluster"
+	"plurality/internal/opinion"
+	"plurality/internal/sim"
+	"plurality/internal/xrand"
+)
+
+// consensusState bundles the mutable state of the consensus phase.
+type consensusState struct {
+	cfg  Config
+	cl   *cluster.Clustering
+	sm   *sim.Simulator
+	smp  *xrand.RNG
+	latR *xrand.RNG
+
+	cols     []opinion.Opinion
+	gens     []int32
+	finished []bool
+	locked   []bool
+	tmpGen   []int32 // leader gen stored at the previous own-leader contact
+	tmpState []int8  // leader state stored at the previous own-leader contact
+
+	counts  opinion.Counts
+	maxGen  int
+	leaders map[int]*leaderState
+	gStar   int
+	load    map[int]map[int]uint64 // leader -> time-unit bucket -> messages
+
+	plurality opinion.Opinion
+	mono      bool
+	monoAt    float64
+
+	phase map[int]*GenPhases
+	res   *Result
+}
+
+// notePhase updates the Figure 2 marks for generation g entering state s.
+func (rs *consensusState) notePhase(g int, s LeaderStateKind, t float64) {
+	ph, ok := rs.phase[g]
+	if !ok {
+		ph = &GenPhases{Gen: g,
+			FirstTwoChoices: -1, LastTwoChoices: -1,
+			FirstSleeping: -1, LastSleeping: -1,
+			FirstPropagation: -1, LastPropagation: -1}
+		rs.phase[g] = ph
+	}
+	var first, last *float64
+	switch s {
+	case StateTwoChoices:
+		first, last = &ph.FirstTwoChoices, &ph.LastTwoChoices
+	case StateSleeping:
+		first, last = &ph.FirstSleeping, &ph.LastSleeping
+	case StatePropagation:
+		first, last = &ph.FirstPropagation, &ph.LastPropagation
+	default:
+		return
+	}
+	if *first < 0 || t < *first {
+		*first = t
+	}
+	if t > *last {
+		*last = t
+	}
+}
+
+// setLeader transitions leader l to (gen, state), recording the phase marks.
+func (rs *consensusState) setLeader(l int, st *leaderState, gen int, s LeaderStateKind) {
+	if gen != st.gen || s != st.state {
+		st.gen = gen
+		st.state = s
+		rs.notePhase(gen, s, rs.sm.Now())
+	}
+}
+
+// leaderMessage accounts one message reaching leader l, bucketed by time
+// unit for the §4.5 congestion metric.
+func (rs *consensusState) leaderMessage(l int) {
+	rs.res.TotalLeaderMessages++
+	bucket := int(rs.sm.Now() / rs.cfg.C1)
+	lb, ok := rs.load[l]
+	if !ok {
+		lb = make(map[int]uint64)
+		rs.load[l] = lb
+	}
+	lb[bucket]++
+}
+
+// signal processes an (i, s, hasChanged)-signal arriving at leader l
+// (Algorithm 5).
+func (rs *consensusState) signal(l int, i int, s LeaderStateKind, hasChanged bool) {
+	st, ok := rs.leaders[l]
+	if !ok {
+		return
+	}
+	rs.leaderMessage(l)
+	if rs.mono {
+		return
+	}
+	// Lines 1-3: lexicographic adoption of fresher leader states. Only the
+	// tick counter t is rebased (Algorithm 5 line 3); gen_size survives
+	// state-only changes and resets only when the generation moves on.
+	if i > 0 && (i > st.gen || (i == st.gen && s > st.state)) {
+		genChanged := i > st.gen
+		rs.setLeader(l, st, i, s)
+		switch s {
+		case StateTwoChoices:
+			st.t = 0
+		case StateSleeping:
+			st.t = st.sleepAt
+		case StatePropagation:
+			st.t = st.propAt
+		}
+		if genChanged {
+			st.genSize = 0
+		}
+	}
+	// Lines 4-9: the 0-signal clock.
+	if i == 0 {
+		st.t++
+		if st.state == StateTwoChoices && st.t >= st.sleepAt {
+			rs.setLeader(l, st, st.gen, StateSleeping)
+		} else if st.state == StateSleeping && st.t >= st.propAt {
+			rs.setLeader(l, st, st.gen, StatePropagation)
+		}
+	}
+	// Lines 10-15: population estimate of the newest generation.
+	if hasChanged && i == st.gen {
+		st.genSize++
+		thresh := int(math.Ceil(rs.cfg.GenFraction * float64(st.card)))
+		if st.genSize >= thresh && st.gen < rs.gStar {
+			rs.setLeader(l, st, st.gen+1, StateTwoChoices)
+			st.t = 0
+			st.genSize = 0
+		}
+	}
+}
+
+// sendSignal delivers an (i, s, hasChanged)-signal to leader l after one
+// channel latency; fire-and-forget.
+func (rs *consensusState) sendSignal(l int, i int, s LeaderStateKind, hasChanged bool) {
+	if l < 0 {
+		return
+	}
+	rs.sm.After(rs.cfg.Latency.Sample(rs.latR), func() {
+		rs.signal(l, i, s, hasChanged)
+	})
+}
+
+// setNode commits a color/generation update for node v.
+func (rs *consensusState) setNode(v int, col opinion.Opinion, gen int32) {
+	old := rs.cols[v]
+	rs.cols[v] = col
+	rs.gens[v] = gen
+	if int(gen) > rs.maxGen {
+		rs.maxGen = int(gen)
+	}
+	if old != col {
+		rs.counts[old]--
+		rs.counts[col]++
+		if rs.counts[col] == rs.cfg.N && !rs.mono {
+			rs.mono = true
+			rs.monoAt = rs.sm.Now()
+		}
+	}
+}
+
+// tick handles one Poisson tick of node v (Algorithm 4).
+func (rs *consensusState) tick(v int) {
+	if rs.mono {
+		return
+	}
+	myLeader := int(rs.cl.LeaderOf[v])
+	participates := false
+	if myLeader >= 0 {
+		_, participates = rs.leaders[myLeader]
+	}
+	// Line 1: (0,3,·)-signal to the own leader.
+	if participates {
+		rs.sendSignal(myLeader, 0, StatePropagation, false)
+	}
+	// Line 2: locking.
+	if rs.locked[v] {
+		return
+	}
+	rs.locked[v] = true
+
+	// Sample v1, v2, v3 now; their states are read at channel completion.
+	n := rs.cfg.N
+	v1 := sampleOther(rs.smp, n, v)
+	v2 := sampleOther(rs.smp, n, v)
+	v3 := sampleOther(rs.smp, n, v)
+	// Accumulated latency: three contacts in parallel, then own leader and
+	// v3's leader in parallel (§4.3).
+	lat := rs.cfg.Latency
+	three := math.Max(lat.Sample(rs.latR), math.Max(lat.Sample(rs.latR), lat.Sample(rs.latR)))
+	two := math.Max(lat.Sample(rs.latR), lat.Sample(rs.latR))
+	rs.sm.After(three+two, func() { rs.complete(v, v1, v2, v3, myLeader, participates) })
+}
+
+// complete handles node v's established channels (Algorithm 4 lines 5-21).
+func (rs *consensusState) complete(v, v1, v2, v3, myLeader int, participates bool) {
+	defer func() { rs.locked[v] = false }()
+	if rs.mono {
+		return
+	}
+	// Line 5: a finished node pushes its final opinion.
+	if rs.finished[v] {
+		for _, u := range [3]int{v1, v2, v3} {
+			rs.setNode(u, rs.cols[v], rs.gens[u])
+			rs.finished[u] = true
+		}
+		return
+	}
+	// Line 6-7: adopt a finished sample.
+	for _, u := range [3]int{v1, v2, v3} {
+		if rs.finished[u] {
+			rs.setNode(v, rs.cols[u], rs.gens[v])
+			rs.finished[v] = true
+			return
+		}
+	}
+	if !participates {
+		// Nodes outside participating clusters only take part in the
+		// finished-flag endgame (Theorem 27's "taken care of at the end").
+		return
+	}
+	// Line 8: the sampled third node's leader must be active.
+	l := int(rs.cl.LeaderOf[v3])
+	lst, ok := rs.leaders[l]
+	if !ok {
+		return // gen(l) = 0: non-active cluster sampled
+	}
+	rs.leaderMessage(l) // the (gen, state) read is one served request
+	lGen, lState := lst.gen, lst.state
+	inSync := int(rs.tmpGen[v]) == lGen && LeaderStateKind(rs.tmpState[v]) == lState
+
+	promoted := false
+	if inSync {
+		g1, g2 := rs.gens[v1], rs.gens[v2]
+		gv := rs.gens[v]
+		switch {
+		case lState == StateTwoChoices &&
+			g1 == g2 && int(g1) == lGen-1 && gv <= g1 &&
+			rs.cols[v1] == rs.cols[v2]:
+			// Line 13-16: two-choices promotion into generation lGen.
+			rs.setNode(v, rs.cols[v1], int32(lGen))
+			rs.sendSignal(myLeader, lGen, StateTwoChoices, true)
+			promoted = true
+		default:
+			// Line 9-12: propagation. Algorithm 4 spells out the
+			// top-generation case (gen(v_i) = gen(l), state 3); the prose
+			// defers lower generations to Algorithm 2's rule
+			// (gen(v̄) < gen is always safe), which we follow.
+			pick := -1
+			var pickGen int32 = -1
+			for _, x := range [2]int{v1, v2} {
+				gx := rs.gens[x]
+				if gx > gv && (int(gx) < lGen ||
+					(int(gx) == lGen && lState == StatePropagation)) && gx > pickGen {
+					pick = x
+					pickGen = gx
+				}
+			}
+			if pick >= 0 {
+				rs.setNode(v, rs.cols[pick], rs.gens[pick])
+				rs.sendSignal(myLeader, int(rs.gens[pick]), StatePropagation, true)
+				promoted = true
+			}
+		}
+	}
+	if !promoted {
+		// Line 17-18: report the sampled leader's state to the own leader
+		// (the broadcast backbone of Algorithm 5 lines 1-3).
+		rs.sendSignal(myLeader, lGen, lState, false)
+	}
+	// Line 19: refresh the stored leader view from the own leader.
+	if own, ok := rs.leaders[myLeader]; ok {
+		rs.leaderMessage(myLeader)
+		rs.tmpGen[v] = int32(own.gen)
+		rs.tmpState[v] = int8(own.state)
+	}
+	// Line 20: the final generation finishes.
+	if int(rs.gens[v]) >= rs.gStar {
+		rs.finished[v] = true
+	}
+}
+
+func sampleOther(r *xrand.RNG, n, v int) int {
+	u := r.Intn(n - 1)
+	if u >= v {
+		u++
+	}
+	return u
+}

@@ -1,0 +1,199 @@
+package syncgen
+
+import (
+	"errors"
+	"fmt"
+
+	"plurality/internal/metrics"
+	"plurality/internal/opinion"
+	"plurality/internal/xrand"
+)
+
+// Config parametrizes one synchronous run. N and K are required; every
+// other field has a documented default applied by Run.
+type Config struct {
+	// N is the number of nodes (>= 2).
+	N int
+	// K is the number of opinions (>= 1).
+	K int
+	// Alpha is the initial multiplicative bias used when Assignment is nil;
+	// the assignment is then opinion.PlantedBias(N, K, Alpha). Ignored when
+	// Assignment is set.
+	Alpha float64
+	// Assignment optionally fixes the initial opinions (length N). Run does
+	// not mutate it.
+	Assignment []opinion.Opinion
+	// Gamma is the generation-density threshold γ ∈ (0, 1); default 0.5,
+	// the value §2.2 reports to work well empirically.
+	Gamma float64
+	// Schedule picks the two-choices trigger; default ScheduleAdaptive.
+	Schedule ScheduleKind
+	// GStar caps the number of generations; default GenerationBudget(N, α̂)
+	// + 2, where α̂ is the measured initial bias. The two extra generations
+	// are the Lemma 11 tail: at laptop-scale n the generation that first
+	// pushes the bias past n is born with a few dissenting stragglers with
+	// noticeable probability, and only further squarings remove them.
+	GStar int
+	// MaxSteps aborts a run that fails to converge; default
+	// 64·(t_{G*} + PropagationTail).
+	MaxSteps int
+	// Seed drives all randomness of the run.
+	Seed uint64
+	// RecordEvery sets the snapshot interval in steps; default 1.
+	RecordEvery int
+	// Eps defines ε-convergence for the reported outcome; default 1/log² n.
+	Eps float64
+}
+
+// GenEvent records the birth and establishment of one generation, the raw
+// material of the bias-squaring experiment (E8) and the growth experiment
+// (E9).
+type GenEvent struct {
+	// Gen is the generation index (>= 1).
+	Gen int
+	// BirthStep is the first step at which the generation was non-empty.
+	BirthStep int
+	// BirthFrac is its node fraction right after birth.
+	BirthFrac float64
+	// BirthBias is the color bias inside the generation right after birth.
+	BirthBias float64
+	// EstablishedStep is the first step at which the generation held at
+	// least a γ fraction of nodes (-1 if never).
+	EstablishedStep int
+	// EstablishedBias is the in-generation bias at that step (0 if never).
+	EstablishedBias float64
+}
+
+// Result captures everything the experiments need from one run.
+type Result struct {
+	// Outcome summarizes correctness and hitting times (times are steps).
+	Outcome metrics.Outcome
+	// Trajectory holds the recorded snapshots.
+	Trajectory metrics.Trajectory
+	// Steps is the number of synchronous steps executed.
+	Steps int
+	// TwoChoicesSteps lists the steps at which two-choices was enabled.
+	TwoChoicesSteps []int
+	// Generations holds one event record per born generation.
+	Generations []GenEvent
+	// FinalCounts are the opinion counts at termination.
+	FinalCounts opinion.Counts
+	// InitialPlurality is the opinion that was initially dominant.
+	InitialPlurality opinion.Opinion
+}
+
+// Run executes Algorithm 1 under cfg and returns the run record. It returns
+// an error for invalid configurations; stochastic failure to converge is not
+// an error but reported through the Outcome.
+func Run(cfg Config) (*Result, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("syncgen: need N >= 2, got %d", cfg.N)
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("syncgen: need K >= 1, got %d", cfg.K)
+	}
+	if cfg.Assignment != nil && len(cfg.Assignment) != cfg.N {
+		return nil, fmt.Errorf("syncgen: assignment length %d != N %d", len(cfg.Assignment), cfg.N)
+	}
+	if cfg.Gamma == 0 {
+		cfg.Gamma = 0.5
+	}
+	if cfg.Gamma <= 0 || cfg.Gamma >= 1 {
+		return nil, fmt.Errorf("syncgen: gamma %v outside (0,1)", cfg.Gamma)
+	}
+	if cfg.Schedule == 0 {
+		cfg.Schedule = ScheduleAdaptive
+	}
+	if cfg.Schedule != ScheduleTheoretical && cfg.Schedule != ScheduleAdaptive {
+		return nil, errors.New("syncgen: unknown schedule kind")
+	}
+	if cfg.RecordEvery <= 0 {
+		cfg.RecordEvery = 1
+	}
+
+	rng := xrand.New(cfg.Seed)
+	cols := make([]opinion.Opinion, cfg.N)
+	if cfg.Assignment != nil {
+		copy(cols, cfg.Assignment)
+	} else {
+		alpha := cfg.Alpha
+		if alpha < 1 {
+			alpha = 1
+		}
+		cols = opinion.PlantedBias(cfg.N, cfg.K, alpha, rng.SplitNamed("assignment"))
+	}
+	initCounts := opinion.CountOf(cols, cfg.K)
+	plurality, _ := initCounts.TopTwo()
+	alphaHat := initCounts.Bias()
+
+	gStar := cfg.GStar
+	if gStar <= 0 {
+		gStar = GenerationBudget(cfg.N, alphaHat) + 2
+	}
+	var schedule []int
+	if cfg.Schedule == ScheduleTheoretical {
+		schedule = TwoChoicesTimes(alphaHat, cfg.K, gStar, cfg.Gamma)
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		horizon := PropagationTail(cfg.N, cfg.Gamma)
+		if cfg.Schedule == ScheduleTheoretical && len(schedule) > 0 {
+			horizon += schedule[len(schedule)-1]
+		} else {
+			for i := 1; i <= gStar; i++ {
+				horizon += int(LifeCycleLength(alphaHat, cfg.K, cfg.Gamma, i)) + 1
+			}
+		}
+		maxSteps = 64 * (horizon + 1)
+	}
+	eps := cfg.Eps
+	if eps <= 0 {
+		l2 := log2f(float64(cfg.N))
+		eps = 1 / (l2 * l2)
+	}
+
+	st := newState(cols, cfg.K, gStar)
+	res := &Result{InitialPlurality: opinion.Opinion(plurality)}
+	record := func(step int) {
+		p := metrics.Snapshot(float64(step), st.cols, cfg.K, opinion.Opinion(plurality))
+		p.MaxGen = st.maxGen
+		p.MaxGenFrac = float64(st.genSize[st.maxGen]) / float64(cfg.N)
+		res.Trajectory.Append(p)
+	}
+	record(0)
+
+	stepRNG := rng.SplitNamed("steps")
+	nextTheoretical := 0
+	for step := 1; step <= maxSteps; step++ {
+		twoChoices := false
+		switch cfg.Schedule {
+		case ScheduleTheoretical:
+			if nextTheoretical < len(schedule) && step == schedule[nextTheoretical] {
+				twoChoices = true
+				nextTheoretical++
+			}
+		case ScheduleAdaptive:
+			if st.maxGen < gStar &&
+				float64(st.genSize[st.maxGen]) >= cfg.Gamma*float64(cfg.N) {
+				twoChoices = true
+			}
+		}
+		if twoChoices {
+			res.TwoChoicesSteps = append(res.TwoChoicesSteps, step)
+		}
+		st.step(stepRNG, twoChoices)
+		st.noteGenerations(step, cfg.Gamma, res)
+		if step%cfg.RecordEvery == 0 || st.monochromatic() {
+			record(step)
+		}
+		res.Steps = step
+		if st.monochromatic() {
+			break
+		}
+	}
+
+	res.FinalCounts = opinion.CountOf(st.cols, cfg.K)
+	res.Outcome = metrics.EvalOutcome(res.Trajectory, res.FinalCounts,
+		opinion.Opinion(plurality), eps)
+	return res, nil
+}

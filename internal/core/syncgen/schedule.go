@@ -1,0 +1,117 @@
+// Package syncgen implements the paper's synchronous generation-based
+// plurality-consensus protocol (Algorithm 1, §2).
+//
+// Nodes hold a color and a generation. At a predefined set of time steps
+// {t_i} a node may perform a "two-choices" step — adopting the common color
+// of two sampled nodes of the current top generation i and promoting itself
+// to generation i+1 — and at every other step it performs a "propagation"
+// step, adopting the state of a sampled node of strictly higher generation.
+// Each new generation squares the bias between the top two colors (Lemma 4),
+// so after G* = O(log log_α n) generations the top generation is
+// monochromatic whp., and the last generation floods the system.
+package syncgen
+
+import (
+	"math"
+
+	"plurality/internal/xrand"
+)
+
+// ScheduleKind selects how two-choices steps are triggered.
+type ScheduleKind int
+
+const (
+	// ScheduleTheoretical uses the paper's predefined time steps
+	// t_1 = 1, t_{i+1} = t_i + X_i with the closed-form life-cycle lengths
+	// X_i of §2.2. This is the variant the analysis covers.
+	ScheduleTheoretical ScheduleKind = iota + 1
+	// ScheduleAdaptive triggers a two-choices step as soon as the current
+	// top generation holds at least a γ fraction of all nodes — the
+	// condition the asynchronous leader of §3 measures by counting signals.
+	// It is the robust practical variant for small n.
+	ScheduleAdaptive
+)
+
+// String names the schedule for experiment output.
+func (s ScheduleKind) String() string {
+	switch s {
+	case ScheduleTheoretical:
+		return "theoretical"
+	case ScheduleAdaptive:
+		return "adaptive"
+	default:
+		return "unknown"
+	}
+}
+
+// LifeCycleLength returns the paper's X_i: the number of synchronous steps
+// generation i needs, after its birth at t_i, to populate a γ fraction of
+// the nodes whp. (§2.2):
+//
+//	X_i = (2·ln(α^{2^{i-1}}+k-1) − ln(α^{2^i}+k-1) − ln γ) / ln(2−γ) + 2.
+//
+// The α powers are evaluated in log-domain, so the formula stays finite even
+// when α^{2^i} overflows float64. The index i is 1-based: X_i describes
+// generation i, whose parent generation i−1 has (idealized) bias α^{2^{i-1}}.
+func LifeCycleLength(alpha float64, k int, gamma float64, i int) float64 {
+	if alpha <= 1 {
+		alpha = 1 + 1e-9 // degenerate bias: fall back to the largest cycle
+	}
+	lnAlpha := math.Log(alpha)
+	lnKm1 := math.Inf(-1)
+	if k > 1 {
+		lnKm1 = math.Log(float64(k - 1))
+	}
+	pow := func(e int) float64 { return math.Exp2(float64(e)) * lnAlpha }
+	lnParent := xrand.LogAddExp(pow(i-1), lnKm1) // ln(α^{2^{i-1}} + k−1)
+	lnChild := xrand.LogAddExp(pow(i), lnKm1)    // ln(α^{2^i} + k−1)
+	return (2*lnParent-lnChild-math.Log(gamma))/math.Log(2-gamma) + 2
+}
+
+// GenerationBudget returns the paper's G*: the number of generations after
+// which the top generation is monochromatic whp., ⌈log₂ log_α n⌉ (at least
+// 1). For α so large that a single squaring suffices it returns 1.
+func GenerationBudget(n int, alpha float64) int {
+	if n < 2 {
+		return 1
+	}
+	if alpha <= 1 {
+		// No usable bias: fall back to the k=2, minimal-bias budget; the
+		// run will be capped by MaxSteps anyway.
+		alpha = 1 + 1/math.Sqrt(float64(n))
+	}
+	g := math.Log2(math.Log(float64(n)) / math.Log(alpha))
+	if g < 1 {
+		return 1
+	}
+	return int(math.Ceil(g))
+}
+
+// TwoChoicesTimes returns the theoretical schedule {t_i} for i = 1..gStar:
+// the synchronous steps at which two-choices promotions are allowed.
+// t_1 = 1 (Example 3 of the paper) and t_{i+1} = t_i + ⌈X_i⌉.
+func TwoChoicesTimes(alpha float64, k, gStar int, gamma float64) []int {
+	times := make([]int, 0, gStar)
+	t := 1
+	for i := 1; i <= gStar; i++ {
+		times = append(times, t)
+		t += int(math.Ceil(LifeCycleLength(alpha, k, gamma, i)))
+	}
+	return times
+}
+
+// PropagationTail returns the paper's A = log γ / log(3/2) + log₂ log₂ n
+// bound (Lemma 12) on the extra steps needed for the final generation to
+// flood all nodes, rounded up and clamped to at least 1.
+func PropagationTail(n int, gamma float64) int {
+	if n < 4 {
+		return 1
+	}
+	// |log γ / log 3/2| counts the 3/2-growth steps from γ to 1/2 and
+	// log₂ log₂ n the squaring steps of the laggard fraction (Lemma 12).
+	v := math.Abs(math.Log(gamma)/math.Log(1.5)) + math.Log2(math.Log2(float64(n)))
+	if v < 1 {
+		return 1
+	}
+	return int(math.Ceil(v))
+}

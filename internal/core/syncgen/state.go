@@ -1,0 +1,163 @@
+package syncgen
+
+import (
+	"math"
+
+	"plurality/internal/opinion"
+	"plurality/internal/xrand"
+)
+
+// state holds the full synchronous configuration plus incremental
+// per-generation color tallies, so per-step bookkeeping stays O(n) and
+// generation statistics are O(1) to read.
+type state struct {
+	n, k    int
+	gCap    int // highest representable generation (G*)
+	cols    []opinion.Opinion
+	gens    []int32
+	next    []opinion.Opinion // scratch for the synchronous update
+	nextG   []int32
+	genCol  [][]int // genCol[g][c]: nodes of generation g with color c
+	genSize []int
+	maxGen  int
+}
+
+func newState(cols []opinion.Opinion, k, gStar int) *state {
+	n := len(cols)
+	st := &state{
+		n:       n,
+		k:       k,
+		gCap:    gStar,
+		cols:    cols,
+		gens:    make([]int32, n),
+		next:    make([]opinion.Opinion, n),
+		nextG:   make([]int32, n),
+		genCol:  make([][]int, gStar+1),
+		genSize: make([]int, gStar+1),
+	}
+	for g := range st.genCol {
+		st.genCol[g] = make([]int, k)
+	}
+	for _, c := range cols {
+		st.genCol[0][c]++
+	}
+	st.genSize[0] = n
+	return st
+}
+
+// sampleOther returns a uniform node index different from v.
+func sampleOther(r *xrand.RNG, n, v int) int {
+	u := r.Intn(n - 1)
+	if u >= v {
+		u++
+	}
+	return u
+}
+
+// step executes one synchronous round of Algorithm 1: every node samples two
+// other nodes from the *previous* configuration and applies the two-choices
+// rule (when enabled) or the propagation rule.
+func (st *state) step(r *xrand.RNG, twoChoices bool) {
+	n := st.n
+	for v := 0; v < n; v++ {
+		a := sampleOther(r, n, v)
+		b := sampleOther(r, n, v)
+		// wlog gen(a) >= gen(b) (Algorithm 1 line 2).
+		if st.gens[a] < st.gens[b] {
+			a, b = b, a
+		}
+		col, gen := st.cols[v], st.gens[v]
+		switch {
+		case twoChoices &&
+			st.gens[a] == st.gens[b] && gen <= st.gens[a] &&
+			int(st.gens[a]) < st.gCap &&
+			st.cols[a] == st.cols[b]:
+			// Two-choices promotion (line 3-5).
+			gen = st.gens[a] + 1
+			col = st.cols[a]
+		case st.gens[a] > gen:
+			// Propagation (line 6-8).
+			gen = st.gens[a]
+			col = st.cols[a]
+		}
+		st.next[v] = col
+		st.nextG[v] = gen
+	}
+	// Commit and retally.
+	st.cols, st.next = st.next, st.cols
+	st.gens, st.nextG = st.nextG, st.gens
+	for g := range st.genCol {
+		st.genSize[g] = 0
+		row := st.genCol[g]
+		for c := range row {
+			row[c] = 0
+		}
+	}
+	st.maxGen = 0
+	for v := 0; v < n; v++ {
+		g := int(st.gens[v])
+		st.genCol[g][st.cols[v]]++
+		st.genSize[g]++
+		if g > st.maxGen {
+			st.maxGen = g
+		}
+	}
+}
+
+// genBias returns the color bias inside generation g (1 when empty).
+func (st *state) genBias(g int) float64 {
+	return opinion.Counts(st.genCol[g]).Bias()
+}
+
+// monochromatic reports whether all nodes share one color.
+func (st *state) monochromatic() bool {
+	colored := 0
+	for c := 0; c < st.k; c++ {
+		tot := 0
+		for g := range st.genCol {
+			tot += st.genCol[g][c]
+		}
+		if tot > 0 {
+			colored++
+			if colored > 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// noteGenerations appends GenEvents for newly born generations and fills in
+// establishment records once a generation reaches the γ threshold.
+func (st *state) noteGenerations(step int, gamma float64, res *Result) {
+	for g := 1; g <= st.gCap; g++ {
+		size := st.genSize[g]
+		if size == 0 {
+			continue
+		}
+		idx := -1
+		for i := range res.Generations {
+			if res.Generations[i].Gen == g {
+				idx = i
+				break
+			}
+		}
+		if idx == -1 {
+			res.Generations = append(res.Generations, GenEvent{
+				Gen:             g,
+				BirthStep:       step,
+				BirthFrac:       float64(size) / float64(st.n),
+				BirthBias:       st.genBias(g),
+				EstablishedStep: -1,
+			})
+			idx = len(res.Generations) - 1
+		}
+		ev := &res.Generations[idx]
+		if ev.EstablishedStep == -1 && float64(size) >= gamma*float64(st.n) {
+			ev.EstablishedStep = step
+			ev.EstablishedBias = st.genBias(g)
+		}
+	}
+}
+
+func log2f(x float64) float64 { return math.Log2(x) }

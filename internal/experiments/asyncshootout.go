@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"plurality/internal/baseline"
+	"plurality/internal/core/leader"
+	"plurality/internal/harness"
+	"plurality/internal/opinion"
+	"plurality/internal/xrand"
+)
+
+// AsyncShootout compares the single-leader generation protocol against the
+// classical dynamics under the *same* asynchronous semantics (Poisson
+// clocks, parallel channel latencies, locking): everything measured in
+// virtual time steps on identical assignments. The generation protocol's
+// advantage over two-choices/3-majority is bias tolerance, not raw speed at
+// comfortable bias — both facts should be visible.
+func AsyncShootout(o Opts) *harness.Table {
+	o = o.normalize()
+	type workload struct {
+		k     int
+		alpha float64
+	}
+	n := 2000
+	loads := []workload{{2, 2}, {8, 1.5}, {16, 1.5}}
+	if o.Quick {
+		n = 800
+		loads = []workload{{4, 2}}
+	}
+	t := harness.NewTable(
+		fmt.Sprintf("Async shootout — time steps to full consensus (n=%d, Poisson+Exp(1) latency)", n),
+		[]string{"k", "alpha"},
+		[]string{"generations_time", "generations_won",
+			"two_choices_time", "two_choices_won",
+			"three_majority_time", "three_majority_won",
+			"undecided_time", "undecided_won"},
+	)
+	for _, w := range loads {
+		w := w
+		agg := harness.Replicate(o.Reps, func(rep uint64) harness.Metrics {
+			seed := mergeSeed(o.Seed+1700, rep)
+			assign := opinion.PlantedBias(n, w.k, w.alpha,
+				xrand.New(seed).SplitNamed("async-shootout"))
+			m := harness.Metrics{}
+
+			res, err := leader.Run(leader.Config{
+				N: n, K: w.k, Assignment: assign, Seed: seed,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("experiments: AsyncShootout leader: %v", err))
+			}
+			if res.Outcome.FullConsensus {
+				m["generations_time"] = res.Outcome.ConsensusTime
+			}
+			m["generations_won"] = boolMetric(res.Outcome.PluralityWon &&
+				res.Outcome.FullConsensus)
+
+			runBase := func(name, prefix string) {
+				rule, err := baseline.NewRule(name, xrand.New(seed).SplitNamed(name))
+				if err != nil {
+					panic(fmt.Sprintf("experiments: AsyncShootout rule: %v", err))
+				}
+				br, err := baseline.RunPoisson(rule, baseline.Config{
+					N: n, K: w.k, Assignment: assign, Seed: seed,
+					RecordEvery: 4, MaxRounds: 4000,
+				}, nil)
+				if err != nil {
+					panic(fmt.Sprintf("experiments: AsyncShootout %s: %v", name, err))
+				}
+				if br.Outcome.FullConsensus {
+					m[prefix+"_time"] = br.Outcome.ConsensusTime
+				}
+				m[prefix+"_won"] = boolMetric(br.Outcome.PluralityWon &&
+					br.Outcome.FullConsensus)
+			}
+			runBase("two-choices", "two_choices")
+			runBase("3-majority", "three_majority")
+			runBase("undecided-state", "undecided")
+			return m
+		})
+		t.Append(map[string]float64{"k": float64(w.k), "alpha": w.alpha}, agg)
+	}
+	return t
+}

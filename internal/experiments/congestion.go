@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"plurality/internal/core/leader"
+	"plurality/internal/core/noleader"
+	"plurality/internal/harness"
+	"plurality/internal/stats"
+)
+
+// Congestion validates the §4.5 complexity discussion: the designated
+// leader of §3 serves Θ(n) requests per time unit (the bottleneck the paper
+// criticizes), while in the decentralized protocol no cluster leader serves
+// more than polylog(n) per time unit, with the load balanced across
+// Θ(n/polylog n) leaders.
+func Congestion(o Opts) *harness.Table {
+	o = o.normalize()
+	ns := []int{500, 1000, 2000, 4000, 8000}
+	if o.Quick {
+		ns = []int{500, 1500}
+	}
+	t := harness.NewTable(
+		"§4.5 — leader congestion per time unit: designated leader vs cluster leaders",
+		[]string{"n"},
+		[]string{"single_peak_load", "single_load_per_n", "multi_peak_load", "leaders"},
+	)
+	for _, n := range ns {
+		n := n
+		agg := harness.Replicate(o.Reps, func(rep uint64) harness.Metrics {
+			seed := mergeSeed(o.Seed+1600, rep)
+			single, err := leader.Run(leader.Config{N: n, K: 4, Alpha: 2.5, Seed: seed})
+			if err != nil {
+				panic(fmt.Sprintf("experiments: Congestion single: %v", err))
+			}
+			multi, err := noleader.Run(noleader.Config{N: n, K: 4, Alpha: 2.5, Seed: seed})
+			if err != nil {
+				panic(fmt.Sprintf("experiments: Congestion multi: %v", err))
+			}
+			return harness.Metrics{
+				"single_peak_load":  single.PeakLeaderLoad,
+				"single_load_per_n": single.PeakLeaderLoad / float64(n),
+				"multi_peak_load":   multi.PeakLeaderLoad,
+				"leaders":           float64(len(multi.Clustering.ParticipatingLeaders())),
+			}
+		})
+		t.Append(map[string]float64{"n": float64(n)}, agg)
+	}
+	var xs, ysSingle, ysMulti []float64
+	for _, r := range t.Rows {
+		xs = append(xs, r.Factors["n"])
+		ysSingle = append(ysSingle, r.Cells["single_peak_load"].Mean())
+		ysMulti = append(ysMulti, r.Cells["multi_peak_load"].Mean())
+	}
+	if len(xs) >= 2 {
+		t.Caption += "\n" + fitLine("log(single_peak_load) ~ log n (expect ≈ 1)",
+			stats.LogLogFit(xs, ysSingle))
+		t.Caption += fitLine("log(multi_peak_load) ~ log n (expect ≪ 1)",
+			stats.LogLogFit(xs, ysMulti))
+	}
+	return t
+}

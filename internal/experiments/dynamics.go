@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"plurality/internal/core/syncgen"
+	"plurality/internal/harness"
+	"plurality/internal/stats"
+)
+
+// BiasSquaring validates Lemma 4 / Corollary 7 / Proposition 8: the bias at
+// the birth of generation i+1 is close to the square of generation i's
+// established bias. It reports, per generation index, the measured ratio
+// log(α_{i+1}) / (2·log(α_i)) which the lemma predicts to be ≈ 1 until the
+// bias saturates.
+func BiasSquaring(o Opts) *harness.Table {
+	o = o.normalize()
+	n := 200000
+	if o.Quick {
+		n = 20000
+	}
+	t := harness.NewTable(
+		"Lemma 4 / Prop. 8 — bias squaring per generation (ratio ≈ 1 expected)",
+		[]string{"gen"},
+		[]string{"birth_bias", "parent_bias", "log_ratio"},
+	)
+	type acc struct{ birth, parent, ratio *stats.Summary }
+	accs := map[int]*acc{}
+	for rep := 0; rep < o.Reps; rep++ {
+		res, err := syncgen.Run(syncgen.Config{
+			N: n, K: 2, Alpha: 1.5, Seed: mergeSeed(o.Seed+800, uint64(rep)),
+		})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: BiasSquaring: %v", err))
+		}
+		// Parent of generation 1 is the initial assignment.
+		parentBias := res.Trajectory[0].Bias
+		for _, ev := range res.Generations {
+			a, ok := accs[ev.Gen]
+			if !ok {
+				a = &acc{birth: &stats.Summary{}, parent: &stats.Summary{}, ratio: &stats.Summary{}}
+				accs[ev.Gen] = a
+			}
+			a.birth.Add(ev.BirthBias)
+			a.parent.Add(parentBias)
+			// Skip saturated generations: once the second color nearly
+			// vanishes the ratio is dominated by integer noise.
+			if parentBias > 1 && ev.BirthBias > 1 && ev.BirthBias < float64(n)/10 {
+				a.ratio.Add(math.Log(ev.BirthBias) / (2 * math.Log(parentBias)))
+			}
+			if ev.EstablishedStep >= 0 && ev.EstablishedBias > 0 {
+				parentBias = ev.EstablishedBias
+			} else {
+				parentBias = ev.BirthBias
+			}
+		}
+	}
+	for g := 1; ; g++ {
+		a, ok := accs[g]
+		if !ok {
+			break
+		}
+		t.Append(map[string]float64{"gen": float64(g)}, map[string]*stats.Summary{
+			"birth_bias": a.birth, "parent_bias": a.parent, "log_ratio": a.ratio,
+		})
+	}
+	return t
+}
+
+// GenerationGrowth validates Proposition 9 (and the Xi schedule of §2.2):
+// each generation reaches the γ fraction within its predicted life-cycle
+// length X_i. Reported per generation: measured steps from birth to
+// establishment vs the ⌈X_i⌉ prediction.
+func GenerationGrowth(o Opts) *harness.Table {
+	o = o.normalize()
+	n := 100000
+	if o.Quick {
+		n = 10000
+	}
+	const k, alpha, gamma = 8, 1.5, 0.5
+	t := harness.NewTable(
+		"Proposition 9 — generation growth: measured life-cycle vs predicted X_i",
+		[]string{"gen"},
+		[]string{"measured_steps", "predicted_Xi", "within_prediction"},
+	)
+	type acc struct{ measured, within *stats.Summary }
+	accs := map[int]*acc{}
+	for rep := 0; rep < o.Reps; rep++ {
+		res, err := syncgen.Run(syncgen.Config{
+			N: n, K: k, Alpha: alpha, Gamma: gamma,
+			Seed: mergeSeed(o.Seed+900, uint64(rep)),
+		})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: GenerationGrowth: %v", err))
+		}
+		for _, ev := range res.Generations {
+			if ev.EstablishedStep < 0 {
+				continue
+			}
+			a, ok := accs[ev.Gen]
+			if !ok {
+				a = &acc{measured: &stats.Summary{}, within: &stats.Summary{}}
+				accs[ev.Gen] = a
+			}
+			steps := float64(ev.EstablishedStep - ev.BirthStep + 1)
+			a.measured.Add(steps)
+			xi := syncgen.LifeCycleLength(alpha, k, gamma, ev.Gen)
+			a.within.Add(boolMetric(steps <= math.Ceil(xi)))
+		}
+	}
+	for g := 1; ; g++ {
+		a, ok := accs[g]
+		if !ok {
+			break
+		}
+		t.Append(map[string]float64{"gen": float64(g)}, map[string]*stats.Summary{
+			"measured_steps":    a.measured,
+			"predicted_Xi":      singleCell(math.Ceil(syncgen.LifeCycleLength(alpha, k, gamma, g))),
+			"within_prediction": a.within,
+		})
+	}
+	return t
+}
+
+// GammaSweep validates the empirical remark of §2.2: γ = 1/2 works well,
+// larger γ increases the running time, smaller γ decreases stability
+// (success rate).
+func GammaSweep(o Opts) *harness.Table {
+	o = o.normalize()
+	gammas := []float64{0.05, 0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.92}
+	n := 20000
+	reps := o.Reps * 4 // success rates need more resolution
+	if o.Quick {
+		gammas = []float64{0.1, 0.5, 0.9}
+		n = 4000
+		reps = o.Reps
+	}
+	t := harness.NewTable(
+		"§2.2 remark — γ sweep: running time vs stability (k=16, α=1.3)",
+		[]string{"gamma"},
+		[]string{"steps", "success_rate", "generations"},
+	)
+	for _, g := range gammas {
+		g := g
+		agg := harness.Replicate(reps, func(rep uint64) harness.Metrics {
+			res, err := syncgen.Run(syncgen.Config{
+				N: n, K: 16, Alpha: 1.3, Gamma: g,
+				Seed: mergeSeed(o.Seed+1000, rep),
+			})
+			if err != nil {
+				panic(fmt.Sprintf("experiments: GammaSweep: %v", err))
+			}
+			return harness.Metrics{
+				"steps":       float64(res.Steps),
+				"generations": float64(len(res.Generations)),
+				"success_rate": boolMetric(res.Outcome.PluralityWon &&
+					res.Outcome.FullConsensus),
+			}
+		})
+		t.Append(map[string]float64{"gamma": g}, agg)
+	}
+	return t
+}
+
+// TailGenerations validates Lemma 11 and Lemma 25: once the bias exceeds k,
+// only about log log_k n further generations are needed, and with a hugely
+// dominant color O(1) suffice. Reported: generations spent before and after
+// the bias first exceeded k.
+func TailGenerations(o Opts) *harness.Table {
+	o = o.normalize()
+	ks := []int{2, 4, 16, 64}
+	n := 50000
+	if o.Quick {
+		ks = []int{2, 16}
+		n = 10000
+	}
+	t := harness.NewTable(
+		"Lemma 11/25 — generations before/after the bias exceeds k",
+		[]string{"k"},
+		[]string{"gens_total", "gens_pre_k", "gens_post_k", "loglogk_n"},
+	)
+	for _, k := range ks {
+		k := k
+		agg := harness.Replicate(o.Reps, func(rep uint64) harness.Metrics {
+			res, err := syncgen.Run(syncgen.Config{
+				N: n, K: k, Alpha: 1.5, Seed: mergeSeed(o.Seed+1100, rep),
+			})
+			if err != nil {
+				panic(fmt.Sprintf("experiments: TailGenerations: %v", err))
+			}
+			pre := 0
+			for _, ev := range res.Generations {
+				bias := ev.EstablishedBias
+				if bias == 0 {
+					bias = ev.BirthBias
+				}
+				pre++
+				if bias > float64(k) {
+					break
+				}
+			}
+			total := len(res.Generations)
+			return harness.Metrics{
+				"gens_total":  float64(total),
+				"gens_pre_k":  float64(pre),
+				"gens_post_k": float64(total - pre),
+			}
+		})
+		ll := math.Log2(math.Log(float64(n)) / math.Log(float64(k)))
+		if ll < 0 {
+			ll = 0
+		}
+		agg["loglogk_n"] = singleCell(ll)
+		t.Append(map[string]float64{"k": float64(k)}, agg)
+	}
+	return t
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// All experiments are executed in Quick mode with a single rep: the goal of
+// these tests is that every registered experiment runs end to end and emits
+// a well-formed table; the scientific content is exercised by
+// cmd/experiments and the benchmarks.
+
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep skipped in -short mode")
+	}
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			tb := spec.Run(Opts{Reps: 1, Quick: true, Seed: 42})
+			if tb == nil {
+				t.Fatal("nil table")
+			}
+			if len(tb.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			out := tb.Render()
+			if !strings.Contains(out, "##") {
+				t.Error("render missing caption")
+			}
+			if csv := tb.CSV(); !strings.Contains(csv, ",") {
+				t.Error("CSV looks empty")
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("fig1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRegistryUniqueNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range All() {
+		if seen[s.Name] {
+			t.Errorf("duplicate experiment name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.ID == "" || s.Paper == "" || s.Run == nil {
+			t.Errorf("incomplete spec %+v", s)
+		}
+	}
+}
+
+func TestLogRange(t *testing.T) {
+	r := logRange(1, 1000, 4)
+	if len(r) != 4 || r[0] != 1 || r[3] != 1000 {
+		t.Fatalf("logRange = %v", r)
+	}
+	for i := 1; i < len(r); i++ {
+		if r[i] <= r[i-1] {
+			t.Fatalf("logRange not increasing: %v", r)
+		}
+	}
+}
+
+func TestMergeSeedDisperses(t *testing.T) {
+	seen := map[uint64]bool{}
+	for base := uint64(0); base < 10; base++ {
+		for rep := uint64(0); rep < 10; rep++ {
+			s := mergeSeed(base, rep)
+			if seen[s] {
+				t.Fatalf("seed collision at base=%d rep=%d", base, rep)
+			}
+			seen[s] = true
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+
+	"plurality/internal/baseline"
+	"plurality/internal/core/syncgen"
+	"plurality/internal/harness"
+	"plurality/internal/opinion"
+	"plurality/internal/sim"
+	"plurality/internal/xrand"
+
+	coreleader "plurality/internal/core/leader"
+)
+
+// Shootout compares the generation protocol against the §1.1 baselines on
+// identical initial assignments: synchronous rounds to full consensus and
+// plurality success rate, across a k sweep. The paper's positioning
+// predicts: pull voting is slowest and least reliable; 3-majority degrades
+// linearly in k (Θ(k log n)); two-choices and the generation protocol stay
+// polylogarithmic, with the generation protocol tolerating smaller bias.
+func Shootout(o Opts) *harness.Table {
+	o = o.normalize()
+	ks := []int{2, 8, 32}
+	n := 10000
+	alpha := 1.5
+	if o.Quick {
+		ks = []int{2, 8}
+		n = 2000
+		alpha = 2
+	}
+	t := harness.NewTable(
+		fmt.Sprintf("Shootout — rounds to consensus and success rate (n=%d, α=%g)", n, alpha),
+		[]string{"k"},
+		[]string{"generations_rounds", "generations_won",
+			"two_choices_rounds", "two_choices_won",
+			"three_majority_rounds", "three_majority_won",
+			"undecided_rounds", "undecided_won",
+			"pull_voting_rounds", "pull_voting_won"},
+	)
+	for _, k := range ks {
+		k := k
+		agg := harness.Replicate(o.Reps, func(rep uint64) harness.Metrics {
+			seed := mergeSeed(o.Seed+1200, rep)
+			assignRNG := xrand.New(seed).SplitNamed("shootout-assign")
+			assign := opinion.PlantedBias(n, k, alpha, assignRNG)
+			m := harness.Metrics{}
+
+			res, err := syncgen.Run(syncgen.Config{
+				N: n, K: k, Assignment: assign, Seed: seed,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("experiments: Shootout syncgen: %v", err))
+			}
+			if res.Outcome.FullConsensus {
+				m["generations_rounds"] = float64(res.Steps)
+			}
+			m["generations_won"] = boolMetric(res.Outcome.PluralityWon &&
+				res.Outcome.FullConsensus)
+
+			runBase := func(name, prefix string) {
+				rule, err := baseline.NewRule(name, xrand.New(seed).SplitNamed(name))
+				if err != nil {
+					panic(fmt.Sprintf("experiments: Shootout rule: %v", err))
+				}
+				br, err := baseline.RunSync(rule, baseline.Config{
+					N: n, K: k, Assignment: assign, Seed: seed,
+					RecordEvery: 4,
+				})
+				if err != nil {
+					panic(fmt.Sprintf("experiments: Shootout %s: %v", name, err))
+				}
+				if br.Outcome.FullConsensus {
+					m[prefix+"_rounds"] = float64(br.Rounds)
+				}
+				m[prefix+"_won"] = boolMetric(br.Outcome.PluralityWon &&
+					br.Outcome.FullConsensus)
+			}
+			runBase("two-choices", "two_choices")
+			runBase("3-majority", "three_majority")
+			runBase("undecided-state", "undecided")
+			runBase("pull-voting", "pull_voting")
+			return m
+		})
+		t.Append(map[string]float64{"k": float64(k)}, agg)
+	}
+	return t
+}
+
+// AgingLatencies exercises the positive-aging generalization (the PODC
+// title): the single-leader protocol under exponential, constant, uniform
+// and Erlang channel latencies with identical means. The claim carried over
+// from the published version is that convergence, measured in time units
+// (C1 adapts per distribution), is insensitive to the latency shape.
+func AgingLatencies(o Opts) *harness.Table {
+	o = o.normalize()
+	n := 2000
+	if o.Quick {
+		n = 800
+	}
+	lats := []sim.Latency{
+		sim.ExpLatency{Rate: 1},
+		sim.ConstLatency{D: 1},
+		sim.UniformLatency{Lo: 0, Hi: 2},
+		sim.ErlangLatency{K: 4, Rate: 4},
+	}
+	t := harness.NewTable(
+		fmt.Sprintf("Positive aging — latency shapes with mean 1 (n=%d, k=4, α=2.5)", n),
+		[]string{"shape"},
+		[]string{"c1", "eps_units", "consensus_units", "plurality_won"},
+	)
+	for i, lat := range lats {
+		lat := lat
+		agg := harness.Replicate(o.Reps, func(rep uint64) harness.Metrics {
+			res, err := coreleader.Run(coreleader.Config{
+				N: n, K: 4, Alpha: 2.5, Latency: lat,
+				Seed: mergeSeed(o.Seed+1300+uint64(i), rep),
+			})
+			if err != nil {
+				panic(fmt.Sprintf("experiments: AgingLatencies: %v", err))
+			}
+			m := harness.Metrics{
+				"c1": res.C1,
+				"plurality_won": boolMetric(res.Outcome.PluralityWon &&
+					res.Outcome.FullConsensus),
+			}
+			if res.Outcome.EpsReached {
+				m["eps_units"] = res.Outcome.EpsTime / res.C1
+			}
+			if res.Outcome.FullConsensus {
+				m["consensus_units"] = res.Outcome.ConsensusTime / res.C1
+			}
+			return m
+		})
+		t.Append(map[string]float64{"shape": float64(i)}, agg)
+	}
+	t.Caption += "\n  shape index: 0=exp(1) 1=const(1) 2=uniform[0,2) 3=erlang(4, mean 1)\n"
+	return t
+}

@@ -1,0 +1,203 @@
+// Package harness runs experiments: seeded replications of a measurement
+// function across a grid of factor values, executed in parallel with a
+// bounded worker pool, aggregated into summaries and rendered as ASCII
+// tables or CSV. Every experiment in cmd/experiments and every benchmark in
+// bench_test.go is expressed through this package, so the paper's figures
+// and claims are regenerated through one code path.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"plurality/internal/stats"
+)
+
+// Metrics is one replication's named measurements.
+type Metrics map[string]float64
+
+// Replicate runs fn for each seed in [0, reps) with a bounded worker pool
+// and returns per-metric summaries. fn must be safe for concurrent use
+// across distinct seeds (the repository's Run functions are: each owns all
+// of its state). A replication may also report binary outcomes by returning
+// 0/1-valued metrics.
+func Replicate(reps int, fn func(seed uint64) Metrics) map[string]*stats.Summary {
+	if reps <= 0 {
+		panic(fmt.Sprintf("harness: Replicate with reps=%d", reps))
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > reps {
+		workers = reps
+	}
+	results := make([]Metrics, reps)
+	var wg sync.WaitGroup
+	seeds := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range seeds {
+				results[i] = fn(uint64(i))
+			}
+		}()
+	}
+	for i := 0; i < reps; i++ {
+		seeds <- i
+	}
+	close(seeds)
+	wg.Wait()
+
+	agg := make(map[string]*stats.Summary)
+	for _, m := range results {
+		for k, v := range m {
+			s, ok := agg[k]
+			if !ok {
+				s = &stats.Summary{}
+				agg[k] = s
+			}
+			s.Add(v)
+		}
+	}
+	return agg
+}
+
+// Row is one line of an experiment table: factor values plus aggregated
+// metric summaries.
+type Row struct {
+	// Factors holds the independent variables of this row, e.g.
+	// {"n": 10000, "k": 8}.
+	Factors map[string]float64
+	// Cells holds the aggregated measurements.
+	Cells map[string]*stats.Summary
+}
+
+// Table is an ordered collection of rows with a caption, renderable as
+// aligned ASCII or CSV.
+type Table struct {
+	// Caption names the experiment (e.g. "Figure 1").
+	Caption string
+	// FactorOrder and MetricOrder fix the column order.
+	FactorOrder []string
+	MetricOrder []string
+	// Rows holds the data in insertion order.
+	Rows []Row
+}
+
+// NewTable creates a table with the given caption and column orders.
+func NewTable(caption string, factors, metricsOrder []string) *Table {
+	return &Table{Caption: caption, FactorOrder: factors, MetricOrder: metricsOrder}
+}
+
+// Append adds a row. Metric summaries not listed in MetricOrder are appended
+// to the order on first sight so nothing is silently dropped.
+func (t *Table) Append(factors map[string]float64, cells map[string]*stats.Summary) {
+	known := make(map[string]bool, len(t.MetricOrder))
+	for _, m := range t.MetricOrder {
+		known[m] = true
+	}
+	extra := make([]string, 0, len(cells))
+	for m := range cells {
+		if !known[m] {
+			extra = append(extra, m)
+		}
+	}
+	sort.Strings(extra)
+	t.MetricOrder = append(t.MetricOrder, extra...)
+	t.Rows = append(t.Rows, Row{Factors: factors, Cells: cells})
+}
+
+// Render returns the table as aligned ASCII text.
+func (t *Table) Render() string {
+	headers := make([]string, 0, len(t.FactorOrder)+len(t.MetricOrder))
+	headers = append(headers, t.FactorOrder...)
+	headers = append(headers, t.MetricOrder...)
+	rows := make([][]string, 0, len(t.Rows)+1)
+	rows = append(rows, headers)
+	for _, r := range t.Rows {
+		cells := make([]string, 0, len(headers))
+		for _, f := range t.FactorOrder {
+			cells = append(cells, trimFloat(r.Factors[f]))
+		}
+		for _, m := range t.MetricOrder {
+			if s, ok := r.Cells[m]; ok && s.N() > 0 {
+				if s.N() == 1 {
+					cells = append(cells, fmt.Sprintf("%.5g", s.Mean()))
+				} else {
+					cells = append(cells, fmt.Sprintf("%.5g ±%.2g", s.Mean(), s.SE()))
+				}
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		rows = append(rows, cells)
+	}
+	widths := make([]int, len(headers))
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	out := fmt.Sprintf("## %s\n", t.Caption)
+	for ri, row := range rows {
+		line := ""
+		for i, c := range row {
+			line += fmt.Sprintf("%-*s", widths[i]+2, c)
+		}
+		out += line + "\n"
+		if ri == 0 {
+			sep := ""
+			for _, w := range widths {
+				for j := 0; j < w; j++ {
+					sep += "-"
+				}
+				sep += "  "
+			}
+			out += sep + "\n"
+		}
+	}
+	return out
+}
+
+// CSV returns the table in CSV form (mean and SE columns per metric).
+func (t *Table) CSV() string {
+	out := ""
+	for i, f := range t.FactorOrder {
+		if i > 0 {
+			out += ","
+		}
+		out += f
+	}
+	for _, m := range t.MetricOrder {
+		out += "," + m + "_mean," + m + "_se," + m + "_n"
+	}
+	out += "\n"
+	for _, r := range t.Rows {
+		line := ""
+		for i, f := range t.FactorOrder {
+			if i > 0 {
+				line += ","
+			}
+			line += trimFloat(r.Factors[f])
+		}
+		for _, m := range t.MetricOrder {
+			if s, ok := r.Cells[m]; ok && s.N() > 0 {
+				line += fmt.Sprintf(",%g,%g,%d", s.Mean(), s.SE(), s.N())
+			} else {
+				line += ",,,0"
+			}
+		}
+		out += line + "\n"
+	}
+	return out
+}
+
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,147 @@
+// Package metrics defines the convergence criteria and trajectory recording
+// shared by every protocol in the repository. The paper's statements come in
+// two strengths — ε-convergence (all but an ε fraction hold the plurality
+// opinion, Theorem 13) and full consensus — and the experiments need the
+// first hitting times of both, plus enough of the trajectory to plot
+// generation growth and bias evolution.
+package metrics
+
+import (
+	"fmt"
+
+	"plurality/internal/opinion"
+)
+
+// Point is one sampled snapshot of a running protocol.
+type Point struct {
+	// Time is virtual time: rounds for synchronous protocols, continuous
+	// simulator time (in time steps) for asynchronous ones.
+	Time float64
+	// TopFrac is the fraction of nodes holding the currently dominant
+	// opinion.
+	TopFrac float64
+	// PluralityFrac is the fraction of nodes holding the *initial*
+	// plurality opinion (the one that is supposed to win).
+	PluralityFrac float64
+	// Bias is the current multiplicative bias between the two dominant
+	// opinions.
+	Bias float64
+	// MaxGen is the highest generation present (0 for baselines).
+	MaxGen int
+	// MaxGenFrac is the fraction of nodes in MaxGen (0 for baselines).
+	MaxGenFrac float64
+}
+
+// Trajectory is a time-ordered sequence of snapshots.
+type Trajectory []Point
+
+// Append adds a snapshot; points must be appended in non-decreasing time
+// order, which is asserted because an out-of-order trajectory invalidates
+// hitting-time queries.
+func (tr *Trajectory) Append(p Point) {
+	if n := len(*tr); n > 0 && p.Time < (*tr)[n-1].Time {
+		panic(fmt.Sprintf("metrics: out-of-order trajectory point at %v after %v",
+			p.Time, (*tr)[n-1].Time))
+	}
+	*tr = append(*tr, p)
+}
+
+// FirstTime returns the earliest recorded time at which pred holds, or
+// (0, false) if it never does.
+func (tr Trajectory) FirstTime(pred func(Point) bool) (float64, bool) {
+	for _, p := range tr {
+		if pred(p) {
+			return p.Time, true
+		}
+	}
+	return 0, false
+}
+
+// Last returns the final snapshot; ok is false when the trajectory is empty.
+func (tr Trajectory) Last() (Point, bool) {
+	if len(tr) == 0 {
+		return Point{}, false
+	}
+	return tr[len(tr)-1], true
+}
+
+// Outcome summarizes a completed protocol run.
+type Outcome struct {
+	// Winner is the opinion held by the plurality of nodes at termination.
+	Winner opinion.Opinion
+	// PluralityWon reports whether Winner equals the initial plurality
+	// opinion — the correctness criterion of plurality consensus.
+	PluralityWon bool
+	// FullConsensus reports whether every node held Winner at termination.
+	FullConsensus bool
+	// ConsensusTime is the first recorded time of full consensus (valid
+	// only when FullConsensus is true).
+	ConsensusTime float64
+	// EpsReached reports whether ε-convergence toward the initial
+	// plurality opinion was observed, and EpsTime its first hitting time.
+	EpsReached bool
+	EpsTime    float64
+	// Eps is the ε the run was evaluated against.
+	Eps float64
+}
+
+// String renders a compact human-readable outcome line.
+func (o Outcome) String() string {
+	status := "plurality LOST"
+	if o.PluralityWon {
+		status = "plurality won"
+	}
+	full := "no full consensus"
+	if o.FullConsensus {
+		full = fmt.Sprintf("full consensus at t=%.3g", o.ConsensusTime)
+	}
+	eps := "ε-convergence not reached"
+	if o.EpsReached {
+		eps = fmt.Sprintf("ε=%.3g-convergence at t=%.3g", o.Eps, o.EpsTime)
+	}
+	return fmt.Sprintf("winner=%d (%s), %s, %s", o.Winner, status, eps, full)
+}
+
+// EvalOutcome builds an Outcome from the trajectory, the final opinion
+// counts, and the initial plurality opinion. eps defines ε-convergence; the
+// hitting times are read from the trajectory (so the recording resolution
+// bounds their accuracy).
+func EvalOutcome(tr Trajectory, final opinion.Counts, initialPlurality opinion.Opinion, eps float64) Outcome {
+	winner, _ := final.TopTwo()
+	out := Outcome{
+		Winner:       opinion.Opinion(winner),
+		PluralityWon: opinion.Opinion(winner) == initialPlurality,
+		Eps:          eps,
+	}
+	total := final.Total()
+	if total > 0 && final[winner] == total {
+		out.FullConsensus = true
+		if t, ok := tr.FirstTime(func(p Point) bool { return p.TopFrac >= 1 }); ok {
+			out.ConsensusTime = t
+		} else if last, ok := tr.Last(); ok {
+			out.ConsensusTime = last.Time
+		}
+	}
+	if t, ok := tr.FirstTime(func(p Point) bool { return p.PluralityFrac >= 1-eps }); ok {
+		out.EpsReached = true
+		out.EpsTime = t
+	}
+	return out
+}
+
+// Snapshot builds a Point at the given time from an assignment, support size
+// k and the initial plurality opinion. Generation fields are left zero;
+// generation-aware protocols fill them in afterwards.
+func Snapshot(t float64, a []opinion.Opinion, k int, initialPlurality opinion.Opinion) Point {
+	c := opinion.CountOf(a, k)
+	top, _ := c.TopTwo()
+	total := c.Total()
+	p := Point{Time: t, Bias: c.Bias()}
+	if total > 0 {
+		p.TopFrac = float64(c[top]) / float64(total)
+		if int(initialPlurality) >= 0 && int(initialPlurality) < len(c) {
+			p.PluralityFrac = float64(c[initialPlurality]) / float64(total)
+		}
+	}
+	return p
+}

@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"testing"
+
+	"plurality/internal/opinion"
+)
+
+func TestTrajectoryAppendOrdered(t *testing.T) {
+	var tr Trajectory
+	tr.Append(Point{Time: 1})
+	tr.Append(Point{Time: 1})
+	tr.Append(Point{Time: 2})
+	if len(tr) != 3 {
+		t.Fatalf("len = %d", len(tr))
+	}
+}
+
+func TestTrajectoryAppendOutOfOrderPanics(t *testing.T) {
+	var tr Trajectory
+	tr.Append(Point{Time: 5})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order append did not panic")
+		}
+	}()
+	tr.Append(Point{Time: 4})
+}
+
+func TestFirstTime(t *testing.T) {
+	tr := Trajectory{
+		{Time: 1, TopFrac: 0.5},
+		{Time: 2, TopFrac: 0.8},
+		{Time: 3, TopFrac: 0.95},
+	}
+	got, ok := tr.FirstTime(func(p Point) bool { return p.TopFrac >= 0.8 })
+	if !ok || got != 2 {
+		t.Fatalf("FirstTime = %v, %v", got, ok)
+	}
+	_, ok = tr.FirstTime(func(p Point) bool { return p.TopFrac >= 2 })
+	if ok {
+		t.Fatal("impossible predicate reported as hit")
+	}
+}
+
+func TestLast(t *testing.T) {
+	var tr Trajectory
+	if _, ok := tr.Last(); ok {
+		t.Fatal("empty trajectory has a last point")
+	}
+	tr.Append(Point{Time: 7})
+	p, ok := tr.Last()
+	if !ok || p.Time != 7 {
+		t.Fatalf("Last = %v, %v", p, ok)
+	}
+}
+
+func TestEvalOutcomeFullConsensus(t *testing.T) {
+	tr := Trajectory{
+		{Time: 0, TopFrac: 0.6, PluralityFrac: 0.6},
+		{Time: 5, TopFrac: 0.99, PluralityFrac: 0.99},
+		{Time: 9, TopFrac: 1, PluralityFrac: 1},
+	}
+	final := opinion.Counts{100, 0, 0}
+	out := EvalOutcome(tr, final, 0, 0.01)
+	if !out.PluralityWon {
+		t.Error("plurality should have won")
+	}
+	if !out.FullConsensus || out.ConsensusTime != 9 {
+		t.Errorf("consensus: %v at %v", out.FullConsensus, out.ConsensusTime)
+	}
+	if !out.EpsReached || out.EpsTime != 5 {
+		t.Errorf("eps: %v at %v", out.EpsReached, out.EpsTime)
+	}
+}
+
+func TestEvalOutcomePluralityLost(t *testing.T) {
+	tr := Trajectory{{Time: 0, TopFrac: 1, PluralityFrac: 0}}
+	final := opinion.Counts{0, 50}
+	out := EvalOutcome(tr, final, 0, 0.1)
+	if out.PluralityWon {
+		t.Error("plurality marked as won although opinion 1 prevailed")
+	}
+	if out.Winner != 1 {
+		t.Errorf("winner = %d", out.Winner)
+	}
+	if !out.FullConsensus {
+		t.Error("opinion 1 holds all nodes; that is full consensus")
+	}
+}
+
+func TestEvalOutcomeNoConsensus(t *testing.T) {
+	tr := Trajectory{{Time: 0, TopFrac: 0.6, PluralityFrac: 0.6}}
+	final := opinion.Counts{60, 40}
+	out := EvalOutcome(tr, final, 0, 0.01)
+	if out.FullConsensus {
+		t.Error("no consensus expected")
+	}
+	if out.EpsReached {
+		t.Error("eps-convergence not expected")
+	}
+	if out.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	a := []opinion.Opinion{0, 0, 0, 1}
+	p := Snapshot(2.5, a, 2, 0)
+	if p.Time != 2.5 {
+		t.Errorf("Time = %v", p.Time)
+	}
+	if p.TopFrac != 0.75 || p.PluralityFrac != 0.75 {
+		t.Errorf("fracs = %v/%v", p.TopFrac, p.PluralityFrac)
+	}
+	if p.Bias != 3 {
+		t.Errorf("Bias = %v", p.Bias)
+	}
+}
+
+func TestSnapshotTracksPluralityNotTop(t *testing.T) {
+	a := []opinion.Opinion{1, 1, 1, 0}
+	p := Snapshot(0, a, 2, 0)
+	if p.TopFrac != 0.75 {
+		t.Errorf("TopFrac = %v", p.TopFrac)
+	}
+	if p.PluralityFrac != 0.25 {
+		t.Errorf("PluralityFrac = %v, want fraction of opinion 0", p.PluralityFrac)
+	}
+}

@@ -1,0 +1,9 @@
+package opinion
+
+import "math"
+
+// Small math helpers kept local so the package reads without qualifiers.
+
+func log2(x float64) float64 { return math.Log2(x) }
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }

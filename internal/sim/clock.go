@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"fmt"
+
+	"plurality/internal/xrand"
+)
+
+// Clock is a Poisson clock attached to a simulator: it fires its callback at
+// exponentially distributed intervals with the configured rate, matching the
+// paper's per-node "random Poisson clock that ticks at constant rate".
+//
+// A Clock must be started exactly once. Stopping is permanent; protocols use
+// it when a node leaves the dynamics (e.g. a cluster is dissolved).
+type Clock struct {
+	sim     *Simulator
+	rng     *xrand.RNG
+	rate    float64
+	tick    func()
+	ticks   uint64
+	stopped bool
+	started bool
+}
+
+// NewClock creates a clock firing tick at Poisson rate on s, drawing
+// inter-tick gaps from rng. It panics if rate <= 0.
+func NewClock(s *Simulator, rng *xrand.RNG, rate float64, tick func()) *Clock {
+	if rate <= 0 {
+		panic(fmt.Sprintf("sim: clock rate %v", rate))
+	}
+	if tick == nil {
+		panic("sim: nil tick handler")
+	}
+	return &Clock{sim: s, rng: rng, rate: rate, tick: tick}
+}
+
+// Start schedules the first tick. Calling Start twice panics: a doubled
+// clock silently doubles the tick rate, corrupting the model.
+func (c *Clock) Start() {
+	if c.started {
+		panic("sim: clock started twice")
+	}
+	c.started = true
+	c.scheduleNext()
+}
+
+func (c *Clock) scheduleNext() {
+	c.sim.After(c.rng.Exp(c.rate), func() {
+		if c.stopped {
+			return
+		}
+		c.ticks++
+		c.tick()
+		if !c.stopped {
+			c.scheduleNext()
+		}
+	})
+}
+
+// Stop permanently silences the clock. Safe to call multiple times and from
+// within the tick callback.
+func (c *Clock) Stop() { c.stopped = true }
+
+// Ticks returns how many times the clock has fired.
+func (c *Clock) Ticks() uint64 { return c.ticks }
+
+// Rate returns the configured Poisson rate.
+func (c *Clock) Rate() float64 { return c.rate }

@@ -1,0 +1,145 @@
+// Package sim implements the deterministic discrete-event simulation kernel
+// underlying the paper's asynchronous communication model (§3.1): every node
+// owns a rate-1 Poisson clock, and opening a communication channel costs an
+// independent latency (exponential with rate λ in the paper, generalized
+// here to any positive distribution to cover the positive-aging variant).
+//
+// The kernel is single-threaded and fully deterministic: events execute in
+// (time, insertion-sequence) order, so equal-time events replay in the order
+// they were scheduled. All stochastic behaviour enters through xrand.RNG
+// instances supplied by the caller, which makes whole protocol executions
+// reproducible from one seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Handler is a scheduled action. It runs at its scheduled virtual time; the
+// simulator passes no arguments because handlers close over their state.
+type Handler func()
+
+// event is a scheduled handler with a total order (time, then seq).
+type event struct {
+	at  float64
+	seq uint64
+	fn  Handler
+}
+
+// eventHeap is a binary min-heap of events ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator is a deterministic discrete-event scheduler over continuous
+// virtual time. The zero value is not usable; construct with New.
+type Simulator struct {
+	now       float64
+	seq       uint64
+	queue     eventHeap
+	processed uint64
+	stopped   bool
+}
+
+// New returns an empty simulator positioned at virtual time 0.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Processed returns the number of events executed so far; experiments report
+// it as a proxy for simulated work.
+func (s *Simulator) Processed() uint64 { return s.processed }
+
+// Pending returns the number of events currently scheduled.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: the model has no causality violations, so such a call is always a
+// protocol bug worth failing loudly on.
+func (s *Simulator) At(t float64, fn Handler) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("sim: scheduling at non-finite time %v", t))
+	}
+	heap.Push(&s.queue, event{at: t, seq: s.seq, fn: fn})
+	s.seq++
+}
+
+// After schedules fn to run d >= 0 time after the current virtual time.
+func (s *Simulator) After(d float64, fn Handler) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	s.At(s.now+d, fn)
+}
+
+// Step executes the single earliest pending event. It reports whether an
+// event was executed (false when the queue is empty or the simulator has
+// been stopped).
+func (s *Simulator) Step() bool {
+	if s.stopped || len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(event)
+	s.now = e.at
+	s.processed++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with scheduled time <= t and then advances the
+// clock to exactly t. It reports whether the simulator is still live (not
+// stopped).
+func (s *Simulator) RunUntil(t float64) bool {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", t, s.now))
+	}
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].at <= t {
+		s.Step()
+	}
+	if !s.stopped && s.now < t {
+		s.now = t
+	}
+	return !s.stopped
+}
+
+// Stop halts the simulation: no further events run. Pending events remain
+// queued so diagnostics can inspect them; Resume is intentionally absent —
+// a stopped run is finished.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (s *Simulator) Stopped() bool { return s.stopped }

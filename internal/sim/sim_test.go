@@ -1,0 +1,338 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"plurality/internal/xrand"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(3, func() { got = append(got, 3) })
+	s.At(1, func() { got = append(got, 1) })
+	s.At(2, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("equal-time events reordered: %v", got)
+		}
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	s := New()
+	var at1, at2 float64
+	s.At(1.5, func() { at1 = s.Now() })
+	s.At(4.25, func() { at2 = s.Now() })
+	s.Run()
+	if at1 != 1.5 || at2 != 4.25 {
+		t.Fatalf("Now() inside handlers: %v, %v", at1, at2)
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	s := New()
+	var inner float64
+	s.At(2, func() {
+		s.After(3, func() { inner = s.Now() })
+	})
+	s.Run()
+	if inner != 5 {
+		t.Fatalf("After scheduled at %v, want 5", inner)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(5, func() {})
+	})
+	s.Run()
+}
+
+func TestNonFiniteTimePanics(t *testing.T) {
+	s := New()
+	for _, bad := range []float64{math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("scheduling at %v did not panic", bad)
+				}
+			}()
+			s.At(bad, func() {})
+		}()
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4, 5} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.RunUntil(3)
+	if len(fired) != 3 {
+		t.Fatalf("RunUntil(3) fired %d events, want 3", len(fired))
+	}
+	if s.Now() != 3 {
+		t.Fatalf("Now() = %v after RunUntil(3)", s.Now())
+	}
+	s.RunUntil(10)
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events total, want 5", len(fired))
+	}
+	if s.Now() != 10 {
+		t.Fatalf("Now() = %v after RunUntil(10)", s.Now())
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	s := New()
+	fired := false
+	s.At(3, func() { fired = true })
+	s.RunUntil(3)
+	if !fired {
+		t.Fatal("event exactly at the horizon did not fire")
+	}
+}
+
+func TestStopHaltsExecution(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(float64(i), func() {
+			count++
+			if count == 4 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 4 {
+		t.Fatalf("processed %d events after Stop, want 4", count)
+	}
+	if !s.Stopped() {
+		t.Fatal("Stopped() = false")
+	}
+	if s.Pending() != 6 {
+		t.Fatalf("Pending() = %d, want 6", s.Pending())
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	s := New()
+	for i := 0; i < 25; i++ {
+		s.At(float64(i), func() {})
+	}
+	s.Run()
+	if s.Processed() != 25 {
+		t.Fatalf("Processed() = %d, want 25", s.Processed())
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func(seed uint64) []float64 {
+		s := New()
+		r := xrand.New(seed)
+		var times []float64
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			if depth == 0 {
+				return
+			}
+			s.After(r.Exp(1), func() {
+				times = append(times, s.Now())
+				spawn(depth - 1)
+			})
+		}
+		for i := 0; i < 5; i++ {
+			spawn(20)
+		}
+		s.Run()
+		return times
+	}
+	a, b := run(77), run(77)
+	if len(a) != len(b) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHeapOrderProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		s := New()
+		var fired []float64
+		for _, v := range raw {
+			at := float64(v%100000) / 1000
+			s.At(at, func() { fired = append(fired, at) })
+		}
+		s.Run()
+		return sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockRate(t *testing.T) {
+	s := New()
+	r := xrand.New(7)
+	c := NewClock(s, r, 2.0, func() {})
+	c.Start()
+	s.RunUntil(5000)
+	c.Stop()
+	// Expect ~rate*horizon ticks; Poisson sd is sqrt(mean).
+	mean := 2.0 * 5000
+	got := float64(c.Ticks())
+	if math.Abs(got-mean) > 6*math.Sqrt(mean) {
+		t.Fatalf("clock ticked %v times over horizon, want ~%v", got, mean)
+	}
+}
+
+func TestClockInterTickExponential(t *testing.T) {
+	s := New()
+	r := xrand.New(8)
+	var times []float64
+	c := NewClock(s, r, 1.0, func() { times = append(times, s.Now()) })
+	c.Start()
+	s.RunUntil(20000)
+	c.Stop()
+	// Kolmogorov-style check on gaps: fraction below ln 2 should be ~1/2.
+	below := 0
+	for i := 1; i < len(times); i++ {
+		if times[i]-times[i-1] < math.Ln2 {
+			below++
+		}
+	}
+	frac := float64(below) / float64(len(times)-1)
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("fraction of gaps below median %v, want ~0.5", frac)
+	}
+}
+
+func TestClockStopInsideCallback(t *testing.T) {
+	s := New()
+	r := xrand.New(9)
+	count := 0
+	var c *Clock
+	c = NewClock(s, r, 1.0, func() {
+		count++
+		if count == 3 {
+			c.Stop()
+		}
+	})
+	c.Start()
+	s.Run()
+	if count != 3 {
+		t.Fatalf("clock fired %d times after Stop, want 3", count)
+	}
+}
+
+func TestClockDoubleStartPanics(t *testing.T) {
+	s := New()
+	c := NewClock(s, xrand.New(1), 1, func() {})
+	c.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Start did not panic")
+		}
+	}()
+	c.Start()
+}
+
+func TestLatencyMeans(t *testing.T) {
+	r := xrand.New(10)
+	cases := []struct {
+		l Latency
+	}{
+		{ExpLatency{Rate: 0.5}},
+		{ConstLatency{D: 3}},
+		{UniformLatency{Lo: 1, Hi: 5}},
+		{ErlangLatency{K: 4, Rate: 2}},
+	}
+	for _, c := range cases {
+		const n = 100000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			v := c.l.Sample(r)
+			if v < 0 {
+				t.Fatalf("%s sampled negative %v", c.l.Name(), v)
+			}
+			sum += v
+		}
+		got := sum / n
+		want := c.l.Mean()
+		if math.Abs(got-want) > 0.03*want+0.001 {
+			t.Errorf("%s empirical mean %v, want %v", c.l.Name(), got, want)
+		}
+	}
+}
+
+func TestMaxOfSumOf(t *testing.T) {
+	r := xrand.New(11)
+	// E[max of 2 Exp(1)] = 1.5; E[sum of 3 Exp(1)] = 3.
+	const n = 200000
+	sumMax, sumSum := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		sumMax += MaxOf(r, ExpLatency{Rate: 1}, 2)
+		sumSum += SumOf(r, ExpLatency{Rate: 1}, 3)
+	}
+	if got := sumMax / n; math.Abs(got-1.5) > 0.02 {
+		t.Errorf("E[max of 2] = %v, want 1.5", got)
+	}
+	if got := sumSum / n; math.Abs(got-3) > 0.03 {
+		t.Errorf("E[sum of 3] = %v, want 3", got)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		r := xrand.New(uint64(i))
+		for j := 0; j < 1000; j++ {
+			s.After(r.Exp(1), func() {})
+		}
+		s.Run()
+	}
+}
+
+func BenchmarkClockTicks(b *testing.B) {
+	s := New()
+	r := xrand.New(1)
+	c := NewClock(s, r, 1, func() {})
+	c.Start()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunUntil(s.Now() + 1)
+	}
+}

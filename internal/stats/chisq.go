@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"plurality/internal/xrand"
+)
+
+// ChiSquareStatistic returns Pearson's χ² statistic for observed counts
+// against expected counts. Bins with expected < 1e-12 must have zero
+// observations or the statistic is +Inf by convention; callers should merge
+// sparse bins first (the usual ≥ 5 expected rule).
+func ChiSquareStatistic(observed []int, expected []float64) float64 {
+	if len(observed) != len(expected) {
+		panic(fmt.Sprintf("stats: ChiSquare with %d observed and %d expected bins",
+			len(observed), len(expected)))
+	}
+	if len(observed) == 0 {
+		panic("stats: ChiSquare with no bins")
+	}
+	stat := 0.0
+	for i, o := range observed {
+		e := expected[i]
+		if e < 1e-12 {
+			if o != 0 {
+				return inf()
+			}
+			continue
+		}
+		d := float64(o) - e
+		stat += d * d / e
+	}
+	return stat
+}
+
+// ChiSquarePValue returns P(X² >= stat) for df degrees of freedom, using
+// the regularized upper incomplete gamma function (X² ~ Gamma(df/2, 1/2)).
+func ChiSquarePValue(stat float64, df int) float64 {
+	if df <= 0 {
+		panic(fmt.Sprintf("stats: ChiSquarePValue with df=%d", df))
+	}
+	if stat <= 0 {
+		return 1
+	}
+	return 1 - xrand.GammaCDF(float64(df)/2, 0.5, stat)
+}
+
+// ChiSquareTest reports whether observed counts are consistent with the
+// expected counts at the given significance level (true = not rejected).
+// Degrees of freedom are bins−1.
+func ChiSquareTest(observed []int, expected []float64, significance float64) bool {
+	stat := ChiSquareStatistic(observed, expected)
+	df := len(observed) - 1
+	if df < 1 {
+		df = 1
+	}
+	return ChiSquarePValue(stat, df) > significance
+}
+
+func inf() float64 {
+	return math.Inf(1)
+}

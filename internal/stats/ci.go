@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"plurality/internal/xrand"
+)
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether x lies inside the interval.
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
+
+// String renders the interval for tables.
+func (iv Interval) String() string { return fmt.Sprintf("[%.4g, %.4g]", iv.Lo, iv.Hi) }
+
+// MeanCI returns the two-sided confidence interval for the mean at the given
+// confidence level (e.g. 0.95), using the Student-t critical value for small
+// samples and the normal critical value asymptotically. It panics on an
+// empty summary or a level outside (0, 1).
+func MeanCI(s *Summary, level float64) Interval {
+	if s.N() == 0 {
+		panic("stats: MeanCI of empty summary")
+	}
+	if level <= 0 || level >= 1 {
+		panic(fmt.Sprintf("stats: MeanCI with level=%v", level))
+	}
+	if s.N() == 1 {
+		return Interval{Lo: s.Mean(), Hi: s.Mean()}
+	}
+	crit := tCritical(s.N()-1, level)
+	half := crit * s.SE()
+	return Interval{Lo: s.Mean() - half, Hi: s.Mean() + half}
+}
+
+// ProportionCI returns the Wilson score interval for a binomial proportion
+// with successes out of trials at the given confidence level. It is the
+// interval the experiments attach to every "whp." success rate, where
+// success counts near trials make the normal approximation useless.
+func ProportionCI(successes, trials int, level float64) Interval {
+	if trials <= 0 {
+		panic(fmt.Sprintf("stats: ProportionCI with trials=%d", trials))
+	}
+	if successes < 0 || successes > trials {
+		panic(fmt.Sprintf("stats: ProportionCI with successes=%d trials=%d", successes, trials))
+	}
+	z := xrand.NormalQuantile(1 - (1-level)/2)
+	n := float64(trials)
+	p := float64(successes) / n
+	denom := 1 + z*z/n
+	center := (p + z*z/(2*n)) / denom
+	half := z * math.Sqrt(p*(1-p)/n+z*z/(4*n*n)) / denom
+	lo := center - half
+	hi := center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// tCritical returns the two-sided Student-t critical value for df degrees of
+// freedom at the given confidence level. Values for common levels are
+// tabulated for small df; beyond the table the normal quantile is an
+// excellent approximation.
+func tCritical(df int, level float64) float64 {
+	z := xrand.NormalQuantile(1 - (1-level)/2)
+	if df >= 30 {
+		return z
+	}
+	// Two-sided 95% and 99% critical values, df = 1..29.
+	t95 := [...]float64{12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+		2.306, 2.262, 2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+		2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060,
+		2.056, 2.052, 2.048, 2.045}
+	t99 := [...]float64{63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499,
+		3.355, 3.250, 3.169, 3.106, 3.055, 3.012, 2.977, 2.947, 2.921,
+		2.898, 2.878, 2.861, 2.845, 2.831, 2.819, 2.807, 2.797, 2.787,
+		2.779, 2.771, 2.763, 2.756}
+	switch {
+	case math.Abs(level-0.95) < 1e-9:
+		return t95[df-1]
+	case math.Abs(level-0.99) < 1e-9:
+		return t99[df-1]
+	default:
+		// Hill's approximation: inflate the normal quantile.
+		g := (z*z*z + z) / (4 * float64(df))
+		return z + g
+	}
+}

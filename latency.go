@@ -1,0 +1,49 @@
+package plurality
+
+import (
+	"fmt"
+
+	"plurality/internal/sim"
+)
+
+// LatencySpec describes the channel-establishment latency distribution T2 of
+// the asynchronous model without exposing simulator internals. The zero
+// value means "the paper's default": exponential with mean 1.
+type LatencySpec struct {
+	// Kind selects the distribution: "exp" (default), "const", "uniform"
+	// or "erlang". The non-exponential kinds exercise the positive-aging
+	// generalization of the PODC version of the paper.
+	Kind string
+	// Mean is the expected latency (> 0); default 1. For "uniform" the
+	// support is [0, 2·Mean); for "erlang" the rate is Shape/Mean.
+	Mean float64
+	// Shape is the Erlang stage count (>= 1); only used by "erlang".
+	Shape int
+}
+
+// build converts the spec into the simulator's latency type.
+func (l LatencySpec) build() (sim.Latency, error) {
+	mean := l.Mean
+	if mean == 0 {
+		mean = 1
+	}
+	if mean < 0 {
+		return nil, fmt.Errorf("plurality: latency mean %v must be positive", mean)
+	}
+	switch l.Kind {
+	case "", "exp":
+		return sim.ExpLatency{Rate: 1 / mean}, nil
+	case "const":
+		return sim.ConstLatency{D: mean}, nil
+	case "uniform":
+		return sim.UniformLatency{Lo: 0, Hi: 2 * mean}, nil
+	case "erlang":
+		shape := l.Shape
+		if shape <= 0 {
+			shape = 2
+		}
+		return sim.ErlangLatency{K: shape, Rate: float64(shape) / mean}, nil
+	default:
+		return nil, fmt.Errorf("plurality: unknown latency kind %q", l.Kind)
+	}
+}

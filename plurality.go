@@ -1,0 +1,225 @@
+package plurality
+
+import (
+	"math"
+
+	"plurality/internal/baseline"
+	"plurality/internal/core/leader"
+	"plurality/internal/core/noleader"
+	"plurality/internal/core/syncgen"
+	"plurality/internal/xrand"
+)
+
+// SyncConfig parametrizes the synchronous protocol (Algorithm 1).
+type SyncConfig struct {
+	// N is the number of nodes (>= 2) and K the number of opinions (>= 1).
+	N, K int
+	// Alpha is the planted initial bias used when Assignment is nil.
+	Alpha float64
+	// Assignment optionally fixes the initial opinions, values in [0, K).
+	Assignment []int
+	// Gamma is the generation-density threshold γ; default 0.5.
+	Gamma float64
+	// TheoreticalSchedule selects the paper's predefined two-choices times
+	// {t_i} instead of the adaptive density trigger.
+	TheoreticalSchedule bool
+	// MaxSteps bounds the run; 0 means an automatic generous horizon.
+	MaxSteps int
+	// Seed drives all randomness.
+	Seed uint64
+	// Eps defines ε-convergence reporting; 0 means 1/log² n.
+	Eps float64
+	// RecordEvery sets the snapshot interval in rounds; 0 means 1.
+	RecordEvery int
+}
+
+// RunSynchronous executes the synchronous generation protocol.
+func RunSynchronous(cfg SyncConfig) (*Result, error) {
+	assign, err := toInternalAssignment(cfg.Assignment, cfg.N, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	sched := syncgen.ScheduleAdaptive
+	if cfg.TheoreticalSchedule {
+		sched = syncgen.ScheduleTheoretical
+	}
+	res, err := syncgen.Run(syncgen.Config{
+		N: cfg.N, K: cfg.K, Alpha: cfg.Alpha, Assignment: assign,
+		Gamma: cfg.Gamma, Schedule: sched, MaxSteps: cfg.MaxSteps,
+		Seed: cfg.Seed, Eps: cfg.Eps, RecordEvery: cfg.RecordEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	extra := map[string]float64{
+		"generations":       float64(len(res.Generations)),
+		"two_choices_steps": float64(len(res.TwoChoicesSteps)),
+	}
+	return convertResult(res.Outcome, res.Trajectory, res.FinalCounts,
+		float64(res.Steps), !res.Outcome.FullConsensus, extra), nil
+}
+
+// AsyncConfig parametrizes the asynchronous protocols (single-leader and
+// decentralized).
+type AsyncConfig struct {
+	// N is the number of nodes and K the number of opinions.
+	N, K int
+	// Alpha is the planted initial bias used when Assignment is nil.
+	Alpha float64
+	// Assignment optionally fixes the initial opinions, values in [0, K).
+	Assignment []int
+	// Latency describes the channel-establishment distribution T2.
+	Latency LatencySpec
+	// MaxTime bounds the run in virtual time steps; 0 means automatic.
+	MaxTime float64
+	// Seed drives all randomness.
+	Seed uint64
+	// Eps defines ε-convergence reporting; 0 means 1/log² n.
+	Eps float64
+	// RecordEvery sets the snapshot interval in time steps; 0 means one
+	// snapshot per time unit.
+	RecordEvery float64
+	// ClusterTargetSize overrides the decentralized protocol's cluster
+	// size knob (ignored by RunSingleLeader); 0 means automatic.
+	ClusterTargetSize int
+}
+
+// RunSingleLeader executes the asynchronous protocol with a designated
+// leader (Algorithms 2 and 3).
+func RunSingleLeader(cfg AsyncConfig) (*Result, error) {
+	assign, err := toInternalAssignment(cfg.Assignment, cfg.N, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	lat, err := cfg.Latency.build()
+	if err != nil {
+		return nil, err
+	}
+	res, err := leader.Run(leader.Config{
+		N: cfg.N, K: cfg.K, Alpha: cfg.Alpha, Assignment: assign,
+		Latency: lat, MaxTime: cfg.MaxTime, Seed: cfg.Seed,
+		Eps: cfg.Eps, RecordEvery: cfg.RecordEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	extra := map[string]float64{
+		"c1":     res.C1,
+		"events": float64(res.Events),
+		"gstar":  float64(res.GStar),
+		"phases": float64(len(res.PhaseLog)),
+	}
+	return convertResult(res.Outcome, res.Trajectory, res.FinalCounts,
+		res.EndTime, res.TimedOut, extra), nil
+}
+
+// RunDecentralized executes the fully decentralized protocol: clustering
+// (§4.1), then consensus coordinated by the cluster leaders (Algorithms 4
+// and 5). The reported times cover the consensus phase; the clustering time
+// is in Stats["clustering_time"].
+func RunDecentralized(cfg AsyncConfig) (*Result, error) {
+	assign, err := toInternalAssignment(cfg.Assignment, cfg.N, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	lat, err := cfg.Latency.build()
+	if err != nil {
+		return nil, err
+	}
+	c := noleader.Config{
+		N: cfg.N, K: cfg.K, Alpha: cfg.Alpha, Assignment: assign,
+		Latency: lat, MaxTime: cfg.MaxTime, Seed: cfg.Seed,
+		Eps: cfg.Eps, RecordEvery: cfg.RecordEvery,
+	}
+	c.Cluster.TargetSize = cfg.ClusterTargetSize
+	res, err := noleader.Run(c)
+	if err != nil {
+		return nil, err
+	}
+	extra := map[string]float64{
+		"c1":                 res.C1,
+		"events":             float64(res.Events),
+		"gstar":              float64(res.GStar),
+		"clustering_time":    res.ClusteringTime,
+		"participating_frac": res.Clustering.ParticipatingFrac(),
+		"leaders":            float64(len(res.Clustering.ParticipatingLeaders())),
+	}
+	return convertResult(res.Outcome, res.Trajectory, res.FinalCounts,
+		res.EndTime, res.TimedOut, extra), nil
+}
+
+// BaselineConfig parametrizes a baseline dynamics run.
+type BaselineConfig struct {
+	// N, K, Alpha, Assignment, Seed, Eps as in SyncConfig.
+	N, K       int
+	Alpha      float64
+	Assignment []int
+	Seed       uint64
+	Eps        float64
+	// MaxRounds bounds the run; 0 means automatic.
+	MaxRounds int
+	// Sequential uses the population-protocol scheduler (one interaction
+	// at a time, time in parallel rounds) instead of synchronous rounds.
+	Sequential bool
+	// RecordEvery sets the snapshot interval in rounds; 0 means 1.
+	RecordEvery int
+}
+
+// Baselines lists the available baseline rules: "pull-voting",
+// "two-choices", "3-majority", "undecided-state".
+func Baselines() []string { return baseline.RuleNames() }
+
+// RunBaseline executes one of the classical dynamics from the paper's
+// related-work section under the given configuration.
+func RunBaseline(rule string, cfg BaselineConfig) (*Result, error) {
+	assign, err := toInternalAssignment(cfg.Assignment, cfg.N, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	r, err := baseline.NewRule(rule, xrand.New(cfg.Seed).SplitNamed("rule"))
+	if err != nil {
+		return nil, err
+	}
+	bcfg := baseline.Config{
+		N: cfg.N, K: cfg.K, Alpha: cfg.Alpha, Assignment: assign,
+		MaxRounds: cfg.MaxRounds, Seed: cfg.Seed, Eps: cfg.Eps,
+		RecordEvery: cfg.RecordEvery,
+	}
+	var res *baseline.Result
+	if cfg.Sequential {
+		res, err = baseline.RunSequential(r, bcfg)
+	} else {
+		res, err = baseline.RunSync(r, bcfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	extra := map[string]float64{"rounds": float64(res.Rounds)}
+	return convertResult(res.Outcome, res.Trajectory, res.FinalCounts,
+		float64(res.Rounds), !res.Outcome.FullConsensus, extra), nil
+}
+
+// MinTheoremBias returns the smallest initial bias Theorem 1 admits for n
+// nodes and k opinions: 1 + (k·log₂ n/√n)·log₂ k.
+func MinTheoremBias(n, k int) float64 {
+	if n < 2 || k < 2 {
+		return 1
+	}
+	return minBias(n, k)
+}
+
+func minBias(n, k int) float64 {
+	return 1 + float64(k)*math.Log2(float64(n))/math.Sqrt(float64(n))*math.Log2(float64(k))
+}
+
+// EstimateTimeUnit returns the paper's C1 — the number of time steps per
+// time unit, F⁻¹(0.9) of the waiting time T3 — for the given latency spec,
+// estimated deterministically from seed. Useful for interpreting the
+// asynchronous Result times in time units.
+func EstimateTimeUnit(spec LatencySpec, seed uint64) (float64, error) {
+	lat, err := spec.build()
+	if err != nil {
+		return 0, err
+	}
+	return leader.EstimateC1(lat, seed), nil
+}
