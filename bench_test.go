@@ -8,9 +8,11 @@ package plurality
 // way to run them at full size.
 
 import (
+	"context"
 	"testing"
 
 	"plurality/internal/experiments"
+	"plurality/internal/metrics"
 )
 
 func benchExperiment(b *testing.B, name string) {
@@ -121,6 +123,88 @@ func BenchmarkProtocolThreeMajority(b *testing.B) {
 			N: 10000, K: 8, Alpha: 2, Seed: uint64(i), RecordEvery: 8,
 		}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- streaming vs. accumulating trajectory recording ---
+
+// benchTrajectorySpec is the n=100k instance used to pin the memory/alloc
+// win of the streaming-observer path over trajectory accumulation: the
+// asynchronous single-leader protocol with a fine recording resolution
+// (one snapshot per 0.002 virtual time steps over a bounded horizon), the
+// regime where Result.Trajectory costs O(steps) memory.
+func benchTrajectorySpec() Spec {
+	return Spec{
+		N: 100_000, K: 8, Alpha: 1.5, Seed: 1,
+		MaxTime: 4, RecordEvery: 0.002,
+	}
+}
+
+// BenchmarkTrajectoryAccumulating runs the instance with the default
+// accumulating Result.Trajectory.
+func BenchmarkTrajectoryAccumulating(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(context.Background(), "leader", benchTrajectorySpec())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Trajectory) < 1000 {
+			b.Fatalf("only %d trajectory points accumulated", len(res.Trajectory))
+		}
+	}
+}
+
+// BenchmarkTrajectoryStreaming runs the identical instance with
+// DiscardTrajectory and a streaming Observer: the outcome is evaluated
+// incrementally and recording memory stays O(1) regardless of resolution.
+func BenchmarkTrajectoryStreaming(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		points := 0
+		spec := benchTrajectorySpec()
+		spec.DiscardTrajectory = true
+		spec.Observer = ObserverFunc(func(TrajectoryPoint) { points++ })
+		res, err := Run(context.Background(), "leader", spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if points < 1000 || len(res.Trajectory) != 0 {
+			b.Fatalf("streaming run recorded %d points, trajectory %d", points, len(res.Trajectory))
+		}
+	}
+}
+
+// BenchmarkRecorderAccumulating100k isolates the recording path itself:
+// 100k snapshots through the accumulating recorder. Compare with the
+// streaming variant below — the delta is exactly the O(steps) trajectory
+// memory the Observer path avoids.
+func BenchmarkRecorderAccumulating100k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec := metrics.NewRecorder(0.01, false, nil)
+		for t := 0; t < 100_000; t++ {
+			rec.Append(metrics.Point{Time: float64(t), TopFrac: 0.5, PluralityFrac: 0.5})
+		}
+		if len(rec.Trajectory()) != 100_000 {
+			b.Fatal("trajectory not accumulated")
+		}
+	}
+}
+
+// BenchmarkRecorderStreaming100k drives the same 100k snapshots through a
+// discarding recorder with a streaming sink: O(1) memory, near-zero allocs.
+func BenchmarkRecorderStreaming100k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		seen := 0
+		rec := metrics.NewRecorder(0.01, true, func(metrics.Point) { seen++ })
+		for t := 0; t < 100_000; t++ {
+			rec.Append(metrics.Point{Time: float64(t), TopFrac: 0.5, PluralityFrac: 0.5})
+		}
+		if seen != 100_000 || rec.Trajectory() != nil {
+			b.Fatal("streaming recorder misbehaved")
 		}
 	}
 }

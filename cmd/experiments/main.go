@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"plurality/internal/experiments"
@@ -56,8 +59,15 @@ func main() {
 		}
 	}
 
-	opts := experiments.Opts{Reps: *reps, Quick: *quick, Seed: *seed}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := experiments.Opts{Reps: *reps, Quick: *quick, Seed: *seed, Ctx: ctx}
 	for _, s := range specs {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted; last table is partial")
+			os.Exit(1)
+		}
 		start := time.Now()
 		table := s.Run(opts)
 		fmt.Printf("%s [%s: %s] (%.1fs)\n", table.Render(), s.ID, s.Paper,
@@ -74,5 +84,9 @@ func main() {
 			}
 			fmt.Printf("  wrote %s\n\n", path)
 		}
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "experiments: interrupted; last table is partial")
+		os.Exit(1)
 	}
 }

@@ -1,28 +1,35 @@
 // Command plurality runs a single plurality-consensus instance and prints
-// its trajectory and outcome.
+// its trajectory and outcome. Every protocol in the registry is available
+// by name; Ctrl-C cancels a running instance cleanly.
 //
 // Usage:
 //
+//	plurality -list
 //	plurality -protocol sync -n 100000 -k 8 -alpha 1.5 -seed 1
 //	plurality -protocol leader -n 5000 -k 4 -alpha 2 -latency-mean 2
 //	plurality -protocol decentralized -n 5000 -k 4 -alpha 2
-//	plurality -protocol 3-majority -n 10000 -k 8 -alpha 2
+//	plurality -protocol 3-majority -n 10000 -k 8 -alpha 2 -sequential
+//	plurality -protocol sync -n 1000000 -k 8 -alpha 1.5 -stream
 //
-// Protocols: sync, leader, decentralized, and every baseline listed by
-// plurality.Baselines().
+// Protocols: everything listed by plurality.Protocols() — sync, leader,
+// decentralized, and the four baseline dynamics.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"plurality"
 )
 
 func main() {
 	var (
-		protocol    = flag.String("protocol", "sync", "sync | leader | decentralized | pull-voting | two-choices | 3-majority | undecided-state")
+		protocol    = flag.String("protocol", "sync", "protocol name; see -list")
+		list        = flag.Bool("list", false, "list registered protocols and exit")
 		n           = flag.Int("n", 10000, "number of nodes")
 		k           = flag.Int("k", 4, "number of opinions")
 		alpha       = flag.Float64("alpha", 2, "initial multiplicative bias")
@@ -32,29 +39,66 @@ func main() {
 		latencyKind = flag.String("latency", "exp", "latency kind: exp | const | uniform | erlang")
 		latencyMean = flag.Float64("latency-mean", 1, "mean channel latency")
 		maxTime     = flag.Float64("max-time", 0, "abort horizon (async protocols)")
+		sequential  = flag.Bool("sequential", false, "population-protocol scheduler (baselines)")
 		trajectory  = flag.Bool("trajectory", false, "print the full trajectory")
+		stream      = flag.Bool("stream", false, "stream snapshots as they happen without accumulating them")
 		quiet       = flag.Bool("q", false, "print only the outcome line")
 	)
 	flag.Parse()
 
-	res, err := run(*protocol, *n, *k, *alpha, *seed, *gamma, *theoretical,
-		*latencyKind, *latencyMean, *maxTime)
+	if *list {
+		for _, name := range plurality.Protocols() {
+			info, err := plurality.Info(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			unit := "rounds"
+			if info.Async {
+				unit = "virtual time"
+			}
+			fmt.Printf("%-16s %-12s %-12s %s\n", info.Name, info.Family, unit, info.Description)
+		}
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	spec := plurality.Spec{
+		N: *n, K: *k, Alpha: *alpha, Seed: *seed, MaxTime: *maxTime,
+		Latency:  plurality.LatencySpec{Kind: *latencyKind, Mean: *latencyMean},
+		Sync:     plurality.SyncOptions{Gamma: *gamma, TheoreticalSchedule: *theoretical},
+		Baseline: plurality.BaselineOptions{Sequential: *sequential},
+	}
+	if *stream {
+		spec.DiscardTrajectory = true
+		spec.Observer = plurality.ObserverFunc(func(p plurality.TrajectoryPoint) {
+			fmt.Printf("%10.2f  %8.4f  %8.4f  %10.3g  %6d\n",
+				p.Time, p.TopFrac, p.PluralityFrac, p.Bias, p.MaxGen)
+		})
+		fmt.Printf("%10s  %8s  %8s  %10s  %6s\n", "time", "top", "plural", "bias", "gen")
+	}
+
+	res, err := plurality.Run(ctx, *protocol, spec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "plurality:", err)
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
 	if !*quiet {
 		fmt.Printf("protocol=%s n=%d k=%d alpha=%g seed=%d\n",
 			*protocol, *n, *k, *alpha, *seed)
-		if *trajectory {
+		if *trajectory && !*stream {
 			fmt.Printf("%10s  %8s  %8s  %10s  %6s\n", "time", "top", "plural", "bias", "gen")
 			for _, p := range res.Trajectory {
 				fmt.Printf("%10.2f  %8.4f  %8.4f  %10.3g  %6d\n",
 					p.Time, p.TopFrac, p.PluralityFrac, p.Bias, p.MaxGen)
 			}
 		}
-		fmt.Printf("plurality frac  %s\n", sparkline(res, 60))
+		if line := sparkline(res, 60); line != "" {
+			fmt.Printf("plurality frac  %s\n", line)
+		}
 		for key, v := range res.Stats {
 			fmt.Printf("stat %-20s %g\n", key, v)
 		}
@@ -94,29 +138,4 @@ func sparkline(res *plurality.Result, width int) string {
 		out[i] = levels[idx]
 	}
 	return string(out)
-}
-
-func run(protocol string, n, k int, alpha float64, seed uint64, gamma float64,
-	theoretical bool, latKind string, latMean, maxTime float64) (*plurality.Result, error) {
-	switch protocol {
-	case "sync":
-		return plurality.RunSynchronous(plurality.SyncConfig{
-			N: n, K: k, Alpha: alpha, Seed: seed, Gamma: gamma,
-			TheoreticalSchedule: theoretical,
-		})
-	case "leader":
-		return plurality.RunSingleLeader(plurality.AsyncConfig{
-			N: n, K: k, Alpha: alpha, Seed: seed, MaxTime: maxTime,
-			Latency: plurality.LatencySpec{Kind: latKind, Mean: latMean},
-		})
-	case "decentralized":
-		return plurality.RunDecentralized(plurality.AsyncConfig{
-			N: n, K: k, Alpha: alpha, Seed: seed, MaxTime: maxTime,
-			Latency: plurality.LatencySpec{Kind: latKind, Mean: latMean},
-		})
-	default:
-		return plurality.RunBaseline(protocol, plurality.BaselineConfig{
-			N: n, K: k, Alpha: alpha, Seed: seed,
-		})
-	}
 }

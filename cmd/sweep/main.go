@@ -1,27 +1,31 @@
 // Command sweep runs one protocol across a factor grid and prints a table —
 // the generic workhorse behind ad-hoc scaling questions ("how does the
 // decentralized protocol's ε-convergence time move with k at n=50000?").
+// It is a thin shell over plurality.Sweep; Ctrl-C cancels the grid cleanly.
 //
 // Usage:
 //
 //	sweep -protocol sync -n 1000,10000,100000 -k 8 -alpha 2 -reps 5
-//	sweep -protocol leader -n 2000 -k 2,4,8,16 -alpha 1.5 -metric eps_time
+//	sweep -protocol leader -n 2000 -k 2,4,8,16 -alpha 1.5
+//	sweep -protocol 3-majority -n 10000 -k 4 -alpha 2 -csv
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"plurality"
-	"plurality/internal/harness"
 )
 
 func main() {
 	var (
-		protocol = flag.String("protocol", "sync", "sync | leader | decentralized | baseline name")
+		protocol = flag.String("protocol", "sync", "protocol name; any entry of plurality.Protocols()")
 		ns       = flag.String("n", "10000", "comma-separated node counts")
 		ks       = flag.String("k", "4", "comma-separated opinion counts")
 		alphas   = flag.String("alpha", "2", "comma-separated initial biases")
@@ -39,67 +43,25 @@ func main() {
 	aList, err := parseFloats(*alphas)
 	ok(err)
 
-	table := harness.NewTable(
-		fmt.Sprintf("sweep: %s", *protocol),
-		[]string{"n", "k", "alpha"},
-		[]string{"duration", "eps_time", "consensus_time", "plurality_won"},
-	)
-	for _, n := range nList {
-		for _, k := range kList {
-			for _, a := range aList {
-				n, k, a := n, k, a
-				agg := harness.Replicate(*reps, func(rep uint64) harness.Metrics {
-					res, err := runOne(*protocol, n, k, a, *seed+rep*1e6+1, *latMean)
-					if err != nil {
-						fmt.Fprintln(os.Stderr, "sweep:", err)
-						os.Exit(1)
-					}
-					m := harness.Metrics{
-						"duration": res.Duration,
-						"plurality_won": b2f(res.PluralityWon &&
-							res.FullConsensus),
-					}
-					if res.EpsReached {
-						m["eps_time"] = res.EpsTime
-					}
-					if res.FullConsensus {
-						m["consensus_time"] = res.ConsensusTime
-					}
-					return m
-				})
-				table.Append(map[string]float64{
-					"n": float64(n), "k": float64(k), "alpha": a,
-				}, agg)
-			}
-		}
-	}
-	if *csvOut {
-		fmt.Print(table.CSV())
-	} else {
-		fmt.Print(table.Render())
-	}
-}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
-func runOne(protocol string, n, k int, alpha float64, seed uint64, latMean float64) (*plurality.Result, error) {
-	switch protocol {
-	case "sync":
-		return plurality.RunSynchronous(plurality.SyncConfig{
-			N: n, K: k, Alpha: alpha, Seed: seed,
-		})
-	case "leader":
-		return plurality.RunSingleLeader(plurality.AsyncConfig{
-			N: n, K: k, Alpha: alpha, Seed: seed,
-			Latency: plurality.LatencySpec{Mean: latMean},
-		})
-	case "decentralized":
-		return plurality.RunDecentralized(plurality.AsyncConfig{
-			N: n, K: k, Alpha: alpha, Seed: seed,
-			Latency: plurality.LatencySpec{Mean: latMean},
-		})
-	default:
-		return plurality.RunBaseline(protocol, plurality.BaselineConfig{
-			N: n, K: k, Alpha: alpha, Seed: seed,
-		})
+	res, err := plurality.Sweep(ctx, plurality.SweepConfig{
+		Protocol: *protocol,
+		Base: plurality.Spec{
+			Seed:    *seed,
+			Latency: plurality.LatencySpec{Mean: *latMean},
+		},
+		Ns:     nList,
+		Ks:     kList,
+		Alphas: aList,
+		Reps:   *reps,
+	})
+	ok(err)
+	if *csvOut {
+		fmt.Print(res.CSV())
+	} else {
+		fmt.Print(res.Render())
 	}
 }
 
@@ -127,13 +89,6 @@ func parseFloats(s string) ([]float64, error) {
 		out = append(out, v)
 	}
 	return out, nil
-}
-
-func b2f(b bool) float64 {
-	if b {
-		return 1
-	}
-	return 0
 }
 
 func ok(err error) {

@@ -11,19 +11,34 @@
 // (Algorithms 4–5) — plus the classical baselines they are compared against
 // (pull voting, two-choices, 3-majority, undecided-state dynamics).
 //
-// Asynchronous protocols run on a deterministic discrete-event simulation of
-// the paper's communication model: a rate-1 Poisson clock per node and a
-// random latency per opened channel (exponential with rate λ in the paper,
-// generalizable here to constant, uniform or Erlang "positively aging"
-// latencies). Every run is reproducible from its Seed.
+// Every protocol lives behind a single registry keyed by name: Protocols()
+// lists the available names and Run executes one of them under a unified
+// Spec:
 //
-// Quick start:
-//
-//	res, err := plurality.RunSynchronous(plurality.SyncConfig{
+//	res, err := plurality.Run(ctx, "sync", plurality.Spec{
 //		N: 100_000, K: 8, Alpha: 1.5, Seed: 1,
 //	})
 //	if err != nil { ... }
 //	fmt.Println(res.Winner, res.ConsensusTime)
+//
+// Run honours context cancellation and deadlines promptly, so callers can
+// bound a stochastic run by wall-clock time. Spec.Observer streams
+// trajectory snapshots as they are recorded, and Spec.DiscardTrajectory
+// keeps recording memory O(1) — the combination that makes million-node
+// runs affordable. Additional protocols (new dynamics, new schedulers) can
+// be added with Register and are then served by Run, the CLIs and the sweep
+// layer without further wiring.
+//
+// For batches, RunMany replicates one spec across seeds in parallel and
+// Sweep runs a protocol over an (n, k, α) factor grid with aggregated
+// metrics, renderable as a table or CSV.
+//
+// Asynchronous protocols run on a deterministic discrete-event simulation of
+// the paper's communication model: a rate-1 Poisson clock per node and a
+// random latency per opened channel (exponential with rate λ in the paper,
+// generalizable here to constant, uniform or Erlang "positively aging"
+// latencies). Every run is reproducible from its Seed: the same (protocol,
+// Spec) pair yields an identical Result.
 //
 // See the examples/ directory for complete programs and cmd/experiments for
 // the harness that regenerates the paper's figures and claims.

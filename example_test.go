@@ -1,15 +1,16 @@
 package plurality_test
 
 import (
+	"context"
 	"fmt"
 
 	"plurality"
 )
 
-// The synchronous protocol on a comfortable instance: 10k nodes, 4 opinions,
-// bias 2. Deterministic in the seed, so the output is stable.
-func ExampleRunSynchronous() {
-	res, err := plurality.RunSynchronous(plurality.SyncConfig{
+// The registry entry point on a comfortable instance: 10k nodes, 4
+// opinions, bias 2. Deterministic in the seed, so the output is stable.
+func ExampleRun() {
+	res, err := plurality.Run(context.Background(), "sync", plurality.Spec{
 		N: 10_000, K: 4, Alpha: 2, Seed: 1,
 	})
 	if err != nil {
@@ -23,6 +24,45 @@ func ExampleRunSynchronous() {
 	// winner: 0
 	// plurality won: true
 	// full consensus: true
+}
+
+// Every protocol — the paper's three algorithms and the four classical
+// baselines — is served by the same Run call.
+func ExampleProtocols() {
+	for _, name := range plurality.Protocols()[:7] {
+		fmt.Println(name)
+	}
+	// Output:
+	// sync
+	// leader
+	// decentralized
+	// pull-voting
+	// two-choices
+	// 3-majority
+	// undecided-state
+}
+
+// Streaming a run: the Observer sees every snapshot as it is recorded, and
+// DiscardTrajectory keeps the run's recording memory O(1) — the pattern for
+// million-node runs.
+func ExampleObserverFunc() {
+	points := 0
+	res, err := plurality.Run(context.Background(), "sync", plurality.Spec{
+		N: 10_000, K: 4, Alpha: 2, Seed: 1,
+		DiscardTrajectory: true,
+		Observer: plurality.ObserverFunc(func(p plurality.TrajectoryPoint) {
+			points++
+		}),
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("streamed snapshots:", points > 0)
+	fmt.Println("accumulated points:", len(res.Trajectory))
+	// Output:
+	// streamed snapshots: true
+	// accumulated points: 0
 }
 
 // Building a skewed assignment and inspecting its bias before running.
@@ -49,4 +89,26 @@ func ExampleEstimateTimeUnit() {
 	fmt.Println("plausible:", unit > 8 && unit < 12)
 	// Output:
 	// plausible: true
+}
+
+// A small factor-grid sweep with seeded replications, rendered as CSV.
+func ExampleSweep() {
+	res, err := plurality.Sweep(context.Background(), plurality.SweepConfig{
+		Protocol: "sync",
+		Base:     plurality.Spec{Seed: 1},
+		Ns:       []int{1000},
+		Ks:       []int{2, 4},
+		Alphas:   []float64{3},
+		Reps:     2,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, cell := range res.Cells {
+		fmt.Printf("n=%d k=%d won=%.0f\n", cell.N, cell.K, cell.Metrics["plurality_won"].Mean)
+	}
+	// Output:
+	// n=1000 k=2 won=1
+	// n=1000 k=4 won=1
 }

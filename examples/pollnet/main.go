@@ -4,12 +4,15 @@
 // drawn from a skewed Zipf law; no coordinator exists. The peers first
 // organize themselves into clusters with emergent leaders (§4.1), then run
 // the decentralized generation protocol (Algorithms 4–5) over an
-// asynchronous network with exponential connection latencies.
+// asynchronous network with exponential connection latencies. The run is
+// bounded by a context deadline, as a production caller would bound it.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"plurality"
 )
@@ -34,7 +37,9 @@ func main() {
 	fmt.Printf("poll of %d peers over %d answers, Zipf-skewed (bias %.3f)\n", n, k, bias)
 	fmt.Printf("initial counts: %v\n\n", counts)
 
-	res, err := plurality.RunDecentralized(plurality.AsyncConfig{
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	res, err := plurality.Run(ctx, "decentralized", plurality.Spec{
 		N: n, K: k, Assignment: assign, Seed: 7,
 		Latency: plurality.LatencySpec{Kind: "exp", Mean: 1},
 	})

@@ -1,9 +1,11 @@
 // Quickstart: run the synchronous generation protocol on 100k nodes with 8
-// opinions and a 1.5× plurality bias, and watch the bias square its way to
-// consensus. This is the 30-second tour of the library's public API.
+// opinions and a 1.5× plurality bias, streaming the trajectory as the bias
+// squares its way to consensus. This is the 30-second tour of the library's
+// public API: one Spec, one Run(ctx, name, spec) call, one Observer.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,19 +19,24 @@ func main() {
 		alpha = 1.5
 	)
 	fmt.Printf("plurality consensus: n=%d nodes, k=%d opinions, bias α=%.2f\n", n, k, alpha)
-	fmt.Printf("theorem 1 needs α > %.4f at this size\n\n", plurality.MinTheoremBias(n, k))
+	fmt.Printf("theorem 1 needs α > %.4f at this size\n", plurality.MinTheoremBias(n, k))
+	fmt.Printf("registered protocols: %v\n\n", plurality.Protocols())
 
-	res, err := plurality.RunSynchronous(plurality.SyncConfig{
+	// The Observer streams snapshots as they happen; with DiscardTrajectory
+	// the run itself keeps O(1) recording memory — the pattern that scales
+	// to millions of nodes.
+	fmt.Printf("%6s  %10s  %12s  %6s\n", "round", "top frac", "bias", "maxgen")
+	res, err := plurality.Run(context.Background(), "sync", plurality.Spec{
 		N: n, K: k, Alpha: alpha, Seed: 1,
+		DiscardTrajectory: true,
+		Observer: plurality.ObserverFunc(func(p plurality.TrajectoryPoint) {
+			fmt.Printf("%6.0f  %10.4f  %12.4g  %6d\n", p.Time, p.TopFrac, p.Bias, p.MaxGen)
+		}),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("%6s  %10s  %12s  %6s\n", "round", "top frac", "bias", "maxgen")
-	for _, p := range res.Trajectory {
-		fmt.Printf("%6.0f  %10.4f  %12.4g  %6d\n", p.Time, p.TopFrac, p.Bias, p.MaxGen)
-	}
 	fmt.Println()
 	fmt.Println(res)
 	fmt.Printf("generations used: %.0f, two-choices rounds: %.0f\n",

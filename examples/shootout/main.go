@@ -1,12 +1,16 @@
-// Shootout: the generation protocol against the classical dynamics from the
-// paper's related-work section, on identical inputs. With many opinions and
-// a small bias the ranking the paper predicts emerges: pull voting is slow
-// and unreliable, 3-majority slows down linearly in k, two-choices stalls
-// without a strong bias, and the generation protocol converges in a handful
-// of rounds.
+// Shootout: every round-based protocol in the registry against the same
+// skewed input (the asynchronous ones are skipped to keep the comparison on
+// identical synchronous-round semantics; see examples/sensors and
+// examples/pollnet for them). With many opinions and a small bias the
+// ranking the paper predicts emerges: pull voting is slow and unreliable,
+// 3-majority slows down linearly in k, two-choices stalls without a strong
+// bias, and the generation protocol converges in a handful of rounds. The
+// loop body is the point of the registry redesign: one code path serves
+// every registered protocol.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,29 +29,35 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("n=%d, k=%d, α=%.1f — same initial assignment for every protocol\n\n", n, k, alpha)
-	fmt.Printf("%-18s  %10s  %12s  %s\n", "protocol", "rounds", "plurality?", "notes")
+	fmt.Printf("%-18s  %-10s  %10s  %8s  %12s  %s\n",
+		"protocol", "family", "duration", "unit", "plurality?", "notes")
 
-	resG, err := plurality.RunSynchronous(plurality.SyncConfig{
-		N: n, K: k, Assignment: assign, Seed: seed,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	report("generations", resG)
-
-	for _, rule := range plurality.Baselines() {
-		res, err := plurality.RunBaseline(rule, plurality.BaselineConfig{
+	for _, name := range plurality.Protocols() {
+		info, err := plurality.Info(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if info.Async {
+			// Keep the comparison on identical synchronous-round semantics;
+			// examples/sensors and examples/pollnet cover the asynchronous
+			// protocols.
+			continue
+		}
+		res, err := plurality.Run(context.Background(), name, plurality.Spec{
 			N: n, K: k, Assignment: assign, Seed: seed, RecordEvery: 8,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		report(rule, res)
+		report(info, res)
 	}
 }
 
-func report(name string, res *plurality.Result) {
-	rounds := fmt.Sprintf("%.0f", res.Duration)
+func report(info plurality.ProtocolInfo, res *plurality.Result) {
+	unit := "rounds"
+	if info.Async {
+		unit = "steps"
+	}
 	verdict := "no"
 	if res.PluralityWon && res.FullConsensus {
 		verdict = "yes"
@@ -56,5 +66,6 @@ func report(name string, res *plurality.Result) {
 	if !res.FullConsensus {
 		note = "did not reach full consensus before the horizon"
 	}
-	fmt.Printf("%-18s  %10s  %12s  %s\n", name, rounds, verdict, note)
+	fmt.Printf("%-18s  %-10s  %10.0f  %8s  %12s  %s\n",
+		info.Name, info.Family, res.Duration, unit, verdict, note)
 }

@@ -28,6 +28,7 @@ func RunPoisson(rule Rule, cfg Config, lat sim.Latency) (*Result, error) {
 	root := xrand.New(cfg.Seed)
 	cols, plurality := initialState(&cfg, root)
 	res := &Result{Rule: rule.Name(), InitialPlurality: plurality}
+	rec := metrics.NewRecorder(cfg.Eps, cfg.DiscardTrajectory, cfg.Observe)
 
 	sm := sim.New()
 	smp := root.SplitNamed("sampling")
@@ -112,7 +113,7 @@ func RunPoisson(rule Rule, cfg Config, lat sim.Latency) (*Result, error) {
 
 	maxTime := float64(cfg.MaxRounds)
 	record := func() {
-		res.Trajectory.Append(metrics.Snapshot(sm.Now(), cols, cfg.K, plurality))
+		rec.Append(metrics.Snapshot(sm.Now(), cols, cfg.K, plurality))
 	}
 	var recordTick func()
 	recordTick = func() {
@@ -131,11 +132,14 @@ func RunPoisson(rule Rule, cfg Config, lat sim.Latency) (*Result, error) {
 			sm.Stop()
 		}
 	})
-	sm.Run()
+	if err := sm.RunContext(cfg.Ctx); err != nil {
+		return nil, err
+	}
 
 	res.Rounds = int(sm.Now())
 	res.FinalCounts = opinion.CountOf(cols, cfg.K)
-	res.Outcome = metrics.EvalOutcome(res.Trajectory, res.FinalCounts, plurality, cfg.Eps)
+	res.Trajectory = rec.Trajectory()
+	res.Outcome = rec.Outcome(res.FinalCounts, plurality)
 	if mono {
 		res.Outcome.FullConsensus = true
 		res.Outcome.ConsensusTime = monoAt

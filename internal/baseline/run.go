@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 
 	"plurality/internal/metrics"
@@ -25,6 +26,28 @@ type Config struct {
 	RecordEvery int
 	// Eps defines ε-convergence for the outcome; default 1/log² n.
 	Eps float64
+	// Ctx cancels or bounds the run; checked about once per (parallel)
+	// round. nil means never cancelled.
+	Ctx context.Context
+	// Observe, when non-nil, receives every recorded snapshot as it
+	// happens.
+	Observe func(metrics.Point)
+	// DiscardTrajectory leaves Result.Trajectory empty, keeping O(1)
+	// recording memory; the Outcome is evaluated incrementally instead.
+	DiscardTrajectory bool
+}
+
+// cancelled reports whether the config's context has been cancelled.
+func (cfg *Config) cancelled() bool {
+	if cfg.Ctx == nil {
+		return false
+	}
+	select {
+	case <-cfg.Ctx.Done():
+		return true
+	default:
+		return false
+	}
 }
 
 // Result captures one baseline run.
@@ -106,13 +129,17 @@ func RunSync(rule Rule, cfg Config) (*Result, error) {
 	cols, plurality := initialState(&cfg, rng)
 	next := make([]opinion.Opinion, cfg.N)
 	res := &Result{Rule: rule.Name(), InitialPlurality: plurality}
+	rec := metrics.NewRecorder(cfg.Eps, cfg.DiscardTrajectory, cfg.Observe)
 	record := func(round int) {
-		res.Trajectory.Append(metrics.Snapshot(float64(round), cols, cfg.K, plurality))
+		rec.Append(metrics.Snapshot(float64(round), cols, cfg.K, plurality))
 	}
 	record(0)
 	stepRNG := rng.SplitNamed("steps")
 	samples := make([]opinion.Opinion, rule.Samples())
 	for round := 1; round <= cfg.MaxRounds; round++ {
+		if cfg.cancelled() {
+			return nil, cfg.Ctx.Err()
+		}
 		for v := 0; v < cfg.N; v++ {
 			for i := range samples {
 				samples[i] = cols[sampleOther(stepRNG, cfg.N, v)]
@@ -130,7 +157,8 @@ func RunSync(rule Rule, cfg Config) (*Result, error) {
 		}
 	}
 	res.FinalCounts = opinion.CountOf(cols, cfg.K)
-	res.Outcome = metrics.EvalOutcome(res.Trajectory, res.FinalCounts, plurality, cfg.Eps)
+	res.Trajectory = rec.Trajectory()
+	res.Outcome = rec.Outcome(res.FinalCounts, plurality)
 	return res, nil
 }
 
@@ -145,14 +173,18 @@ func RunSequential(rule Rule, cfg Config) (*Result, error) {
 	rng := xrand.New(cfg.Seed)
 	cols, plurality := initialState(&cfg, rng)
 	res := &Result{Rule: rule.Name(), InitialPlurality: plurality}
+	rec := metrics.NewRecorder(cfg.Eps, cfg.DiscardTrajectory, cfg.Observe)
 	record := func(round float64) {
-		res.Trajectory.Append(metrics.Snapshot(round, cols, cfg.K, plurality))
+		rec.Append(metrics.Snapshot(round, cols, cfg.K, plurality))
 	}
 	record(0)
 	stepRNG := rng.SplitNamed("steps")
 	samples := make([]opinion.Opinion, rule.Samples())
 	maxInteractions := cfg.MaxRounds * cfg.N
 	for it := 1; it <= maxInteractions; it++ {
+		if it%cfg.N == 0 && cfg.cancelled() {
+			return nil, cfg.Ctx.Err()
+		}
 		v := stepRNG.Intn(cfg.N)
 		for i := range samples {
 			samples[i] = cols[sampleOther(stepRNG, cfg.N, v)]
@@ -168,7 +200,8 @@ func RunSequential(rule Rule, cfg Config) (*Result, error) {
 		}
 	}
 	res.FinalCounts = opinion.CountOf(cols, cfg.K)
-	res.Outcome = metrics.EvalOutcome(res.Trajectory, res.FinalCounts, plurality, cfg.Eps)
+	res.Trajectory = rec.Trajectory()
+	res.Outcome = rec.Outcome(res.FinalCounts, plurality)
 	return res, nil
 }
 

@@ -14,6 +14,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -52,6 +53,9 @@ type Params struct {
 	Seed uint64
 	// RecordEvery sets the coverage-trajectory resolution; default 1 step.
 	RecordEvery float64
+	// Ctx cancels or bounds formation; polled every few hundred simulator
+	// events. nil means never cancelled.
+	Ctx context.Context
 }
 
 func (p *Params) normalize() error {
@@ -400,7 +404,9 @@ func Form(p Params) (*Clustering, error) {
 	record()
 	sm.After(p.RecordEvery, recordTick)
 
-	sm.Run()
+	if err := sm.RunContext(p.Ctx); err != nil {
+		return nil, err
+	}
 
 	cl.EndTime = sm.Now()
 	for _, l := range leaders {

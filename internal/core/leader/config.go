@@ -16,9 +16,11 @@
 package leader
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"plurality/internal/metrics"
 	"plurality/internal/opinion"
 	"plurality/internal/sim"
 	"plurality/internal/xrand"
@@ -83,6 +85,15 @@ type Config struct {
 	CrashFrac float64
 	// CrashTime is the virtual time of the crash event (>= 0).
 	CrashTime float64
+	// Ctx cancels or bounds the run; polled every few hundred simulator
+	// events. nil means never cancelled.
+	Ctx context.Context
+	// Observe, when non-nil, receives every recorded snapshot as it
+	// happens.
+	Observe func(metrics.Point)
+	// DiscardTrajectory leaves Result.Trajectory empty, keeping O(1)
+	// recording memory; the Outcome is evaluated incrementally instead.
+	DiscardTrajectory bool
 }
 
 func (cfg *Config) normalize() error {

@@ -214,12 +214,13 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// Periodic recorder + termination watchdog.
+	rec := metrics.NewRecorder(cfg.Eps, cfg.DiscardTrajectory, cfg.Observe)
 	var recordTick func()
 	record := func() {
 		p := metrics.Snapshot(rs.sm.Now(), rs.cols, cfg.K, rs.plurality)
 		p.MaxGen = rs.maxGen
 		p.MaxGenFrac = float64(rs.genCount[rs.maxGen]) / float64(cfg.N)
-		rs.res.Trajectory.Append(p)
+		rec.Append(p)
 	}
 	recordTick = func() {
 		record()
@@ -245,7 +246,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 	})
 
-	rs.sm.Run()
+	if err := rs.sm.RunContext(cfg.Ctx); err != nil {
+		return nil, err
+	}
 
 	rs.res.EndTime = rs.sm.Now()
 	rs.res.Events = rs.sm.Processed()
@@ -258,14 +261,14 @@ func Run(cfg Config) (*Result, error) {
 	// Ensure the final state is in the trajectory exactly once more (the
 	// stop path records before stopping, but a monochromatic flip between
 	// recordings would otherwise be missed).
-	if last, ok := rs.res.Trajectory.Last(); !ok || last.Time < rs.res.EndTime {
+	if last, ok := rec.Last(); !ok || last.Time < rs.res.EndTime {
 		p := metrics.Snapshot(rs.res.EndTime, rs.cols, cfg.K, rs.plurality)
 		p.MaxGen = rs.maxGen
 		p.MaxGenFrac = float64(rs.genCount[rs.maxGen]) / float64(cfg.N)
-		rs.res.Trajectory.Append(p)
+		rec.Append(p)
 	}
-	rs.res.Outcome = metrics.EvalOutcome(rs.res.Trajectory, rs.res.FinalCounts,
-		rs.plurality, cfg.Eps)
+	rs.res.Trajectory = rec.Trajectory()
+	rs.res.Outcome = rec.Outcome(rs.res.FinalCounts, rs.plurality)
 	if rs.mono {
 		// Tighten the consensus time to the exact flip moment.
 		rs.res.Outcome.FullConsensus = true

@@ -15,10 +15,12 @@
 package noleader
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"plurality/internal/cluster"
+	"plurality/internal/metrics"
 	"plurality/internal/opinion"
 	"plurality/internal/sim"
 	"plurality/internal/xrand"
@@ -63,6 +65,15 @@ type Config struct {
 	RecordEvery float64
 	// Eps defines ε-convergence; default 1/log² n.
 	Eps float64
+	// Ctx cancels or bounds the run (clustering and consensus phases);
+	// polled every few hundred simulator events. nil means never cancelled.
+	Ctx context.Context
+	// Observe, when non-nil, receives every recorded consensus-phase
+	// snapshot as it happens.
+	Observe func(metrics.Point)
+	// DiscardTrajectory leaves Result.Trajectory empty, keeping O(1)
+	// recording memory; the Outcome is evaluated incrementally instead.
+	DiscardTrajectory bool
 }
 
 func (cfg *Config) normalize() error {

@@ -111,6 +111,7 @@ func Run(cfg Config) (*Result, error) {
 	cp.N = cfg.N
 	cp.Latency = cfg.Latency
 	cp.Seed = root.SplitNamed("clustering").Uint64()
+	cp.Ctx = cfg.Ctx
 	cl, err := cluster.Form(cp)
 	if err != nil {
 		return nil, err
@@ -191,11 +192,12 @@ func Run(cfg Config) (*Result, error) {
 		c.Start()
 	}
 
+	rec := metrics.NewRecorder(cfg.Eps, cfg.DiscardTrajectory, cfg.Observe)
 	var recordTick func()
 	record := func() {
 		p := metrics.Snapshot(rs.sm.Now(), rs.cols, cfg.K, rs.plurality)
 		p.MaxGen = rs.maxGen
-		rs.res.Trajectory.Append(p)
+		rec.Append(p)
 	}
 	recordTick = func() {
 		record()
@@ -220,7 +222,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 	})
 
-	rs.sm.Run()
+	if err := rs.sm.RunContext(cfg.Ctx); err != nil {
+		return nil, err
+	}
 
 	rs.res.EndTime = rs.sm.Now()
 	rs.res.Events = rs.sm.Processed()
@@ -232,11 +236,11 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	rs.res.FinalCounts = opinion.CountOf(rs.cols, cfg.K)
-	if last, ok := rs.res.Trajectory.Last(); !ok || last.Time < rs.res.EndTime {
+	if last, ok := rec.Last(); !ok || last.Time < rs.res.EndTime {
 		record()
 	}
-	rs.res.Outcome = metrics.EvalOutcome(rs.res.Trajectory, rs.res.FinalCounts,
-		rs.plurality, cfg.Eps)
+	rs.res.Trajectory = rec.Trajectory()
+	rs.res.Outcome = rec.Outcome(rs.res.FinalCounts, rs.plurality)
 	if rs.mono {
 		rs.res.Outcome.FullConsensus = true
 		rs.res.Outcome.ConsensusTime = rs.monoAt

@@ -1,6 +1,7 @@
 package syncgen
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -43,6 +44,15 @@ type Config struct {
 	RecordEvery int
 	// Eps defines ε-convergence for the reported outcome; default 1/log² n.
 	Eps float64
+	// Ctx cancels or bounds the run; checked once per synchronous step.
+	// nil means never cancelled.
+	Ctx context.Context
+	// Observe, when non-nil, receives every recorded snapshot as it
+	// happens.
+	Observe func(metrics.Point)
+	// DiscardTrajectory leaves Result.Trajectory empty, keeping O(1)
+	// recording memory; the Outcome is evaluated incrementally instead.
+	DiscardTrajectory bool
 }
 
 // GenEvent records the birth and establishment of one generation, the raw
@@ -154,17 +164,25 @@ func Run(cfg Config) (*Result, error) {
 
 	st := newState(cols, cfg.K, gStar)
 	res := &Result{InitialPlurality: opinion.Opinion(plurality)}
+	rec := metrics.NewRecorder(eps, cfg.DiscardTrajectory, cfg.Observe)
 	record := func(step int) {
 		p := metrics.Snapshot(float64(step), st.cols, cfg.K, opinion.Opinion(plurality))
 		p.MaxGen = st.maxGen
 		p.MaxGenFrac = float64(st.genSize[st.maxGen]) / float64(cfg.N)
-		res.Trajectory.Append(p)
+		rec.Append(p)
 	}
 	record(0)
 
 	stepRNG := rng.SplitNamed("steps")
 	nextTheoretical := 0
 	for step := 1; step <= maxSteps; step++ {
+		if cfg.Ctx != nil {
+			select {
+			case <-cfg.Ctx.Done():
+				return nil, cfg.Ctx.Err()
+			default:
+			}
+		}
 		twoChoices := false
 		switch cfg.Schedule {
 		case ScheduleTheoretical:
@@ -193,7 +211,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	res.FinalCounts = opinion.CountOf(st.cols, cfg.K)
-	res.Outcome = metrics.EvalOutcome(res.Trajectory, res.FinalCounts,
-		opinion.Opinion(plurality), eps)
+	res.Trajectory = rec.Trajectory()
+	res.Outcome = rec.Outcome(res.FinalCounts, opinion.Opinion(plurality))
 	return res, nil
 }

@@ -31,7 +31,7 @@ func Ablations(o Opts) *harness.Table {
 		[]string{"eps_units", "consensus_units", "success_rate"},
 	)
 	row := func(c3Mult, genFrac, loss float64) {
-		agg := harness.Replicate(o.Reps, func(rep uint64) harness.Metrics {
+		agg := o.replicate(o.Reps, func(rep uint64) harness.Metrics {
 			cfg := leader.Config{
 				N: n, K: 4, Alpha: 2.5,
 				GenFraction: genFrac,

@@ -38,7 +38,7 @@ func AsyncShootout(o Opts) *harness.Table {
 	)
 	for _, w := range loads {
 		w := w
-		agg := harness.Replicate(o.Reps, func(rep uint64) harness.Metrics {
+		agg := o.replicate(o.Reps, func(rep uint64) harness.Metrics {
 			seed := mergeSeed(o.Seed+1700, rep)
 			assign := opinion.PlantedBias(n, w.k, w.alpha,
 				xrand.New(seed).SplitNamed("async-shootout"))

@@ -25,7 +25,7 @@ func Theorem27Clustering(o Opts) *harness.Table {
 			"leaders", "target_size", "timed_out"},
 	)
 	for _, n := range ns {
-		agg := harness.Replicate(o.Reps, func(rep uint64) harness.Metrics {
+		agg := o.replicate(o.Reps, func(rep uint64) harness.Metrics {
 			cl, err := cluster.Form(cluster.Params{
 				N: n, Seed: mergeSeed(o.Seed+600, rep),
 			})
@@ -76,7 +76,7 @@ func Theorem28Broadcast(o Opts) *harness.Table {
 		[]string{"broadcast_time", "leaders", "timed_out"},
 	)
 	for _, n := range ns {
-		agg := harness.Replicate(o.Reps, func(rep uint64) harness.Metrics {
+		agg := o.replicate(o.Reps, func(rep uint64) harness.Metrics {
 			seed := mergeSeed(o.Seed+700, rep)
 			cl, err := cluster.Form(cluster.Params{N: n, Seed: seed})
 			if err != nil {

@@ -27,7 +27,7 @@ func Congestion(o Opts) *harness.Table {
 	)
 	for _, n := range ns {
 		n := n
-		agg := harness.Replicate(o.Reps, func(rep uint64) harness.Metrics {
+		agg := o.replicate(o.Reps, func(rep uint64) harness.Metrics {
 			seed := mergeSeed(o.Seed+1600, rep)
 			single, err := leader.Run(leader.Config{N: n, K: 4, Alpha: 2.5, Seed: seed})
 			if err != nil {

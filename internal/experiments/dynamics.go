@@ -143,7 +143,7 @@ func GammaSweep(o Opts) *harness.Table {
 	)
 	for _, g := range gammas {
 		g := g
-		agg := harness.Replicate(reps, func(rep uint64) harness.Metrics {
+		agg := o.replicate(reps, func(rep uint64) harness.Metrics {
 			res, err := syncgen.Run(syncgen.Config{
 				N: n, K: 16, Alpha: 1.3, Gamma: g,
 				Seed: mergeSeed(o.Seed+1000, rep),
@@ -182,7 +182,7 @@ func TailGenerations(o Opts) *harness.Table {
 	)
 	for _, k := range ks {
 		k := k
-		agg := harness.Replicate(o.Reps, func(rep uint64) harness.Metrics {
+		agg := o.replicate(o.Reps, func(rep uint64) harness.Metrics {
 			res, err := syncgen.Run(syncgen.Config{
 				N: n, K: k, Alpha: 1.5, Seed: mergeSeed(o.Seed+1100, rep),
 			})

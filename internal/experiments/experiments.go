@@ -11,8 +11,10 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
+	"plurality/internal/harness"
 	"plurality/internal/stats"
 )
 
@@ -25,6 +27,21 @@ type Opts struct {
 	// Seed offsets all replication seeds, so independent invocations can
 	// draw fresh randomness.
 	Seed uint64
+	// Ctx cancels a running experiment: once it is done, no further
+	// replication starts and the aggregates cover only the completed
+	// ones. nil means never cancelled.
+	Ctx context.Context
+}
+
+// replicate runs fn through the harness pool, honouring o.Ctx. On
+// cancellation the partially filled aggregates are returned so a table can
+// still be rendered for the replications that completed.
+func (o Opts) replicate(reps int, fn func(rep uint64) harness.Metrics) map[string]*stats.Summary {
+	agg, _ := harness.ReplicateCtx(o.Ctx, reps,
+		func(_ context.Context, rep uint64) (harness.Metrics, error) {
+			return fn(rep), nil
+		})
+	return agg
 }
 
 func (o Opts) normalize() Opts {

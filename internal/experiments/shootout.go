@@ -40,7 +40,7 @@ func Shootout(o Opts) *harness.Table {
 	)
 	for _, k := range ks {
 		k := k
-		agg := harness.Replicate(o.Reps, func(rep uint64) harness.Metrics {
+		agg := o.replicate(o.Reps, func(rep uint64) harness.Metrics {
 			seed := mergeSeed(o.Seed+1200, rep)
 			assignRNG := xrand.New(seed).SplitNamed("shootout-assign")
 			assign := opinion.PlantedBias(n, k, alpha, assignRNG)
@@ -111,7 +111,7 @@ func AgingLatencies(o Opts) *harness.Table {
 	)
 	for i, lat := range lats {
 		lat := lat
-		agg := harness.Replicate(o.Reps, func(rep uint64) harness.Metrics {
+		agg := o.replicate(o.Reps, func(rep uint64) harness.Metrics {
 			res, err := coreleader.Run(coreleader.Config{
 				N: n, K: 4, Alpha: 2.5, Latency: lat,
 				Seed: mergeSeed(o.Seed+1300+uint64(i), rep),

@@ -33,7 +33,7 @@ func Theorem1Scaling(o Opts) *harness.Table {
 		[]string{"steps", "eps_steps", "generations", "plurality_won"},
 	)
 	row := func(n, k int, alpha float64) {
-		agg := harness.Replicate(o.Reps, func(rep uint64) harness.Metrics {
+		agg := o.replicate(o.Reps, func(rep uint64) harness.Metrics {
 			res, err := syncgen.Run(syncgen.Config{
 				N: n, K: k, Alpha: alpha,
 				Seed:        mergeSeed(o.Seed+300, rep),
@@ -103,7 +103,7 @@ func Theorem13Scaling(o Opts) *harness.Table {
 		[]string{"eps_time", "consensus_time", "units_eps", "tail_time", "plurality_won"},
 	)
 	row := func(n int, lambda float64) {
-		agg := harness.Replicate(o.Reps, func(rep uint64) harness.Metrics {
+		agg := o.replicate(o.Reps, func(rep uint64) harness.Metrics {
 			res, err := leader.Run(leader.Config{
 				N: n, K: 8, Alpha: 2,
 				Latency: sim.ExpLatency{Rate: lambda},
@@ -157,7 +157,7 @@ func Theorem26HeadToHead(o Opts) *harness.Table {
 			"clustering_time", "participating_frac", "multi_won"},
 	)
 	for _, n := range ns {
-		agg := harness.Replicate(o.Reps, func(rep uint64) harness.Metrics {
+		agg := o.replicate(o.Reps, func(rep uint64) harness.Metrics {
 			seed := mergeSeed(o.Seed+500, rep)
 			single, err := leader.Run(leader.Config{N: n, K: 4, Alpha: 2.5, Seed: seed})
 			if err != nil {

@@ -7,6 +7,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -18,36 +19,88 @@ import (
 // Metrics is one replication's named measurements.
 type Metrics map[string]float64
 
-// Replicate runs fn for each seed in [0, reps) with a bounded worker pool
-// and returns per-metric summaries. fn must be safe for concurrent use
-// across distinct seeds (the repository's Run functions are: each owns all
-// of its state). A replication may also report binary outcomes by returning
-// 0/1-valued metrics.
-func Replicate(reps int, fn func(seed uint64) Metrics) map[string]*stats.Summary {
-	if reps <= 0 {
-		panic(fmt.Sprintf("harness: Replicate with reps=%d", reps))
+// ForEach runs fn for each index in [0, n) on a bounded worker pool
+// (GOMAXPROCS workers). fn must be safe for concurrent use across distinct
+// indices (the repository's Run functions are: each owns all of its
+// state). The first error any call returns — or the outer ctx's
+// cancellation — stops the batch: no new call starts and the ctx passed to
+// the in-flight calls is cancelled, so calls that honour it abort
+// promptly. ForEach returns that first error, or nil once every call
+// completed.
+func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		panic(fmt.Sprintf("harness: ForEach with n=%d", n))
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	workers := runtime.GOMAXPROCS(0)
-	if workers > reps {
-		workers = reps
+	if workers > n {
+		workers = n
 	}
-	results := make([]Metrics, reps)
-	var wg sync.WaitGroup
-	seeds := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		cancel()
+	}
+	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range seeds {
-				results[i] = fn(uint64(i))
+			for i := range jobs {
+				if err := fn(ctx, i); err != nil {
+					fail(err)
+					return
+				}
 			}
 		}()
 	}
-	for i := 0; i < reps; i++ {
-		seeds <- i
+feed:
+	for i := 0; i < n; i++ {
+		// Pre-check cancellation: with both select cases ready Go picks
+		// randomly, which would keep dispatching after a cancel.
+		if err := ctx.Err(); err != nil {
+			fail(err)
+			break feed
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			fail(ctx.Err())
+			break feed
+		}
 	}
-	close(seeds)
+	close(jobs)
 	wg.Wait()
+	return firstErr
+}
+
+// ReplicateCtx runs fn for each seed in [0, reps) on the ForEach pool and
+// returns per-metric summaries. A replication may also report binary
+// outcomes by returning 0/1-valued metrics. The first error or
+// cancellation stops the batch; the returned summaries always cover the
+// replications that completed successfully — partial on error, complete on
+// a nil error.
+func ReplicateCtx(ctx context.Context, reps int, fn func(ctx context.Context, seed uint64) (Metrics, error)) (map[string]*stats.Summary, error) {
+	if reps <= 0 {
+		panic(fmt.Sprintf("harness: ReplicateCtx with reps=%d", reps))
+	}
+	results := make([]Metrics, reps)
+	err := ForEach(ctx, reps, func(ctx context.Context, i int) error {
+		m, err := fn(ctx, uint64(i))
+		if err != nil {
+			return err
+		}
+		results[i] = m
+		return nil
+	})
 
 	agg := make(map[string]*stats.Summary)
 	for _, m := range results {
@@ -60,7 +113,7 @@ func Replicate(reps int, fn func(seed uint64) Metrics) map[string]*stats.Summary
 			s.Add(v)
 		}
 	}
-	return agg
+	return agg, err
 }
 
 // Row is one line of an experiment table: factor values plus aggregated

@@ -1,17 +1,20 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"plurality/internal/stats"
 )
 
 func TestReplicateAggregates(t *testing.T) {
-	agg := Replicate(100, func(seed uint64) Metrics {
-		return Metrics{"seed": float64(seed), "one": 1}
+	agg, _ := ReplicateCtx(context.Background(), 100, func(_ context.Context, seed uint64) (Metrics, error) {
+		return Metrics{"seed": float64(seed), "one": 1}, nil
 	})
 	if agg["seed"].N() != 100 {
 		t.Fatalf("N = %d", agg["seed"].N())
@@ -26,9 +29,9 @@ func TestReplicateAggregates(t *testing.T) {
 
 func TestReplicateRunsAll(t *testing.T) {
 	var count int64
-	Replicate(37, func(seed uint64) Metrics {
+	ReplicateCtx(context.Background(), 37, func(_ context.Context, seed uint64) (Metrics, error) {
 		atomic.AddInt64(&count, 1)
-		return Metrics{}
+		return Metrics{}, nil
 	})
 	if count != 37 {
 		t.Fatalf("ran %d replications, want 37", count)
@@ -37,9 +40,9 @@ func TestReplicateRunsAll(t *testing.T) {
 
 func TestReplicateDeterministicSeeds(t *testing.T) {
 	seen := make([]int64, 10)
-	Replicate(10, func(seed uint64) Metrics {
+	ReplicateCtx(context.Background(), 10, func(_ context.Context, seed uint64) (Metrics, error) {
 		atomic.AddInt64(&seen[seed], 1)
-		return Metrics{}
+		return Metrics{}, nil
 	})
 	for i, c := range seen {
 		if c != 1 {
@@ -50,12 +53,12 @@ func TestReplicateDeterministicSeeds(t *testing.T) {
 
 func TestReplicatePartialMetrics(t *testing.T) {
 	// Metrics reported only by some replications must still aggregate.
-	agg := Replicate(10, func(seed uint64) Metrics {
+	agg, _ := ReplicateCtx(context.Background(), 10, func(_ context.Context, seed uint64) (Metrics, error) {
 		m := Metrics{"always": 1}
 		if seed%2 == 0 {
 			m["even"] = float64(seed)
 		}
-		return m
+		return m, nil
 	})
 	if agg["always"].N() != 10 {
 		t.Errorf("always.N = %d", agg["always"].N())
@@ -118,5 +121,70 @@ func TestTableMissingCell(t *testing.T) {
 	}
 	if !strings.Contains(tb.CSV(), ",,,0") {
 		t.Error("missing cell not rendered in CSV")
+	}
+}
+
+func TestReplicateCtxAggregates(t *testing.T) {
+	agg, err := ReplicateCtx(context.Background(), 8,
+		func(_ context.Context, seed uint64) (Metrics, error) {
+			return Metrics{"seed": float64(seed)}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := agg["seed"]
+	if s.N() != 8 || s.Mean() != 3.5 {
+		t.Errorf("seed summary n=%d mean=%v", s.N(), s.Mean())
+	}
+}
+
+func TestReplicateCtxPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := ReplicateCtx(context.Background(), 4,
+		func(_ context.Context, seed uint64) (Metrics, error) {
+			if seed == 2 {
+				return nil, boom
+			}
+			return Metrics{"x": 1}, nil
+		})
+	if err != boom {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestReplicateCtxErrorCancelsBatch(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int64
+	_, err := ReplicateCtx(context.Background(), 1000,
+		func(ctx context.Context, seed uint64) (Metrics, error) {
+			started.Add(1)
+			if seed == 0 {
+				return nil, boom
+			}
+			// Replications that honour ctx abort once the batch failed.
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(10 * time.Millisecond):
+				return Metrics{"x": 1}, nil
+			}
+		})
+	if err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Errorf("all %d replications ran despite the early error", n)
+	}
+}
+
+func TestReplicateCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ReplicateCtx(ctx, 1000,
+		func(_ context.Context, seed uint64) (Metrics, error) {
+			return Metrics{"x": 1}, nil
+		})
+	if err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }

@@ -13,6 +13,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 )
@@ -117,6 +118,31 @@ func (s *Simulator) Step() bool {
 // Run executes events until the queue drains or Stop is called.
 func (s *Simulator) Run() {
 	for s.Step() {
+	}
+}
+
+// RunContext executes events until the queue drains, Stop is called, or ctx
+// is cancelled. Cancellation is polled every few hundred events, so a run
+// over millions of events still returns promptly; on cancellation the
+// simulator is stopped and ctx.Err() is returned. A nil ctx behaves like
+// Run.
+func (s *Simulator) RunContext(ctx context.Context) error {
+	if ctx == nil {
+		s.Run()
+		return nil
+	}
+	for i := uint(0); ; i++ {
+		if i&255 == 0 {
+			select {
+			case <-ctx.Done():
+				s.Stop()
+				return ctx.Err()
+			default:
+			}
+		}
+		if !s.Step() {
+			return nil
+		}
 	}
 }
 

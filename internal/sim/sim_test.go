@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"sort"
 	"testing"
@@ -334,5 +335,44 @@ func BenchmarkClockTicks(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.RunUntil(s.Now() + 1)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	s := New()
+	var reschedule func()
+	ran := 0
+	reschedule = func() {
+		ran++
+		s.After(1, reschedule) // never drains on its own
+	}
+	s.After(0, reschedule)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.RunContext(ctx); err != context.Canceled {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+	if !s.Stopped() {
+		t.Error("simulator not stopped after cancellation")
+	}
+	if ran > 512 {
+		t.Errorf("ran %d events after a pre-cancelled context", ran)
+	}
+}
+
+func TestRunContextNilAndDrained(t *testing.T) {
+	s := New()
+	ran := false
+	s.After(1, func() { ran = true })
+	if err := s.RunContext(nil); err != nil {
+		t.Fatalf("RunContext(nil) = %v", err)
+	}
+	if !ran {
+		t.Error("event did not run")
+	}
+	s2 := New()
+	s2.After(1, func() {})
+	if err := s2.RunContext(context.Background()); err != nil {
+		t.Fatalf("RunContext(Background) = %v", err)
 	}
 }

@@ -2,6 +2,7 @@ package plurality
 
 import (
 	"fmt"
+	"math"
 
 	"plurality/internal/sim"
 )
@@ -27,8 +28,8 @@ func (l LatencySpec) build() (sim.Latency, error) {
 	if mean == 0 {
 		mean = 1
 	}
-	if mean < 0 {
-		return nil, fmt.Errorf("plurality: latency mean %v must be positive", mean)
+	if mean < 0 || math.IsNaN(mean) || math.IsInf(mean, 0) {
+		return nil, fmt.Errorf("plurality: latency mean %v must be positive and finite", mean)
 	}
 	switch l.Kind {
 	case "", "exp":

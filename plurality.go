@@ -1,16 +1,21 @@
 package plurality
 
 import (
+	"context"
 	"math"
 
 	"plurality/internal/baseline"
 	"plurality/internal/core/leader"
-	"plurality/internal/core/noleader"
-	"plurality/internal/core/syncgen"
-	"plurality/internal/xrand"
 )
 
+// This file keeps the pre-registry entry points alive as thin wrappers over
+// Run. New code should use Run(ctx, name, spec) with the unified Spec; the
+// wrappers exist so existing callers keep compiling and keep producing
+// byte-identical results for the same seed.
+
 // SyncConfig parametrizes the synchronous protocol (Algorithm 1).
+//
+// Deprecated: use Spec with SyncOptions and Run(ctx, "sync", spec).
 type SyncConfig struct {
 	// N is the number of nodes (>= 2) and K the number of opinions (>= 1).
 	N, K int
@@ -34,33 +39,25 @@ type SyncConfig struct {
 }
 
 // RunSynchronous executes the synchronous generation protocol.
+//
+// Deprecated: use Run(ctx, "sync", spec).
 func RunSynchronous(cfg SyncConfig) (*Result, error) {
-	assign, err := toInternalAssignment(cfg.Assignment, cfg.N, cfg.K)
-	if err != nil {
-		return nil, err
-	}
-	sched := syncgen.ScheduleAdaptive
-	if cfg.TheoreticalSchedule {
-		sched = syncgen.ScheduleTheoretical
-	}
-	res, err := syncgen.Run(syncgen.Config{
-		N: cfg.N, K: cfg.K, Alpha: cfg.Alpha, Assignment: assign,
-		Gamma: cfg.Gamma, Schedule: sched, MaxSteps: cfg.MaxSteps,
-		Seed: cfg.Seed, Eps: cfg.Eps, RecordEvery: cfg.RecordEvery,
+	return Run(context.Background(), "sync", Spec{
+		N: cfg.N, K: cfg.K, Alpha: cfg.Alpha, Assignment: cfg.Assignment,
+		Seed: cfg.Seed, Eps: cfg.Eps, MaxSteps: cfg.MaxSteps,
+		RecordEvery: float64(cfg.RecordEvery),
+		Sync: SyncOptions{
+			Gamma:               cfg.Gamma,
+			TheoreticalSchedule: cfg.TheoreticalSchedule,
+		},
 	})
-	if err != nil {
-		return nil, err
-	}
-	extra := map[string]float64{
-		"generations":       float64(len(res.Generations)),
-		"two_choices_steps": float64(len(res.TwoChoicesSteps)),
-	}
-	return convertResult(res.Outcome, res.Trajectory, res.FinalCounts,
-		float64(res.Steps), !res.Outcome.FullConsensus, extra), nil
 }
 
 // AsyncConfig parametrizes the asynchronous protocols (single-leader and
 // decentralized).
+//
+// Deprecated: use Spec with AsyncOptions and Run(ctx, "leader", spec) or
+// Run(ctx, "decentralized", spec).
 type AsyncConfig struct {
 	// N is the number of nodes and K the number of opinions.
 	N, K int
@@ -84,71 +81,37 @@ type AsyncConfig struct {
 	ClusterTargetSize int
 }
 
+// spec converts the legacy async config to the unified Spec.
+func (cfg AsyncConfig) spec() Spec {
+	return Spec{
+		N: cfg.N, K: cfg.K, Alpha: cfg.Alpha, Assignment: cfg.Assignment,
+		Seed: cfg.Seed, Eps: cfg.Eps, MaxTime: cfg.MaxTime,
+		RecordEvery: cfg.RecordEvery, Latency: cfg.Latency,
+		Async: AsyncOptions{ClusterTargetSize: cfg.ClusterTargetSize},
+	}
+}
+
 // RunSingleLeader executes the asynchronous protocol with a designated
 // leader (Algorithms 2 and 3).
+//
+// Deprecated: use Run(ctx, "leader", spec).
 func RunSingleLeader(cfg AsyncConfig) (*Result, error) {
-	assign, err := toInternalAssignment(cfg.Assignment, cfg.N, cfg.K)
-	if err != nil {
-		return nil, err
-	}
-	lat, err := cfg.Latency.build()
-	if err != nil {
-		return nil, err
-	}
-	res, err := leader.Run(leader.Config{
-		N: cfg.N, K: cfg.K, Alpha: cfg.Alpha, Assignment: assign,
-		Latency: lat, MaxTime: cfg.MaxTime, Seed: cfg.Seed,
-		Eps: cfg.Eps, RecordEvery: cfg.RecordEvery,
-	})
-	if err != nil {
-		return nil, err
-	}
-	extra := map[string]float64{
-		"c1":     res.C1,
-		"events": float64(res.Events),
-		"gstar":  float64(res.GStar),
-		"phases": float64(len(res.PhaseLog)),
-	}
-	return convertResult(res.Outcome, res.Trajectory, res.FinalCounts,
-		res.EndTime, res.TimedOut, extra), nil
+	return Run(context.Background(), "leader", cfg.spec())
 }
 
 // RunDecentralized executes the fully decentralized protocol: clustering
 // (§4.1), then consensus coordinated by the cluster leaders (Algorithms 4
 // and 5). The reported times cover the consensus phase; the clustering time
 // is in Stats["clustering_time"].
+//
+// Deprecated: use Run(ctx, "decentralized", spec).
 func RunDecentralized(cfg AsyncConfig) (*Result, error) {
-	assign, err := toInternalAssignment(cfg.Assignment, cfg.N, cfg.K)
-	if err != nil {
-		return nil, err
-	}
-	lat, err := cfg.Latency.build()
-	if err != nil {
-		return nil, err
-	}
-	c := noleader.Config{
-		N: cfg.N, K: cfg.K, Alpha: cfg.Alpha, Assignment: assign,
-		Latency: lat, MaxTime: cfg.MaxTime, Seed: cfg.Seed,
-		Eps: cfg.Eps, RecordEvery: cfg.RecordEvery,
-	}
-	c.Cluster.TargetSize = cfg.ClusterTargetSize
-	res, err := noleader.Run(c)
-	if err != nil {
-		return nil, err
-	}
-	extra := map[string]float64{
-		"c1":                 res.C1,
-		"events":             float64(res.Events),
-		"gstar":              float64(res.GStar),
-		"clustering_time":    res.ClusteringTime,
-		"participating_frac": res.Clustering.ParticipatingFrac(),
-		"leaders":            float64(len(res.Clustering.ParticipatingLeaders())),
-	}
-	return convertResult(res.Outcome, res.Trajectory, res.FinalCounts,
-		res.EndTime, res.TimedOut, extra), nil
+	return Run(context.Background(), "decentralized", cfg.spec())
 }
 
 // BaselineConfig parametrizes a baseline dynamics run.
+//
+// Deprecated: use Spec with BaselineOptions and Run(ctx, rule, spec).
 type BaselineConfig struct {
 	// N, K, Alpha, Assignment, Seed, Eps as in SyncConfig.
 	N, K       int
@@ -166,37 +129,22 @@ type BaselineConfig struct {
 }
 
 // Baselines lists the available baseline rules: "pull-voting",
-// "two-choices", "3-majority", "undecided-state".
+// "two-choices", "3-majority", "undecided-state". Each is also a registered
+// protocol name accepted by Run.
 func Baselines() []string { return baseline.RuleNames() }
 
 // RunBaseline executes one of the classical dynamics from the paper's
 // related-work section under the given configuration.
+//
+// Deprecated: use Run(ctx, rule, spec); every baseline rule is a registered
+// protocol.
 func RunBaseline(rule string, cfg BaselineConfig) (*Result, error) {
-	assign, err := toInternalAssignment(cfg.Assignment, cfg.N, cfg.K)
-	if err != nil {
-		return nil, err
-	}
-	r, err := baseline.NewRule(rule, xrand.New(cfg.Seed).SplitNamed("rule"))
-	if err != nil {
-		return nil, err
-	}
-	bcfg := baseline.Config{
-		N: cfg.N, K: cfg.K, Alpha: cfg.Alpha, Assignment: assign,
-		MaxRounds: cfg.MaxRounds, Seed: cfg.Seed, Eps: cfg.Eps,
-		RecordEvery: cfg.RecordEvery,
-	}
-	var res *baseline.Result
-	if cfg.Sequential {
-		res, err = baseline.RunSequential(r, bcfg)
-	} else {
-		res, err = baseline.RunSync(r, bcfg)
-	}
-	if err != nil {
-		return nil, err
-	}
-	extra := map[string]float64{"rounds": float64(res.Rounds)}
-	return convertResult(res.Outcome, res.Trajectory, res.FinalCounts,
-		float64(res.Rounds), !res.Outcome.FullConsensus, extra), nil
+	return Run(context.Background(), rule, Spec{
+		N: cfg.N, K: cfg.K, Alpha: cfg.Alpha, Assignment: cfg.Assignment,
+		Seed: cfg.Seed, Eps: cfg.Eps, MaxSteps: cfg.MaxRounds,
+		RecordEvery: float64(cfg.RecordEvery),
+		Baseline:    BaselineOptions{Sequential: cfg.Sequential},
+	})
 }
 
 // MinTheoremBias returns the smallest initial bias Theorem 1 admits for n

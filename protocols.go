@@ -1,0 +1,199 @@
+package plurality
+
+import (
+	"context"
+
+	"plurality/internal/baseline"
+	"plurality/internal/core/leader"
+	"plurality/internal/core/noleader"
+	"plurality/internal/core/syncgen"
+	"plurality/internal/metrics"
+	"plurality/internal/xrand"
+)
+
+// init registers the built-in protocols: the paper's three algorithms and
+// the four classical baseline dynamics.
+func init() {
+	Register(syncProtocol{})
+	Register(leaderProtocol{})
+	Register(decentralizedProtocol{})
+	for _, rule := range baseline.RuleNames() {
+		Register(baselineProtocol{rule: rule})
+	}
+}
+
+// observe bridges the public Observer to the engines' snapshot callback.
+func (s *Spec) observe() func(metrics.Point) {
+	if s.Observer == nil {
+		return nil
+	}
+	obs := s.Observer
+	return func(p metrics.Point) { obs.Observe(publicPoint(p)) }
+}
+
+// syncProtocol is Algorithm 1: synchronous generations with adaptive or
+// theoretical two-choices scheduling.
+type syncProtocol struct{}
+
+func (syncProtocol) Info() ProtocolInfo {
+	return ProtocolInfo{
+		Name:        "sync",
+		Family:      "generation",
+		Description: "synchronous generation protocol (Algorithm 1)",
+	}
+}
+
+func (syncProtocol) Run(ctx context.Context, spec Spec) (*Result, error) {
+	assign, err := toInternalAssignment(spec.Assignment, spec.N, spec.K)
+	if err != nil {
+		return nil, err
+	}
+	sched := syncgen.ScheduleAdaptive
+	if spec.Sync.TheoreticalSchedule {
+		sched = syncgen.ScheduleTheoretical
+	}
+	res, err := syncgen.Run(syncgen.Config{
+		N: spec.N, K: spec.K, Alpha: spec.Alpha, Assignment: assign,
+		Gamma: spec.Sync.Gamma, Schedule: sched, MaxSteps: spec.MaxSteps,
+		Seed: spec.Seed, Eps: spec.Eps, RecordEvery: spec.recordEveryRounds(),
+		Ctx: ctx, Observe: spec.observe(), DiscardTrajectory: spec.DiscardTrajectory,
+	})
+	if err != nil {
+		return nil, err
+	}
+	extra := map[string]float64{
+		"generations":       float64(len(res.Generations)),
+		"two_choices_steps": float64(len(res.TwoChoicesSteps)),
+	}
+	return convertResult(res.Outcome, res.Trajectory, res.FinalCounts,
+		float64(res.Steps), !res.Outcome.FullConsensus, extra), nil
+}
+
+// leaderProtocol is Algorithms 2 and 3: the asynchronous protocol with a
+// designated leader.
+type leaderProtocol struct{}
+
+func (leaderProtocol) Info() ProtocolInfo {
+	return ProtocolInfo{
+		Name:        "leader",
+		Family:      "generation",
+		Async:       true,
+		Description: "asynchronous single-leader protocol (Algorithms 2-3)",
+	}
+}
+
+func (leaderProtocol) Run(ctx context.Context, spec Spec) (*Result, error) {
+	assign, err := toInternalAssignment(spec.Assignment, spec.N, spec.K)
+	if err != nil {
+		return nil, err
+	}
+	lat, err := spec.Latency.build()
+	if err != nil {
+		return nil, err
+	}
+	res, err := leader.Run(leader.Config{
+		N: spec.N, K: spec.K, Alpha: spec.Alpha, Assignment: assign,
+		Latency: lat, MaxTime: spec.MaxTime, Seed: spec.Seed,
+		Eps: spec.Eps, RecordEvery: spec.RecordEvery,
+		Ctx: ctx, Observe: spec.observe(), DiscardTrajectory: spec.DiscardTrajectory,
+	})
+	if err != nil {
+		return nil, err
+	}
+	extra := map[string]float64{
+		"c1":     res.C1,
+		"events": float64(res.Events),
+		"gstar":  float64(res.GStar),
+		"phases": float64(len(res.PhaseLog)),
+	}
+	return convertResult(res.Outcome, res.Trajectory, res.FinalCounts,
+		res.EndTime, res.TimedOut, extra), nil
+}
+
+// decentralizedProtocol is Algorithms 4 and 5: clustering (§4.1) followed
+// by consensus coordinated by the cluster leaders.
+type decentralizedProtocol struct{}
+
+func (decentralizedProtocol) Info() ProtocolInfo {
+	return ProtocolInfo{
+		Name:        "decentralized",
+		Family:      "generation",
+		Async:       true,
+		Description: "fully decentralized protocol: clustering + consensus (Algorithms 4-5)",
+	}
+}
+
+func (decentralizedProtocol) Run(ctx context.Context, spec Spec) (*Result, error) {
+	assign, err := toInternalAssignment(spec.Assignment, spec.N, spec.K)
+	if err != nil {
+		return nil, err
+	}
+	lat, err := spec.Latency.build()
+	if err != nil {
+		return nil, err
+	}
+	c := noleader.Config{
+		N: spec.N, K: spec.K, Alpha: spec.Alpha, Assignment: assign,
+		Latency: lat, MaxTime: spec.MaxTime, Seed: spec.Seed,
+		Eps: spec.Eps, RecordEvery: spec.RecordEvery,
+		Ctx: ctx, Observe: spec.observe(), DiscardTrajectory: spec.DiscardTrajectory,
+	}
+	c.Cluster.TargetSize = spec.Async.ClusterTargetSize
+	res, err := noleader.Run(c)
+	if err != nil {
+		return nil, err
+	}
+	extra := map[string]float64{
+		"c1":                 res.C1,
+		"events":             float64(res.Events),
+		"gstar":              float64(res.GStar),
+		"clustering_time":    res.ClusteringTime,
+		"participating_frac": res.Clustering.ParticipatingFrac(),
+		"leaders":            float64(len(res.Clustering.ParticipatingLeaders())),
+	}
+	return convertResult(res.Outcome, res.Trajectory, res.FinalCounts,
+		res.EndTime, res.TimedOut, extra), nil
+}
+
+// baselineProtocol wraps one classical dynamics rule from the paper's
+// related-work section.
+type baselineProtocol struct {
+	rule string
+}
+
+func (p baselineProtocol) Info() ProtocolInfo {
+	return ProtocolInfo{
+		Name:        p.rule,
+		Family:      "baseline",
+		Description: "classical " + p.rule + " dynamics (§1.1 related work)",
+	}
+}
+
+func (p baselineProtocol) Run(ctx context.Context, spec Spec) (*Result, error) {
+	assign, err := toInternalAssignment(spec.Assignment, spec.N, spec.K)
+	if err != nil {
+		return nil, err
+	}
+	r, err := baseline.NewRule(p.rule, xrand.New(spec.Seed).SplitNamed("rule"))
+	if err != nil {
+		return nil, err
+	}
+	bcfg := baseline.Config{
+		N: spec.N, K: spec.K, Alpha: spec.Alpha, Assignment: assign,
+		MaxRounds: spec.MaxSteps, Seed: spec.Seed, Eps: spec.Eps,
+		RecordEvery: spec.recordEveryRounds(),
+		Ctx:         ctx, Observe: spec.observe(), DiscardTrajectory: spec.DiscardTrajectory,
+	}
+	var res *baseline.Result
+	if spec.Baseline.Sequential {
+		res, err = baseline.RunSequential(r, bcfg)
+	} else {
+		res, err = baseline.RunSync(r, bcfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	extra := map[string]float64{"rounds": float64(res.Rounds)}
+	return convertResult(res.Outcome, res.Trajectory, res.FinalCounts,
+		float64(res.Rounds), !res.Outcome.FullConsensus, extra), nil
+}

@@ -79,17 +79,24 @@ func convertResult(out metrics.Outcome, tr metrics.Trajectory, final opinion.Cou
 		FinalCounts:   append([]int(nil), final...),
 		Stats:         extra,
 	}
-	res.Trajectory = make([]TrajectoryPoint, len(tr))
-	for i, p := range tr {
-		res.Trajectory[i] = TrajectoryPoint{
-			Time:          p.Time,
-			TopFrac:       p.TopFrac,
-			PluralityFrac: p.PluralityFrac,
-			Bias:          p.Bias,
-			MaxGen:        p.MaxGen,
+	if len(tr) > 0 {
+		res.Trajectory = make([]TrajectoryPoint, len(tr))
+		for i, p := range tr {
+			res.Trajectory[i] = publicPoint(p)
 		}
 	}
 	return res
+}
+
+// publicPoint converts an internal snapshot to the public trajectory type.
+func publicPoint(p metrics.Point) TrajectoryPoint {
+	return TrajectoryPoint{
+		Time:          p.Time,
+		TopFrac:       p.TopFrac,
+		PluralityFrac: p.PluralityFrac,
+		Bias:          p.Bias,
+		MaxGen:        p.MaxGen,
+	}
 }
 
 // toInternalAssignment validates and converts a public assignment.

@@ -1,0 +1,160 @@
+package plurality
+
+import (
+	"fmt"
+	"math"
+)
+
+// Spec is the unified parameter set of every registered protocol. One Spec
+// value describes one run regardless of the protocol family; fields a
+// protocol does not use are ignored (for example Latency by the synchronous
+// protocol). The zero value of every optional field means "use the engine's
+// documented default".
+type Spec struct {
+	// N is the number of nodes (>= 2; the decentralized protocol needs
+	// >= 8 for its clustering substrate).
+	N int
+	// K is the number of opinions (>= 1).
+	K int
+	// Alpha is the planted initial bias used when Assignment is nil: the
+	// assignment is then PlantedBias(N, K, Alpha, Seed-derived). 0 means
+	// the unbiased worst case (α = 1); values in (0, 1) are invalid.
+	Alpha float64
+	// Assignment optionally fixes the initial opinions (length N, values
+	// in [0, K)). It is not mutated.
+	Assignment []int
+	// Seed drives all randomness of the run.
+	Seed uint64
+	// Eps defines ε-convergence reporting; must lie in [0, 1). 0 means
+	// the paper's 1/log² n.
+	Eps float64
+	// MaxSteps bounds round-based protocols (sync and the baselines) in
+	// synchronous rounds; 0 means an automatic generous horizon.
+	MaxSteps int
+	// MaxTime bounds the asynchronous protocols in virtual time steps;
+	// 0 means an automatic generous horizon.
+	MaxTime float64
+	// RecordEvery sets the snapshot interval: rounds for round-based
+	// protocols (rounded to an integer, minimum 1), virtual time steps for
+	// asynchronous ones. 0 means the protocol default (1 round, or one
+	// snapshot per time unit).
+	RecordEvery float64
+	// Latency describes the channel-establishment distribution T2 of the
+	// asynchronous protocols. The zero value is the paper's Exp(1).
+	Latency LatencySpec
+	// Observer, when non-nil, receives every trajectory snapshot as it is
+	// recorded — the streaming alternative to Result.Trajectory. Under
+	// RunMany or Sweep the same Observer serves concurrent runs and must
+	// be safe for concurrent use.
+	Observer Observer
+	// DiscardTrajectory leaves Result.Trajectory empty so recording costs
+	// O(1) memory instead of O(steps); the outcome (winner, hitting
+	// times) is evaluated incrementally and is unaffected. Combine with
+	// Observer to consume snapshots without accumulating them.
+	DiscardTrajectory bool
+	// Sync holds the synchronous protocol's knobs.
+	Sync SyncOptions
+	// Async holds the asynchronous protocols' knobs.
+	Async AsyncOptions
+	// Baseline holds the baseline dynamics' knobs.
+	Baseline BaselineOptions
+}
+
+// SyncOptions are the knobs specific to the synchronous protocol ("sync").
+type SyncOptions struct {
+	// Gamma is the generation-density threshold γ ∈ (0, 1); 0 means 0.5.
+	Gamma float64
+	// TheoreticalSchedule selects the paper's predefined two-choices
+	// times {t_i} instead of the adaptive density trigger.
+	TheoreticalSchedule bool
+}
+
+// AsyncOptions are the knobs specific to the asynchronous protocols
+// ("leader", "decentralized").
+type AsyncOptions struct {
+	// ClusterTargetSize overrides the decentralized protocol's cluster
+	// size knob; 0 means automatic. Ignored by "leader".
+	ClusterTargetSize int
+}
+
+// BaselineOptions are the knobs specific to the baseline dynamics.
+type BaselineOptions struct {
+	// Sequential uses the population-protocol scheduler (one interaction
+	// at a time, time in parallel rounds) instead of synchronous rounds.
+	Sequential bool
+}
+
+// Observer consumes trajectory snapshots as a run records them. Observe is
+// called synchronously from the run in time order; an expensive Observe
+// slows the run down.
+type Observer interface {
+	Observe(TrajectoryPoint)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(TrajectoryPoint)
+
+// Observe calls f(p).
+func (f ObserverFunc) Observe(p TrajectoryPoint) { f(p) }
+
+// validate centralizes the input checks shared by every protocol. Engine
+// packages keep their own protocol-specific constraints (e.g. the
+// decentralized protocol's N >= 8) on top of these.
+func (s *Spec) validate() error {
+	if s.N < 2 {
+		return fmt.Errorf("plurality: need N >= 2, got %d", s.N)
+	}
+	if s.K < 1 {
+		return fmt.Errorf("plurality: need K >= 1, got %d", s.K)
+	}
+	if s.Assignment == nil {
+		if math.IsNaN(s.Alpha) || math.IsInf(s.Alpha, 0) || (s.Alpha != 0 && s.Alpha < 1) {
+			return fmt.Errorf("plurality: planted bias Alpha %v must be finite and >= 1 (or 0 for the unbiased default)", s.Alpha)
+		}
+	} else {
+		if len(s.Assignment) != s.N {
+			return fmt.Errorf("plurality: assignment length %d != N %d", len(s.Assignment), s.N)
+		}
+		for i, v := range s.Assignment {
+			if v < 0 || v >= s.K {
+				return fmt.Errorf("plurality: assignment[%d] = %d outside [0, %d)", i, v, s.K)
+			}
+		}
+	}
+	if s.Eps < 0 || s.Eps >= 1 || math.IsNaN(s.Eps) {
+		return fmt.Errorf("plurality: Eps %v outside [0, 1)", s.Eps)
+	}
+	if s.MaxSteps < 0 {
+		return fmt.Errorf("plurality: negative MaxSteps %d", s.MaxSteps)
+	}
+	if s.MaxTime < 0 || math.IsNaN(s.MaxTime) || math.IsInf(s.MaxTime, 0) {
+		return fmt.Errorf("plurality: invalid MaxTime %v", s.MaxTime)
+	}
+	if s.RecordEvery < 0 || math.IsNaN(s.RecordEvery) || math.IsInf(s.RecordEvery, 0) {
+		return fmt.Errorf("plurality: invalid RecordEvery %v", s.RecordEvery)
+	}
+	if _, err := s.Latency.build(); err != nil {
+		return err
+	}
+	if g := s.Sync.Gamma; g != 0 && (g <= 0 || g >= 1 || math.IsNaN(g)) {
+		return fmt.Errorf("plurality: Sync.Gamma %v outside (0, 1)", g)
+	}
+	if s.Async.ClusterTargetSize < 0 {
+		return fmt.Errorf("plurality: negative Async.ClusterTargetSize %d", s.Async.ClusterTargetSize)
+	}
+	return nil
+}
+
+// recordEveryRounds converts the continuous RecordEvery knob to the
+// round-based engines' integer interval: 0 keeps the engine default and
+// positive values round to the nearest round, minimum 1.
+func (s *Spec) recordEveryRounds() int {
+	if s.RecordEvery <= 0 {
+		return 0
+	}
+	r := int(math.Round(s.RecordEvery))
+	if r < 1 {
+		r = 1
+	}
+	return r
+}

@@ -1,0 +1,105 @@
+package plurality
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestSpecValidate is the table-driven contract of the centralized input
+// validation every protocol shares.
+func TestSpecValidate(t *testing.T) {
+	valid := Spec{N: 100, K: 4, Alpha: 2}
+	cases := []struct {
+		name    string
+		mutate  func(*Spec)
+		wantErr string // substring; "" means valid
+	}{
+		{"baseline valid", func(s *Spec) {}, ""},
+		{"unbiased alpha zero", func(s *Spec) { s.Alpha = 0 }, ""},
+		{"alpha exactly one", func(s *Spec) { s.Alpha = 1 }, ""},
+		{"n too small", func(s *Spec) { s.N = 1 }, "need N >= 2"},
+		{"n negative", func(s *Spec) { s.N = -5 }, "need N >= 2"},
+		{"k zero", func(s *Spec) { s.K = 0 }, "need K >= 1"},
+		{"alpha below one", func(s *Spec) { s.Alpha = 0.5 }, "Alpha"},
+		{"alpha ignored with assignment", func(s *Spec) {
+			s.Alpha = 0.5
+			s.N = 4
+			s.Assignment = []int{0, 1, 2, 3}
+		}, ""},
+		{"assignment short", func(s *Spec) { s.Assignment = []int{0, 1} }, "assignment length"},
+		{"assignment out of range", func(s *Spec) {
+			s.N = 2
+			s.Assignment = []int{0, 7}
+		}, "outside [0, 4)"},
+		{"assignment negative value", func(s *Spec) {
+			s.N = 2
+			s.Assignment = []int{0, -1}
+		}, "outside [0, 4)"},
+		{"eps negative", func(s *Spec) { s.Eps = -0.1 }, "Eps"},
+		{"eps one", func(s *Spec) { s.Eps = 1 }, "Eps"},
+		{"eps just below one", func(s *Spec) { s.Eps = 0.999 }, ""},
+		{"negative max steps", func(s *Spec) { s.MaxSteps = -1 }, "MaxSteps"},
+		{"negative max time", func(s *Spec) { s.MaxTime = -2 }, "MaxTime"},
+		{"negative record every", func(s *Spec) { s.RecordEvery = -1 }, "RecordEvery"},
+		{"bad latency kind", func(s *Spec) { s.Latency.Kind = "bogus" }, "latency kind"},
+		{"negative latency mean", func(s *Spec) { s.Latency.Mean = -1 }, "latency mean"},
+		{"gamma too large", func(s *Spec) { s.Sync.Gamma = 1.5 }, "Gamma"},
+		{"gamma valid", func(s *Spec) { s.Sync.Gamma = 0.25 }, ""},
+		{"negative cluster size", func(s *Spec) { s.Async.ClusterTargetSize = -3 }, "ClusterTargetSize"},
+		{"alpha NaN", func(s *Spec) { s.Alpha = math.NaN() }, "Alpha"},
+		{"alpha Inf", func(s *Spec) { s.Alpha = math.Inf(1) }, "Alpha"},
+		{"eps NaN", func(s *Spec) { s.Eps = math.NaN() }, "Eps"},
+		{"max time NaN", func(s *Spec) { s.MaxTime = math.NaN() }, "MaxTime"},
+		{"record every NaN", func(s *Spec) { s.RecordEvery = math.NaN() }, "RecordEvery"},
+		{"gamma NaN", func(s *Spec) { s.Sync.Gamma = math.NaN() }, "Gamma"},
+		{"latency mean NaN", func(s *Spec) { s.Latency.Mean = math.NaN() }, "latency mean"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := valid
+			tc.mutate(&spec)
+			err := spec.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("no error, want one mentioning %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestValidationIsSharedByEveryProtocol runs one representative invalid
+// spec through every registered protocol: the error must come from the
+// shared validator, not from per-engine ad-hoc checks.
+func TestValidationIsSharedByEveryProtocol(t *testing.T) {
+	for _, name := range Protocols() {
+		if _, err := Run(nil, name, Spec{N: 1, K: 2}); err == nil ||
+			!strings.Contains(err.Error(), "need N >= 2") {
+			t.Errorf("%s: error %v, want the shared N >= 2 message", name, err)
+		}
+		if _, err := Run(nil, name, Spec{N: 100, K: 2, Eps: 2}); err == nil ||
+			!strings.Contains(err.Error(), "Eps") {
+			t.Errorf("%s: error %v, want the shared Eps message", name, err)
+		}
+	}
+}
+
+func TestRecordEveryRounds(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want int
+	}{{0, 0}, {0.2, 1}, {1, 1}, {1.6, 2}, {8, 8}} {
+		s := Spec{RecordEvery: tc.in}
+		if got := s.recordEveryRounds(); got != tc.want {
+			t.Errorf("recordEveryRounds(%v) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package plurality
+
+import (
+	"context"
+	"fmt"
+
+	"plurality/internal/harness"
+	"plurality/internal/stats"
+)
+
+// RunMany executes reps seeded replications of one protocol in parallel
+// (bounded by GOMAXPROCS) and returns the results in replication order:
+// result i ran with spec.Seed + i and is identical to the corresponding
+// single Run. The first error cancels the remaining replications.
+func RunMany(ctx context.Context, name string, spec Spec, reps int) ([]*Result, error) {
+	if reps <= 0 {
+		return nil, fmt.Errorf("plurality: RunMany with reps=%d", reps)
+	}
+	p, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	results := make([]*Result, reps)
+	err = harness.ForEach(ctx, reps, func(ctx context.Context, i int) error {
+		s := spec
+		s.Seed = spec.Seed + uint64(i)
+		res, err := p.Run(ctx, s)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Summary aggregates one metric over the replications of a sweep cell.
+type Summary struct {
+	// N is the number of observations.
+	N int
+	// Mean is the sample mean and SE its standard error.
+	Mean, SE float64
+	// Min and Max bracket the observations.
+	Min, Max float64
+}
+
+func summarize(s *stats.Summary) Summary {
+	return Summary{N: s.N(), Mean: s.Mean(), SE: s.SE(), Min: s.Min(), Max: s.Max()}
+}
+
+// SweepConfig describes a factor-grid sweep of one protocol.
+type SweepConfig struct {
+	// Protocol is the registered protocol name to run.
+	Protocol string
+	// Base is the Spec shared by every grid point; the grid axes override
+	// its N, K and Alpha per cell, and replication r runs with seed
+	// Base.Seed + r·10⁶ + 1 so cells reuse seeds but replications never
+	// collide within one cell.
+	Base Spec
+	// Ns, Ks and Alphas are the grid axes; an empty axis means the single
+	// value from Base.
+	Ns     []int
+	Ks     []int
+	Alphas []float64
+	// Reps is the number of seeded replications per grid point; default 5.
+	Reps int
+	// Metrics optionally maps each Result to named measurements. nil means
+	// the standard set: duration, plurality_won (0/1 for plurality victory
+	// with full consensus), eps_time (when ε-convergence was reached) and
+	// consensus_time (when full consensus was reached).
+	Metrics func(*Result) map[string]float64
+}
+
+// SweepCell is one grid point's aggregated outcome.
+type SweepCell struct {
+	// N, K and Alpha locate the cell in the grid.
+	N, K  int
+	Alpha float64
+	// Metrics holds the aggregated measurements of the cell.
+	Metrics map[string]Summary
+}
+
+// SweepResult is the outcome of a Sweep, renderable as an aligned ASCII
+// table or CSV.
+type SweepResult struct {
+	// Protocol is the protocol that ran.
+	Protocol string
+	// Cells holds one entry per grid point, in grid order (n-major, then
+	// k, then alpha).
+	Cells []SweepCell
+
+	table *harness.Table
+}
+
+// Render returns the sweep as an aligned ASCII table.
+func (r *SweepResult) Render() string { return r.table.Render() }
+
+// CSV returns the sweep in CSV form (mean, SE and count per metric).
+func (r *SweepResult) CSV() string { return r.table.CSV() }
+
+// StandardMetrics is the default per-run measurement set used by Sweep.
+func StandardMetrics(res *Result) map[string]float64 {
+	m := map[string]float64{
+		"duration": res.Duration,
+	}
+	if res.PluralityWon && res.FullConsensus {
+		m["plurality_won"] = 1
+	} else {
+		m["plurality_won"] = 0
+	}
+	if res.EpsReached {
+		m["eps_time"] = res.EpsTime
+	}
+	if res.FullConsensus {
+		m["consensus_time"] = res.ConsensusTime
+	}
+	return m
+}
+
+// Sweep runs one protocol across the factor grid of cfg, replicating every
+// grid point with distinct seeds in parallel, and aggregates the metrics
+// per cell. It stops at the first error — including ctx cancellation, which
+// every underlying run honours promptly.
+func Sweep(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p, err := Lookup(cfg.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	reps := cfg.Reps
+	if reps <= 0 {
+		reps = 5
+	}
+	metricFn := cfg.Metrics
+	order := []string{}
+	if metricFn == nil {
+		metricFn = StandardMetrics
+		order = []string{"duration", "eps_time", "consensus_time", "plurality_won"}
+	}
+	ns := cfg.Ns
+	if len(ns) == 0 {
+		ns = []int{cfg.Base.N}
+	}
+	ks := cfg.Ks
+	if len(ks) == 0 {
+		ks = []int{cfg.Base.K}
+	}
+	alphas := cfg.Alphas
+	if len(alphas) == 0 {
+		alphas = []float64{cfg.Base.Alpha}
+	}
+
+	out := &SweepResult{
+		Protocol: cfg.Protocol,
+		table: harness.NewTable(fmt.Sprintf("sweep: %s", cfg.Protocol),
+			[]string{"n", "k", "alpha"}, order),
+	}
+	for _, n := range ns {
+		for _, k := range ks {
+			for _, a := range alphas {
+				spec := cfg.Base
+				spec.N, spec.K, spec.Alpha = n, k, a
+				if err := spec.validate(); err != nil {
+					return nil, err
+				}
+				// The spec is validated above and the protocol resolved
+				// once, so replications go straight to the engine.
+				agg, err := harness.ReplicateCtx(ctx, reps,
+					func(rctx context.Context, rep uint64) (harness.Metrics, error) {
+						s := spec
+						s.Seed = cfg.Base.Seed + rep*1e6 + 1
+						res, err := p.Run(rctx, s)
+						if err != nil {
+							return nil, err
+						}
+						return metricFn(res), nil
+					})
+				if err != nil {
+					return nil, err
+				}
+				out.table.Append(map[string]float64{
+					"n": float64(n), "k": float64(k), "alpha": a,
+				}, agg)
+				cell := SweepCell{N: n, K: k, Alpha: a,
+					Metrics: make(map[string]Summary, len(agg))}
+				for name, s := range agg {
+					cell.Metrics[name] = summarize(s)
+				}
+				out.Cells = append(out.Cells, cell)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,119 @@
+package plurality
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRunManyMatchesSingleRuns(t *testing.T) {
+	spec := Spec{N: 500, K: 2, Alpha: 3, Seed: 40}
+	many, err := RunMany(context.Background(), "sync", spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(many) != 4 {
+		t.Fatalf("got %d results", len(many))
+	}
+	for i, got := range many {
+		s := spec
+		s.Seed = spec.Seed + uint64(i)
+		want, err := Run(context.Background(), "sync", s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("replication %d differs from the equivalent single run", i)
+		}
+	}
+}
+
+func TestRunManyErrors(t *testing.T) {
+	if _, err := RunMany(context.Background(), "sync", Spec{N: 100, K: 2}, 0); err == nil {
+		t.Error("reps=0 accepted")
+	}
+	if _, err := RunMany(context.Background(), "bogus", Spec{N: 100, K: 2}, 2); !errors.Is(err, ErrUnknownProtocol) {
+		t.Errorf("err = %v, want ErrUnknownProtocol", err)
+	}
+	if _, err := RunMany(context.Background(), "sync", Spec{N: 1, K: 2}, 2); err == nil ||
+		!strings.Contains(err.Error(), "need N >= 2") {
+		t.Errorf("err = %v, want shared validation error", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunMany(ctx, "sync", Spec{N: 5000, K: 4, Alpha: 2}, 8); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSweepGrid(t *testing.T) {
+	res, err := Sweep(context.Background(), SweepConfig{
+		Protocol: "sync",
+		Base:     Spec{Seed: 7},
+		Ns:       []int{400, 800},
+		Ks:       []int{2, 4},
+		Alphas:   []float64{3},
+		Reps:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(res.Cells))
+	}
+	first := res.Cells[0]
+	if first.N != 400 || first.K != 2 || first.Alpha != 3 {
+		t.Errorf("grid order wrong: %+v", first)
+	}
+	for _, cell := range res.Cells {
+		d, ok := cell.Metrics["duration"]
+		if !ok || d.N != 2 || d.Mean <= 0 {
+			t.Errorf("cell %+v: bad duration summary %+v", cell, d)
+		}
+		if won := cell.Metrics["plurality_won"]; won.Mean != 1 {
+			t.Errorf("cell n=%d k=%d: plurality_won %v, want 1 at alpha=3",
+				cell.N, cell.K, won.Mean)
+		}
+	}
+	if out := res.Render(); !strings.Contains(out, "sweep: sync") {
+		t.Errorf("Render missing caption:\n%s", out)
+	}
+	if csv := res.CSV(); !strings.Contains(csv, "duration_mean") {
+		t.Errorf("CSV missing metric column:\n%s", csv)
+	}
+}
+
+func TestSweepCustomMetricsAndErrors(t *testing.T) {
+	res, err := Sweep(context.Background(), SweepConfig{
+		Protocol: "two-choices",
+		Base:     Spec{N: 300, K: 2, Alpha: 4, Seed: 1},
+		Reps:     2,
+		Metrics: func(r *Result) map[string]float64 {
+			return map[string]float64{"winner": float64(r.Winner)}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 || res.Cells[0].Metrics["winner"].N != 2 {
+		t.Fatalf("custom metrics not aggregated: %+v", res.Cells)
+	}
+
+	if _, err := Sweep(context.Background(), SweepConfig{Protocol: "bogus"}); !errors.Is(err, ErrUnknownProtocol) {
+		t.Errorf("err = %v, want ErrUnknownProtocol", err)
+	}
+	if _, err := Sweep(context.Background(), SweepConfig{
+		Protocol: "sync", Base: Spec{K: 2}, Ns: []int{1},
+	}); err == nil {
+		t.Error("invalid grid point accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Sweep(ctx, SweepConfig{
+		Protocol: "sync", Base: Spec{N: 400, K: 2, Alpha: 3},
+	}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
