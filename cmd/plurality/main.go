@@ -10,13 +10,19 @@
 //	plurality -protocol decentralized -n 5000 -k 4 -alpha 2
 //	plurality -protocol 3-majority -n 10000 -k 8 -alpha 2 -sequential
 //	plurality -protocol sync -n 1000000 -k 8 -alpha 1.5 -stream
+//	plurality -protocol 3-majority -n 1024 -k 2 -alpha 4 -topology torus
+//	plurality -protocol sync -n 10000 -k 4 -topology random-regular -degree 8
+//	plurality -protocol sync -n 10000 -k 4 -topology erdos-renyi -p 0.002 -json
 //
 // Protocols: everything listed by plurality.Protocols() — sync, leader,
-// decentralized, and the four baseline dynamics.
+// decentralized, and the four baseline dynamics. Topologies: everything
+// listed by plurality.Topologies(); the default complete graph is the
+// paper's model.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,8 +47,17 @@ func main() {
 		maxTime     = flag.Float64("max-time", 0, "abort horizon (async protocols)")
 		sequential  = flag.Bool("sequential", false, "population-protocol scheduler (baselines)")
 		trajectory  = flag.Bool("trajectory", false, "print the full trajectory")
-		stream      = flag.Bool("stream", false, "stream snapshots as they happen without accumulating them")
+		stream      = flag.Bool("stream", false, "do not accumulate the trajectory (O(1) memory); without -json, print snapshots live")
 		quiet       = flag.Bool("q", false, "print only the outcome line")
+		jsonOut     = flag.Bool("json", false, "emit the run as one JSON object on stdout (for analysis scripts); with -stream the object omits the trajectory")
+
+		topology  = flag.String("topology", "complete", "interaction graph: complete | ring | torus | random-regular | erdos-renyi")
+		width     = flag.Int("width", 0, "ring half-width (neighbors v±1..v±width); 0 means 1")
+		rows      = flag.Int("rows", 0, "torus rows; 0 infers from n and -cols (near-square when both are 0)")
+		cols      = flag.Int("cols", 0, "torus cols; 0 infers from n and -rows (near-square when both are 0)")
+		degree    = flag.Int("degree", 0, "random-regular degree; 0 means 4")
+		p         = flag.Float64("p", 0, "erdos-renyi edge probability; 0 means 2·ln(n)/n")
+		graphSeed = flag.Uint64("graph-seed", 0, "pin the random-graph construction seed; 0 derives it from -seed")
 	)
 	flag.Parse()
 
@@ -57,8 +72,13 @@ func main() {
 			if info.Async {
 				unit = "virtual time"
 			}
-			fmt.Printf("%-16s %-12s %-12s %s\n", info.Name, info.Family, unit, info.Description)
+			graphs := "clique-only"
+			if info.TopologyAware {
+				graphs = "any topology"
+			}
+			fmt.Printf("%-16s %-12s %-12s %-13s %s\n", info.Name, info.Family, unit, graphs, info.Description)
 		}
+		fmt.Printf("\ntopologies: %v\n", plurality.Topologies())
 		return
 	}
 
@@ -70,15 +90,26 @@ func main() {
 		Latency:  plurality.LatencySpec{Kind: *latencyKind, Mean: *latencyMean},
 		Sync:     plurality.SyncOptions{Gamma: *gamma, TheoreticalSchedule: *theoretical},
 		Baseline: plurality.BaselineOptions{Sequential: *sequential},
+		Topology: plurality.TopologySpec{
+			Kind: *topology, Width: *width, Rows: *rows, Cols: *cols,
+			Degree: *degree, P: *p, GraphSeed: *graphSeed,
+		},
 	}
+	// -stream always keeps recording memory O(1); the live snapshot printer
+	// only makes sense for the human-readable output, not inside -json.
 	if *stream {
 		spec.DiscardTrajectory = true
-		spec.Observer = plurality.ObserverFunc(func(p plurality.TrajectoryPoint) {
-			fmt.Printf("%10.2f  %8.4f  %8.4f  %10.3g  %6d\n",
-				p.Time, p.TopFrac, p.PluralityFrac, p.Bias, p.MaxGen)
-		})
-		fmt.Printf("%10s  %8s  %8s  %10s  %6s\n", "time", "top", "plural", "bias", "gen")
+		if !*jsonOut {
+			spec.Observer = plurality.ObserverFunc(func(p plurality.TrajectoryPoint) {
+				fmt.Printf("%10.2f  %8.4f  %8.4f  %10.3g  %6d\n",
+					p.Time, p.TopFrac, p.PluralityFrac, p.Bias, p.MaxGen)
+			})
+			fmt.Printf("%10s  %8s  %8s  %10s  %6s\n", "time", "top", "plural", "bias", "gen")
+		}
 	}
+
+	// Label the interaction graph a run actually uses (defaults resolved).
+	topoLabel := spec.Topology.ResolvedLabel(*n)
 
 	res, err := plurality.Run(ctx, *protocol, spec)
 	if err != nil {
@@ -86,9 +117,30 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *jsonOut {
+		out := struct {
+			Protocol string            `json:"protocol"`
+			N        int               `json:"n"`
+			K        int               `json:"k"`
+			Alpha    float64           `json:"alpha"`
+			Seed     uint64            `json:"seed"`
+			Topology string            `json:"topology"`
+			Result   *plurality.Result `json:"result"`
+		}{*protocol, *n, *k, *alpha, *seed, topoLabel, res}
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !res.PluralityWon {
+			os.Exit(2)
+		}
+		return
+	}
+
 	if !*quiet {
-		fmt.Printf("protocol=%s n=%d k=%d alpha=%g seed=%d\n",
-			*protocol, *n, *k, *alpha, *seed)
+		fmt.Printf("protocol=%s n=%d k=%d alpha=%g seed=%d topology=%s\n",
+			*protocol, *n, *k, *alpha, *seed, topoLabel)
 		if *trajectory && !*stream {
 			fmt.Printf("%10s  %8s  %8s  %10s  %6s\n", "time", "top", "plural", "bias", "gen")
 			for _, p := range res.Trajectory {

@@ -8,6 +8,8 @@
 //	sweep -protocol sync -n 1000,10000,100000 -k 8 -alpha 2 -reps 5
 //	sweep -protocol leader -n 2000 -k 2,4,8,16 -alpha 1.5
 //	sweep -protocol 3-majority -n 10000 -k 4 -alpha 2 -csv
+//	sweep -protocol 3-majority -n 1024 -k 2 -alpha 4 -topology complete,torus,ring
+//	sweep -protocol sync -n 10000 -k 4 -topology random-regular -degree 8
 package main
 
 import (
@@ -33,6 +35,10 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "seed offset")
 		latMean  = flag.Float64("latency-mean", 1, "mean channel latency (async)")
 		csvOut   = flag.Bool("csv", false, "emit CSV instead of an ASCII table")
+		topos    = flag.String("topology", "", "comma-separated topology factor (complete | ring | torus | random-regular | erdos-renyi); empty means the complete graph only")
+		width    = flag.Int("width", 0, "ring half-width for the ring topology; 0 means 1")
+		degree   = flag.Int("degree", 0, "degree for the random-regular topology; 0 means 4")
+		p        = flag.Float64("p", 0, "edge probability for the erdos-renyi topology; 0 means 2·ln(n)/n")
 	)
 	flag.Parse()
 
@@ -41,6 +47,8 @@ func main() {
 	kList, err := parseInts(*ks)
 	ok(err)
 	aList, err := parseFloats(*alphas)
+	ok(err)
+	tList, err := parseTopologies(*topos, *width, *degree, *p)
 	ok(err)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -52,10 +60,11 @@ func main() {
 			Seed:    *seed,
 			Latency: plurality.LatencySpec{Mean: *latMean},
 		},
-		Ns:     nList,
-		Ks:     kList,
-		Alphas: aList,
-		Reps:   *reps,
+		Ns:         nList,
+		Ks:         kList,
+		Alphas:     aList,
+		Topologies: tList,
+		Reps:       *reps,
 	})
 	ok(err)
 	if *csvOut {
@@ -74,6 +83,29 @@ func parseInts(s string) ([]int, error) {
 			return nil, fmt.Errorf("sweep: bad integer %q", p)
 		}
 		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseTopologies builds the topology axis from a comma-separated kind list;
+// the shared width/degree/p knobs apply to every entry of their kind.
+func parseTopologies(s string, width, degree int, p float64) ([]plurality.TopologySpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	known := map[string]bool{}
+	for _, k := range plurality.Topologies() {
+		known[k] = true
+	}
+	var out []plurality.TopologySpec
+	for _, part := range strings.Split(s, ",") {
+		kind := strings.TrimSpace(part)
+		if !known[kind] {
+			return nil, fmt.Errorf("sweep: unknown topology %q (have %v)", kind, plurality.Topologies())
+		}
+		out = append(out, plurality.TopologySpec{
+			Kind: kind, Width: width, Degree: degree, P: p,
+		})
 	}
 	return out, nil
 }

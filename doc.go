@@ -30,8 +30,16 @@
 // layer without further wiring.
 //
 // For batches, RunMany replicates one spec across seeds in parallel and
-// Sweep runs a protocol over an (n, k, α) factor grid with aggregated
-// metrics, renderable as a table or CSV.
+// Sweep runs a protocol over an (n, k, α, topology) factor grid with
+// aggregated metrics, renderable as a table or CSV.
+//
+// Every protocol samples its interaction partners through a pluggable
+// topology (Spec.Topology): the default complete graph — the paper's model,
+// byte-identical to earlier releases for the same seed and free of
+// per-sample allocations — or a ring, torus, random regular graph or
+// Erdős–Rényi graph (Topologies() lists the kinds). The paper's theorems
+// cover the complete graph only; the sparse kinds open the general-graph
+// regime of the related literature.
 //
 // Asynchronous protocols run on a deterministic discrete-event simulation of
 // the paper's communication model: a rate-1 Poisson clock per node and a

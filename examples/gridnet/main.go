@@ -1,0 +1,83 @@
+// Gridnet: the same consensus dynamics on a clique versus a torus — a
+// sensor mesh whose devices can only reach their four grid neighbors. The
+// paper's analysis lives on the complete graph; this example measures what
+// its absence costs. On the clique, 3-majority with a planted bias settles
+// in a handful of rounds. On the 32×32 torus the identical rule crawls:
+// information spreads along grid distance, the minority survives in spatial
+// pockets, and consensus time grows by an order of magnitude or more. The
+// ring is worse still — its diameter is Θ(n) instead of Θ(√n). Topology is
+// one Spec field; nothing else changes.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"plurality"
+)
+
+func main() {
+	const (
+		n     = 1024 // 32×32
+		k     = 2
+		alpha = 4.0
+		reps  = 5
+	)
+	fmt.Printf("grid mesh: %d devices, %d firmware candidates, bias %.0f (%d seeds each)\n\n",
+		n, k, alpha, reps)
+	fmt.Printf("%-19s  %10s  %12s  %12s  %10s\n",
+		"topology", "avg degree", "eps rounds", "consensus", "result")
+
+	topologies := []plurality.TopologySpec{
+		{}, // complete graph: the paper's model
+		{Kind: plurality.TopologyRandomRegular, Degree: 4},
+		{Kind: plurality.TopologyTorus}, // 32×32
+		{Kind: plurality.TopologyRing, Width: 2},
+	}
+	base := 0.0
+	for _, tp := range topologies {
+		results, err := plurality.RunMany(context.Background(), "3-majority", plurality.Spec{
+			N: n, K: k, Alpha: alpha, Seed: 7, MaxSteps: 20_000, Topology: tp,
+		}, reps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var epsSum, consSum float64
+		epsCount, consCount := 0, 0
+		degree := float64(n - 1)
+		for _, res := range results {
+			if d, ok := res.Stats["topology_avg_degree"]; ok {
+				degree = d
+			}
+			if res.EpsReached {
+				epsSum += res.EpsTime
+				epsCount++
+			}
+			if res.FullConsensus {
+				consSum += res.ConsensusTime
+				consCount++
+			}
+		}
+		eps, cons := "-", "-"
+		if epsCount > 0 {
+			eps = fmt.Sprintf("%.1f", epsSum/float64(epsCount))
+		}
+		slowdown := ""
+		if consCount > 0 {
+			mean := consSum / float64(consCount)
+			if base == 0 {
+				base = mean
+			} else if base > 0 {
+				slowdown = fmt.Sprintf(" (%.0fx)", mean/base)
+			}
+			cons = fmt.Sprintf("%.1f%s", mean, slowdown)
+		}
+		fmt.Printf("%-19s  %10.1f  %12s  %12s  %10s\n",
+			tp.ResolvedLabel(n), degree, eps, cons,
+			fmt.Sprintf("%d/%d done", consCount, len(results)))
+	}
+	fmt.Println("\ntakeaway: the protocols' speed leans on the clique's expansion.")
+	fmt.Println("A degree-4 random graph (an expander) stays close to the clique,")
+	fmt.Println("while the torus and the ring pay for their Θ(√n) and Θ(n) diameters.")
+}

@@ -85,7 +85,7 @@ func RunPoisson(rule Rule, cfg Config, lat sim.Latency) (*Result, error) {
 		locked[v] = true
 		targets := make([]int, nSamples)
 		for i := range targets {
-			targets[i] = sampleOther(smp, cfg.N, v)
+			targets[i] = cfg.Topo.SampleNeighbor(smp, v)
 		}
 		d := 0.0
 		for range targets {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"plurality/internal/opinion"
+	"plurality/internal/topo"
 	"plurality/internal/xrand"
 )
 
@@ -235,13 +236,14 @@ func BenchmarkThreeMajorityRound(b *testing.B) {
 	r := xrand.New(1)
 	rule := &ThreeMajority{R: r}
 	cols := opinion.PlantedBias(10000, 8, 2, r)
+	tp := topo.NewComplete(len(cols))
 	next := make([]opinion.Opinion, len(cols))
 	samples := make([]opinion.Opinion, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for v := range cols {
 			for j := range samples {
-				samples[j] = cols[sampleOther(r, len(cols), v)]
+				samples[j] = cols[tp.SampleNeighbor(r, v)]
 			}
 			next[v] = rule.Update(cols[v], samples)
 		}

@@ -6,6 +6,7 @@ import (
 
 	"plurality/internal/metrics"
 	"plurality/internal/opinion"
+	"plurality/internal/topo"
 	"plurality/internal/xrand"
 )
 
@@ -26,6 +27,9 @@ type Config struct {
 	RecordEvery int
 	// Eps defines ε-convergence for the outcome; default 1/log² n.
 	Eps float64
+	// Topo is the interaction graph samples are drawn from; nil means the
+	// complete graph on N nodes. Its size must equal N.
+	Topo topo.Sampler
 	// Ctx cancels or bounds the run; checked about once per (parallel)
 	// round. nil means never cancelled.
 	Ctx context.Context
@@ -88,6 +92,11 @@ func (cfg *Config) normalize() error {
 		l := float64(intLog2(cfg.N))
 		cfg.Eps = 1 / (l * l)
 	}
+	tp, err := topo.OrComplete(cfg.Topo, cfg.N)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	cfg.Topo = tp
 	return nil
 }
 
@@ -142,7 +151,7 @@ func RunSync(rule Rule, cfg Config) (*Result, error) {
 		}
 		for v := 0; v < cfg.N; v++ {
 			for i := range samples {
-				samples[i] = cols[sampleOther(stepRNG, cfg.N, v)]
+				samples[i] = cols[cfg.Topo.SampleNeighbor(stepRNG, v)]
 			}
 			next[v] = rule.Update(cols[v], samples)
 		}
@@ -187,7 +196,7 @@ func RunSequential(rule Rule, cfg Config) (*Result, error) {
 		}
 		v := stepRNG.Intn(cfg.N)
 		for i := range samples {
-			samples[i] = cols[sampleOther(stepRNG, cfg.N, v)]
+			samples[i] = cols[cfg.Topo.SampleNeighbor(stepRNG, v)]
 		}
 		cols[v] = rule.Update(cols[v], samples)
 		if it%(cfg.RecordEvery*cfg.N) == 0 {
@@ -203,14 +212,6 @@ func RunSequential(rule Rule, cfg Config) (*Result, error) {
 	res.Trajectory = rec.Trajectory()
 	res.Outcome = rec.Outcome(res.FinalCounts, plurality)
 	return res, nil
-}
-
-func sampleOther(r *xrand.RNG, n, v int) int {
-	u := r.Intn(n - 1)
-	if u >= v {
-		u++
-	}
-	return u
 }
 
 func monochromatic(cols []opinion.Opinion, k int) bool {

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"plurality/internal/sim"
+	"plurality/internal/topo"
 	"plurality/internal/xrand"
 )
 
@@ -73,6 +74,10 @@ func Broadcast(cl *Clustering, lat sim.Latency, seed uint64, maxTime float64) (*
 	}
 
 	n := cl.N
+	tp, err := topo.OrComplete(cl.Topo, n)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
 	locked := make([]bool, n)
 	tick := func(v int) {
 		my := int(cl.LeaderOf[v])
@@ -83,8 +88,8 @@ func Broadcast(cl *Clustering, lat sim.Latency, seed uint64, maxTime float64) (*
 			return
 		}
 		locked[v] = true
-		a := sampleOther(smp, n, v)
-		b := sampleOther(smp, n, v)
+		a := tp.SampleNeighbor(smp, v)
+		b := tp.SampleNeighbor(smp, v)
 		// Own leader + two contacts in parallel, then their leaders in
 		// parallel: max(T2,T2,T2) + max(T2,T2).
 		d := math.Max(lat.Sample(latR), math.Max(lat.Sample(latR), lat.Sample(latR))) +

@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"plurality/internal/sim"
+	"plurality/internal/topo"
 	"plurality/internal/xrand"
 )
 
@@ -46,6 +47,11 @@ type Params struct {
 	RebroadcastTime float64
 	// Latency is the channel-establishment distribution; default Exp(1).
 	Latency sim.Latency
+	// Topo is the interaction graph random contacts are sampled from; nil
+	// means the complete graph on N nodes (the paper's model). Its size
+	// must equal N. Signals to an already-known leader are addressed
+	// directly and do not traverse the graph.
+	Topo topo.Sampler
 	// MaxTime aborts formation (virtual time steps); default
 	// 64·log₂ log₂ n·(1 + mean latency) + 64.
 	MaxTime float64
@@ -85,6 +91,11 @@ func (p *Params) normalize() error {
 	if p.Latency == nil {
 		p.Latency = sim.ExpLatency{Rate: 1}
 	}
+	tp, err := topo.OrComplete(p.Topo, p.N)
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	p.Topo = tp
 	if p.C2Mult == 0 {
 		p.C2Mult = 1
 	}
@@ -149,6 +160,9 @@ type Clustering struct {
 	// TimedOut reports whether MaxTime was hit before every big-cluster
 	// leader switched.
 	TimedOut bool
+	// Topo is the interaction graph formation ran on; Broadcast and the
+	// consensus phase reuse it so all three phases share one topology.
+	Topo topo.Sampler
 }
 
 // ParticipatingLeaders returns the leaders that are in consensus mode,
@@ -239,6 +253,7 @@ func Form(p Params) (*Clustering, error) {
 		SwitchTime:      make(map[int]float64, len(leaders)),
 		FirstSwitch:     -1,
 		LastSwitch:      -1,
+		Topo:            p.Topo,
 	}
 	clustered = len(leaders)
 
@@ -297,9 +312,9 @@ func Form(p Params) (*Clustering, error) {
 		// Contact own leader (if any) and three random nodes in parallel,
 		// then the leader of one of them: accumulated latency
 		// max(T2,T2,T2,T2) + T2.
-		c1 := sampleOther(smp, n, v)
-		c2 := sampleOther(smp, n, v)
-		c3 := sampleOther(smp, n, v)
+		c1 := p.Topo.SampleNeighbor(smp, v)
+		c2 := p.Topo.SampleNeighbor(smp, v)
+		c3 := p.Topo.SampleNeighbor(smp, v)
 		d := math.Max(math.Max(p.Latency.Sample(latR), p.Latency.Sample(latR)),
 			math.Max(p.Latency.Sample(latR), p.Latency.Sample(latR))) +
 			p.Latency.Sample(latR)
@@ -418,12 +433,4 @@ func Form(p Params) (*Clustering, error) {
 		}
 	}
 	return cl, nil
-}
-
-func sampleOther(r *xrand.RNG, n, v int) int {
-	u := r.Intn(n - 1)
-	if u >= v {
-		u++
-	}
-	return u
 }

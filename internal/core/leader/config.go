@@ -23,6 +23,7 @@ import (
 	"plurality/internal/metrics"
 	"plurality/internal/opinion"
 	"plurality/internal/sim"
+	"plurality/internal/topo"
 	"plurality/internal/xrand"
 )
 
@@ -37,6 +38,11 @@ type Config struct {
 	// Latency is the channel-establishment distribution T2; default
 	// sim.ExpLatency{Rate: 1}, the paper's model with λ = 1.
 	Latency sim.Latency
+	// Topo is the interaction graph the two random contacts are sampled
+	// from; nil means the complete graph on N nodes (the paper's model).
+	// Its size must equal N. The leader channel is unaffected: 0- and
+	// gen-signals reach the leader on any topology.
+	Topo topo.Sampler
 	// C1 is the number of time steps per time unit; default the measured
 	// 0.9-quantile of T3 = T'2 + T1 + T'2 for the configured latency
 	// (§3.1). It only affects the derived C3 default and reporting.
@@ -109,6 +115,11 @@ func (cfg *Config) normalize() error {
 	if cfg.Latency == nil {
 		cfg.Latency = sim.ExpLatency{Rate: 1}
 	}
+	tp, err := topo.OrComplete(cfg.Topo, cfg.N)
+	if err != nil {
+		return fmt.Errorf("leader: %w", err)
+	}
+	cfg.Topo = tp
 	if cfg.GenFraction == 0 {
 		cfg.GenFraction = 0.5
 	}

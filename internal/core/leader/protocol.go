@@ -295,8 +295,8 @@ func (rs *runState) tick(v int) {
 	rs.locked[v] = true
 	// Lines 3-4: dial v', v'' in parallel, then the leader. Targets are
 	// chosen now; states are read when all channels are up.
-	a := sampleOther(rs.tickR, rs.cfg.N, v)
-	b := sampleOther(rs.tickR, rs.cfg.N, v)
+	a := rs.cfg.Topo.SampleNeighbor(rs.tickR, v)
+	b := rs.cfg.Topo.SampleNeighbor(rs.tickR, v)
 	d := math.Max(rs.lat.Sample(rs.latR), rs.lat.Sample(rs.latR)) +
 		rs.lat.Sample(rs.latR)
 	rs.sm.After(d, func() { rs.complete(v, a, b) })
@@ -416,12 +416,4 @@ func (rs *runState) leaderSignal(i int) {
 				Time: rs.sm.Now(), Gen: rs.leaderGen, Phase: PhaseTwoChoices})
 		}
 	}
-}
-
-func sampleOther(r *xrand.RNG, n, v int) int {
-	u := r.Intn(n - 1)
-	if u >= v {
-		u++
-	}
-	return u
 }

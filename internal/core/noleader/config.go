@@ -23,6 +23,7 @@ import (
 	"plurality/internal/metrics"
 	"plurality/internal/opinion"
 	"plurality/internal/sim"
+	"plurality/internal/topo"
 	"plurality/internal/xrand"
 )
 
@@ -36,8 +37,12 @@ type Config struct {
 	Assignment []opinion.Opinion
 	// Latency is the channel-establishment distribution; default Exp(1).
 	Latency sim.Latency
-	// Cluster optionally overrides the clustering parameters; N, Latency
-	// and Seed are filled in from this Config.
+	// Topo is the interaction graph random contacts are sampled from, in
+	// both the clustering and the consensus phase; nil means the complete
+	// graph on N nodes (the paper's model). Its size must equal N.
+	Topo topo.Sampler
+	// Cluster optionally overrides the clustering parameters; N, Latency,
+	// Topo and Seed are filled in from this Config.
 	Cluster cluster.Params
 	// C1 is the steps-per-time-unit constant; default the measured
 	// 0.9-quantile of the multi-leader waiting time T3 with
@@ -89,6 +94,11 @@ func (cfg *Config) normalize() error {
 	if cfg.Latency == nil {
 		cfg.Latency = sim.ExpLatency{Rate: 1}
 	}
+	tp, err := topo.OrComplete(cfg.Topo, cfg.N)
+	if err != nil {
+		return fmt.Errorf("noleader: %w", err)
+	}
+	cfg.Topo = tp
 	if cfg.C1 <= 0 {
 		cfg.C1 = EstimateC1(cfg.Latency, cfg.Seed)
 	}

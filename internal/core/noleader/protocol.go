@@ -110,6 +110,7 @@ func Run(cfg Config) (*Result, error) {
 	cp := cfg.Cluster
 	cp.N = cfg.N
 	cp.Latency = cfg.Latency
+	cp.Topo = cfg.Topo
 	cp.Seed = root.SplitNamed("clustering").Uint64()
 	cp.Ctx = cfg.Ctx
 	cl, err := cluster.Form(cp)

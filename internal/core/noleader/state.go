@@ -189,10 +189,9 @@ func (rs *consensusState) tick(v int) {
 	rs.locked[v] = true
 
 	// Sample v1, v2, v3 now; their states are read at channel completion.
-	n := rs.cfg.N
-	v1 := sampleOther(rs.smp, n, v)
-	v2 := sampleOther(rs.smp, n, v)
-	v3 := sampleOther(rs.smp, n, v)
+	v1 := rs.cfg.Topo.SampleNeighbor(rs.smp, v)
+	v2 := rs.cfg.Topo.SampleNeighbor(rs.smp, v)
+	v3 := rs.cfg.Topo.SampleNeighbor(rs.smp, v)
 	// Accumulated latency: three contacts in parallel, then own leader and
 	// v3's leader in parallel (§4.3).
 	lat := rs.cfg.Latency
@@ -287,12 +286,4 @@ func (rs *consensusState) complete(v, v1, v2, v3, myLeader int, participates boo
 	if int(rs.gens[v]) >= rs.gStar {
 		rs.finished[v] = true
 	}
-}
-
-func sampleOther(r *xrand.RNG, n, v int) int {
-	u := r.Intn(n - 1)
-	if u >= v {
-		u++
-	}
-	return u
 }

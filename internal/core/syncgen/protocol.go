@@ -7,6 +7,7 @@ import (
 
 	"plurality/internal/metrics"
 	"plurality/internal/opinion"
+	"plurality/internal/topo"
 	"plurality/internal/xrand"
 )
 
@@ -42,6 +43,10 @@ type Config struct {
 	Seed uint64
 	// RecordEvery sets the snapshot interval in steps; default 1.
 	RecordEvery int
+	// Topo is the interaction graph partners are sampled from; nil means
+	// the complete graph on N nodes (the paper's model). Its size must
+	// equal N.
+	Topo topo.Sampler
 	// Eps defines ε-convergence for the reported outcome; default 1/log² n.
 	Eps float64
 	// Ctx cancels or bounds the run; checked once per synchronous step.
@@ -120,6 +125,11 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.RecordEvery <= 0 {
 		cfg.RecordEvery = 1
 	}
+	tp, err := topo.OrComplete(cfg.Topo, cfg.N)
+	if err != nil {
+		return nil, fmt.Errorf("syncgen: %w", err)
+	}
+	cfg.Topo = tp
 
 	rng := xrand.New(cfg.Seed)
 	cols := make([]opinion.Opinion, cfg.N)
@@ -199,7 +209,7 @@ func Run(cfg Config) (*Result, error) {
 		if twoChoices {
 			res.TwoChoicesSteps = append(res.TwoChoicesSteps, step)
 		}
-		st.step(stepRNG, twoChoices)
+		st.step(stepRNG, cfg.Topo, twoChoices)
 		st.noteGenerations(step, cfg.Gamma, res)
 		if step%cfg.RecordEvery == 0 || st.monochromatic() {
 			record(step)

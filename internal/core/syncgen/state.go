@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"plurality/internal/opinion"
+	"plurality/internal/topo"
 	"plurality/internal/xrand"
 )
 
@@ -45,23 +46,14 @@ func newState(cols []opinion.Opinion, k, gStar int) *state {
 	return st
 }
 
-// sampleOther returns a uniform node index different from v.
-func sampleOther(r *xrand.RNG, n, v int) int {
-	u := r.Intn(n - 1)
-	if u >= v {
-		u++
-	}
-	return u
-}
-
 // step executes one synchronous round of Algorithm 1: every node samples two
-// other nodes from the *previous* configuration and applies the two-choices
-// rule (when enabled) or the propagation rule.
-func (st *state) step(r *xrand.RNG, twoChoices bool) {
+// neighbors in tp from the *previous* configuration and applies the
+// two-choices rule (when enabled) or the propagation rule.
+func (st *state) step(r *xrand.RNG, tp topo.Sampler, twoChoices bool) {
 	n := st.n
 	for v := 0; v < n; v++ {
-		a := sampleOther(r, n, v)
-		b := sampleOther(r, n, v)
+		a := tp.SampleNeighbor(r, v)
+		b := tp.SampleNeighbor(r, v)
 		// wlog gen(a) >= gen(b) (Algorithm 1 line 2).
 		if st.gens[a] < st.gens[b] {
 			a, b = b, a

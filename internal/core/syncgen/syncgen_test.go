@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"plurality/internal/opinion"
+	"plurality/internal/topo"
 	"plurality/internal/xrand"
 )
 
@@ -290,9 +291,10 @@ func BenchmarkStep(b *testing.B) {
 	r := xrand.New(1)
 	cols := opinion.PlantedBias(10000, 8, 2, r)
 	st := newState(cols, 8, 5)
+	tp := topo.NewComplete(len(cols))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		st.step(r, i%10 == 0)
+		st.step(r, tp, i%10 == 0)
 	}
 }
 

@@ -122,6 +122,9 @@ type Row struct {
 	// Factors holds the independent variables of this row, e.g.
 	// {"n": 10000, "k": 8}.
 	Factors map[string]float64
+	// Labels holds non-numeric factor values, e.g. {"topology": "torus"};
+	// nil for purely numeric rows.
+	Labels map[string]string
 	// Cells holds the aggregated measurements.
 	Cells map[string]*stats.Summary
 }
@@ -131,8 +134,11 @@ type Row struct {
 type Table struct {
 	// Caption names the experiment (e.g. "Figure 1").
 	Caption string
-	// FactorOrder and MetricOrder fix the column order.
+	// FactorOrder, LabelOrder and MetricOrder fix the column order:
+	// numeric factors first, then string-valued label columns, then the
+	// metrics. LabelOrder is empty for purely numeric tables.
 	FactorOrder []string
+	LabelOrder  []string
 	MetricOrder []string
 	// Rows holds the data in insertion order.
 	Rows []Row
@@ -146,6 +152,12 @@ func NewTable(caption string, factors, metricsOrder []string) *Table {
 // Append adds a row. Metric summaries not listed in MetricOrder are appended
 // to the order on first sight so nothing is silently dropped.
 func (t *Table) Append(factors map[string]float64, cells map[string]*stats.Summary) {
+	t.AppendLabeled(nil, factors, cells)
+}
+
+// AppendLabeled adds a row carrying string-valued label columns (declared in
+// LabelOrder) alongside the numeric factors.
+func (t *Table) AppendLabeled(labels map[string]string, factors map[string]float64, cells map[string]*stats.Summary) {
 	known := make(map[string]bool, len(t.MetricOrder))
 	for _, m := range t.MetricOrder {
 		known[m] = true
@@ -158,13 +170,14 @@ func (t *Table) Append(factors map[string]float64, cells map[string]*stats.Summa
 	}
 	sort.Strings(extra)
 	t.MetricOrder = append(t.MetricOrder, extra...)
-	t.Rows = append(t.Rows, Row{Factors: factors, Cells: cells})
+	t.Rows = append(t.Rows, Row{Factors: factors, Labels: labels, Cells: cells})
 }
 
 // Render returns the table as aligned ASCII text.
 func (t *Table) Render() string {
-	headers := make([]string, 0, len(t.FactorOrder)+len(t.MetricOrder))
+	headers := make([]string, 0, len(t.FactorOrder)+len(t.LabelOrder)+len(t.MetricOrder))
 	headers = append(headers, t.FactorOrder...)
+	headers = append(headers, t.LabelOrder...)
 	headers = append(headers, t.MetricOrder...)
 	rows := make([][]string, 0, len(t.Rows)+1)
 	rows = append(rows, headers)
@@ -172,6 +185,9 @@ func (t *Table) Render() string {
 		cells := make([]string, 0, len(headers))
 		for _, f := range t.FactorOrder {
 			cells = append(cells, trimFloat(r.Factors[f]))
+		}
+		for _, l := range t.LabelOrder {
+			cells = append(cells, r.Labels[l])
 		}
 		for _, m := range t.MetricOrder {
 			if s, ok := r.Cells[m]; ok && s.N() > 0 {
@@ -224,6 +240,9 @@ func (t *Table) CSV() string {
 		}
 		out += f
 	}
+	for _, l := range t.LabelOrder {
+		out += "," + l
+	}
 	for _, m := range t.MetricOrder {
 		out += "," + m + "_mean," + m + "_se," + m + "_n"
 	}
@@ -235,6 +254,9 @@ func (t *Table) CSV() string {
 				line += ","
 			}
 			line += trimFloat(r.Factors[f])
+		}
+		for _, l := range t.LabelOrder {
+			line += "," + r.Labels[l]
 		}
 		for _, m := range t.MetricOrder {
 			if s, ok := r.Cells[m]; ok && s.N() > 0 {

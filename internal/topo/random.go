@@ -1,0 +1,234 @@
+package topo
+
+import (
+	"fmt"
+	"math"
+
+	"plurality/internal/xrand"
+)
+
+// AdjGraph is an explicit graph in compressed-sparse-row form: the neighbors
+// of v are adj[off[v]:off[v+1]]. It backs the random topologies, whose
+// neighborhoods have no closed form. Construction is seeded and
+// deterministic; sampling is one Intn plus two slice reads.
+type AdjGraph struct {
+	name string
+	off  []int
+	adj  []int32
+}
+
+// SampleNeighbor returns a uniform neighbor of v.
+func (g *AdjGraph) SampleNeighbor(r *xrand.RNG, v int) int {
+	lo, hi := g.off[v], g.off[v+1]
+	return int(g.adj[lo+r.Intn(hi-lo)])
+}
+
+// Degree returns the number of neighbors of v.
+func (g *AdjGraph) Degree(v int) int { return g.off[v+1] - g.off[v] }
+
+// Size returns the node count.
+func (g *AdjGraph) Size() int { return len(g.off) - 1 }
+
+// String names the graph for diagnostics.
+func (g *AdjGraph) String() string { return g.name }
+
+// newCSR builds the CSR arrays from an undirected edge list.
+func newCSR(name string, n int, edges [][2]int32) *AdjGraph {
+	off := make([]int, n+1)
+	for _, e := range edges {
+		off[e[0]+1]++
+		off[e[1]+1]++
+	}
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
+	}
+	adj := make([]int32, off[n])
+	fill := make([]int, n)
+	copy(fill, off[:n])
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		adj[fill[a]] = b
+		fill[a]++
+		adj[fill[b]] = a
+		fill[b]++
+	}
+	return &AdjGraph{name: name, off: off, adj: adj}
+}
+
+// connected reports whether g is connected, by BFS from node 0.
+func (g *AdjGraph) connected() bool {
+	n := g.Size()
+	if n == 0 {
+		return false
+	}
+	seen := make([]bool, n)
+	queue := make([]int32, 0, n)
+	seen[0] = true
+	queue = append(queue, 0)
+	visited := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.adj[g.off[v]:g.off[v+1]] {
+			if !seen[u] {
+				seen[u] = true
+				visited++
+				queue = append(queue, u)
+			}
+		}
+	}
+	return visited == n
+}
+
+// NewRandomRegular returns a random d-regular graph on n nodes via the
+// configuration model with double-edge-swap repair: n·d stubs are shuffled
+// and paired, then every self-loop or multi-edge is swapped against a
+// random good edge until the pairing is simple (a whole-graph restart would
+// need e^{Θ(d²)} expected attempts, hopeless already at d ≈ 8). The repaired
+// graph must be connected or the construction restarts. Deterministic in
+// seed; n·d must be even, 2 <= d < n.
+func NewRandomRegular(n, d int, seed uint64) (*AdjGraph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topo: random-regular needs n >= 3, got %d", n)
+	}
+	if d < 2 || d >= n {
+		return nil, fmt.Errorf("topo: random-regular degree %d outside [2, n)", d)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("topo: random-regular needs n*d even, got %d*%d", n, d)
+	}
+	r := xrand.New(seed).SplitNamed("random-regular")
+	key := func(a, b int32) uint64 {
+		if a > b {
+			a, b = b, a
+		}
+		return uint64(a)*uint64(n) + uint64(b)
+	}
+	stubs := make([]int32, n*d)
+	const maxRestarts = 64
+	for restart := 0; restart < maxRestarts; restart++ {
+		for i := range stubs {
+			stubs[i] = int32(i / d)
+		}
+		r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		edges := make([][2]int32, 0, n*d/2)
+		seen := make(map[uint64]struct{}, n*d/2)
+		var bad []int // indices of loops and duplicate edges
+		isBad := make([]bool, n*d/2)
+		for i := 0; i < len(stubs); i += 2 {
+			a, b := stubs[i], stubs[i+1]
+			idx := len(edges)
+			edges = append(edges, [2]int32{a, b})
+			if a == b {
+				bad = append(bad, idx)
+				isBad[idx] = true
+				continue
+			}
+			k := key(a, b)
+			if _, dup := seen[k]; dup {
+				bad = append(bad, idx)
+				isBad[idx] = true
+				continue
+			}
+			seen[k] = struct{}{}
+		}
+		// Repair: swap each bad edge (a,b) with a random good edge (c,d)
+		// into (a,c)+(b,d) or (a,d)+(b,c); both replacements must be new
+		// simple edges. The partner must be good — a duplicate's key is
+		// owned by its first occurrence, so swapping the duplicate would
+		// strip that key and later admit a real multi-edge. Each success
+		// fixes one bad edge, so the loop terminates quickly; the attempt
+		// cap guards degenerate corners (e.g. d = n-1 leaves nothing to
+		// swap against).
+		attempts := 0
+		maxAttempts := 200 * (len(bad) + 1)
+		for len(bad) > 0 && attempts < maxAttempts {
+			attempts++
+			i := bad[len(bad)-1]
+			j := r.Intn(len(edges))
+			if isBad[j] {
+				continue
+			}
+			a, b := edges[i][0], edges[i][1]
+			c, dd := edges[j][0], edges[j][1]
+			if r.Bool() {
+				c, dd = dd, c
+			}
+			// Proposed replacement: (a,c) and (b,dd).
+			if a == c || b == dd {
+				continue
+			}
+			k1, k2 := key(a, c), key(b, dd)
+			if k1 == k2 {
+				continue
+			}
+			if _, dup := seen[k1]; dup {
+				continue
+			}
+			if _, dup := seen[k2]; dup {
+				continue
+			}
+			delete(seen, key(c, dd))
+			seen[k1] = struct{}{}
+			seen[k2] = struct{}{}
+			edges[i] = [2]int32{a, c}
+			edges[j] = [2]int32{b, dd}
+			bad = bad[:len(bad)-1]
+			isBad[i] = false
+		}
+		if len(bad) > 0 {
+			continue
+		}
+		g := newCSR(fmt.Sprintf("random-regular(n=%d,d=%d)", n, d), n, edges)
+		if !g.connected() {
+			continue
+		}
+		return g, nil
+	}
+	return nil, fmt.Errorf("topo: no simple connected %d-regular graph on %d nodes after %d attempts (d = 2 disconnects easily; use d >= 3)", d, n, maxRestarts)
+}
+
+// NewErdosRenyi returns a G(n, p) sample, constructed in O(n + edges) by
+// geometric gap-skipping over each row of the upper triangle. Construction
+// is deterministic in seed; it errors when the sampled graph is not
+// connected (raise p — connectivity needs p ≳ ln n / n).
+func NewErdosRenyi(n int, p float64, seed uint64) (*AdjGraph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topo: erdos-renyi needs n >= 2, got %d", n)
+	}
+	if !(p > 0 && p <= 1) || math.IsNaN(p) {
+		return nil, fmt.Errorf("topo: erdos-renyi p %v outside (0, 1]", p)
+	}
+	r := xrand.New(seed).SplitNamed("erdos-renyi")
+	var edges [][2]int32
+	if p == 1 {
+		for v := 0; v < n-1; v++ {
+			for j := v + 1; j < n; j++ {
+				edges = append(edges, [2]int32{int32(v), int32(j)})
+			}
+		}
+	} else {
+		logQ := math.Log1p(-p) // log(1-p) < 0
+		for v := 0; v < n-1; v++ {
+			j := v
+			for {
+				// Skip a Geometric(p) number of absent pairs.
+				gap := math.Floor(math.Log(r.Float64Open()) / logQ)
+				if gap >= float64(n) { // beyond any row; avoids int overflow
+					break
+				}
+				j += 1 + int(gap)
+				if j >= n {
+					break
+				}
+				edges = append(edges, [2]int32{int32(v), int32(j)})
+			}
+		}
+	}
+	g := newCSR(fmt.Sprintf("erdos-renyi(n=%d,p=%g)", n, p), n, edges)
+	if !g.connected() {
+		return nil, fmt.Errorf("topo: erdos-renyi(n=%d, p=%g, seed=%d) is not connected; raise p (connectivity needs p ≳ ln(n)/n ≈ %.2g)",
+			n, p, seed, math.Log(float64(n))/float64(n))
+	}
+	return g, nil
+}

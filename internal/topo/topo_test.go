@@ -1,0 +1,333 @@
+package topo
+
+import (
+	"testing"
+
+	"plurality/internal/xrand"
+)
+
+// legacySampleOther is the helper every engine used to carry: one Intn(n-1)
+// draw shifted past v. Complete must consume randomness identically so that
+// zero-value-topology runs reproduce pre-topology results bit for bit.
+func legacySampleOther(r *xrand.RNG, n, v int) int {
+	u := r.Intn(n - 1)
+	if u >= v {
+		u++
+	}
+	return u
+}
+
+func TestCompleteMatchesLegacySampleOther(t *testing.T) {
+	const n = 257
+	g := NewComplete(n)
+	r1 := xrand.New(42)
+	r2 := xrand.New(42)
+	for i := 0; i < 10_000; i++ {
+		v := i % n
+		got := g.SampleNeighbor(r1, v)
+		want := legacySampleOther(r2, n, v)
+		if got != want {
+			t.Fatalf("draw %d: Complete.SampleNeighbor = %d, legacy sampleOther = %d", i, got, want)
+		}
+		if got == v {
+			t.Fatalf("draw %d: sampled self", i)
+		}
+	}
+}
+
+func TestCompleteCoversAllOthers(t *testing.T) {
+	const n = 16
+	g := NewComplete(n)
+	r := xrand.New(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 4000; i++ {
+		seen[g.SampleNeighbor(r, 3)] = true
+	}
+	if len(seen) != n-1 || seen[3] {
+		t.Fatalf("complete graph from node 3 saw %d targets (self: %v), want %d", len(seen), seen[3], n-1)
+	}
+	if g.Degree(0) != n-1 || g.Size() != n {
+		t.Fatalf("degree/size = %d/%d, want %d/%d", g.Degree(0), g.Size(), n-1, n)
+	}
+}
+
+func TestRingNeighborhood(t *testing.T) {
+	g, err := NewRing(20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(3)
+	counts := map[int]int{}
+	const v, draws = 0, 8000
+	for i := 0; i < draws; i++ {
+		counts[g.SampleNeighbor(r, v)]++
+	}
+	want := map[int]bool{1: true, 2: true, 18: true, 19: true}
+	if len(counts) != 4 {
+		t.Fatalf("ring(20,2) from 0 hit %d targets %v, want the 4 offsets", len(counts), counts)
+	}
+	for u, c := range counts {
+		if !want[u] {
+			t.Fatalf("ring(20,2) from 0 sampled non-neighbor %d", u)
+		}
+		if f := float64(c) / draws; f < 0.2 || f > 0.3 {
+			t.Errorf("neighbor %d frequency %.3f far from uniform 0.25", u, f)
+		}
+	}
+	if g.Degree(5) != 4 {
+		t.Fatalf("ring degree = %d, want 4", g.Degree(5))
+	}
+	if _, err := NewRing(4, 2); err == nil {
+		t.Fatal("ring(4,2) accepted; needs n >= 2*width+1")
+	}
+	if _, err := NewRing(10, 0); err == nil {
+		t.Fatal("ring width 0 accepted")
+	}
+}
+
+func TestTorusNeighborhood(t *testing.T) {
+	g, err := NewTorus(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(9)
+	// Node 0 = (0,0): neighbors (1,0)=5, (3,0)=15, (0,1)=1, (0,4)=4.
+	want := map[int]bool{5: true, 15: true, 1: true, 4: true}
+	seen := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		u := g.SampleNeighbor(r, 0)
+		if !want[u] {
+			t.Fatalf("torus(4x5) from 0 sampled non-neighbor %d", u)
+		}
+		seen[u] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("torus(4x5) from 0 saw %d of 4 neighbors", len(seen))
+	}
+	if g.Size() != 20 || g.Degree(7) != 4 {
+		t.Fatalf("size/degree = %d/%d, want 20/4", g.Size(), g.Degree(7))
+	}
+	if _, err := NewTorus(2, 10); err == nil {
+		t.Fatal("2-row torus accepted; folds neighbors together")
+	}
+}
+
+func TestNearSquareDims(t *testing.T) {
+	cases := []struct {
+		n, rows, cols int
+		ok            bool
+	}{
+		{1024, 32, 32, true},
+		{1000, 25, 40, true},
+		{12, 3, 4, true},
+		{9, 3, 3, true},
+		{13, 0, 0, false},    // prime
+		{2 * 7, 0, 0, false}, // no factor pair with both >= 3
+		{8, 0, 0, false},
+	}
+	for _, c := range cases {
+		rows, cols, ok := NearSquareDims(c.n)
+		if ok != c.ok || rows != c.rows || cols != c.cols {
+			t.Errorf("NearSquareDims(%d) = (%d, %d, %v), want (%d, %d, %v)",
+				c.n, rows, cols, ok, c.rows, c.cols, c.ok)
+		}
+		if ok && rows*cols != c.n {
+			t.Errorf("NearSquareDims(%d): %d*%d != %d", c.n, rows, cols, c.n)
+		}
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	const n, d = 200, 4
+	g, err := NewRandomRegular(n, d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != n {
+		t.Fatalf("size = %d, want %d", g.Size(), n)
+	}
+	for v := 0; v < n; v++ {
+		if g.Degree(v) != d {
+			t.Fatalf("node %d degree = %d, want %d", v, g.Degree(v), d)
+		}
+		seen := map[int32]bool{}
+		for _, u := range g.adj[g.off[v]:g.off[v+1]] {
+			if int(u) == v {
+				t.Fatalf("node %d has a self-loop", v)
+			}
+			if seen[u] {
+				t.Fatalf("node %d has a multi-edge to %d", v, u)
+			}
+			seen[u] = true
+		}
+	}
+	if !g.connected() {
+		t.Fatal("random-regular graph not connected")
+	}
+	// Sampling stays inside the adjacency.
+	r := xrand.New(1)
+	for i := 0; i < 1000; i++ {
+		v := i % n
+		u := g.SampleNeighbor(r, v)
+		found := false
+		for _, w := range g.adj[g.off[v]:g.off[v+1]] {
+			if int(w) == u {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("sampled %d which is not a neighbor of %d", u, v)
+		}
+	}
+	// Deterministic in seed.
+	h, err := NewRandomRegular(n, d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.adj {
+		if g.adj[i] != h.adj[i] {
+			t.Fatal("same seed produced different random-regular graphs")
+		}
+	}
+	if _, err := NewRandomRegular(5, 3, 1); err == nil {
+		t.Fatal("odd n*d accepted")
+	}
+	if _, err := NewRandomRegular(10, 1, 1); err == nil {
+		t.Fatal("degree 1 accepted")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	const n = 400
+	const p = 0.05
+	g, err := NewErdosRenyi(n, p, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.connected() {
+		t.Fatal("graph reported connected=false after successful construction")
+	}
+	// Edge count near n(n-1)/2 * p (sd ~ sqrt(mean) ≈ 61; allow 6 sd).
+	m := len(g.adj) / 2
+	mean := float64(n*(n-1)) / 2 * p
+	if f := float64(m); f < mean-400 || f > mean+400 {
+		t.Errorf("edge count %d far from expectation %.0f", m, mean)
+	}
+	// Deterministic in seed, different across seeds.
+	h, _ := NewErdosRenyi(n, p, 11)
+	same := len(g.adj) == len(h.adj)
+	if same {
+		for i := range g.adj {
+			if g.adj[i] != h.adj[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different erdos-renyi graphs")
+	}
+	// Disconnected draws must error, not silently strand nodes.
+	if _, err := NewErdosRenyi(500, 0.001, 1); err == nil {
+		t.Fatal("sub-connectivity-threshold p accepted")
+	}
+	if _, err := NewErdosRenyi(10, 0, 1); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	// p=1 degenerates to the complete graph.
+	k, err := NewErdosRenyi(12, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 12; v++ {
+		if k.Degree(v) != 11 {
+			t.Fatalf("G(12,1) degree = %d, want 11", k.Degree(v))
+		}
+	}
+}
+
+func TestAvgDegree(t *testing.T) {
+	g, _ := NewTorus(5, 5)
+	if d := AvgDegree(g); d != 4 {
+		t.Fatalf("torus avg degree = %v, want 4", d)
+	}
+	if d := AvgDegree(NewComplete(10)); d != 9 {
+		t.Fatalf("complete avg degree = %v, want 9", d)
+	}
+}
+
+// TestCliqueSamplerZeroAlloc pins the no-regression guarantee of the
+// refactor: sampling on the clique through the Sampler interface must not
+// allocate. The CI bench-smoke job asserts the same via -benchmem.
+func TestCliqueSamplerZeroAlloc(t *testing.T) {
+	var g Sampler = NewComplete(1 << 16)
+	r := xrand.New(1)
+	v := 0
+	allocs := testing.AllocsPerRun(10_000, func() {
+		v = g.SampleNeighbor(r, v)
+	})
+	if allocs != 0 {
+		t.Fatalf("clique SampleNeighbor allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestSparseSamplersZeroAlloc extends the guarantee to every topology: the
+// per-sample hot path never allocates regardless of graph kind.
+func TestSparseSamplersZeroAlloc(t *testing.T) {
+	ring, _ := NewRing(1000, 3)
+	torus, _ := NewTorus(30, 30)
+	reg, err := NewRandomRegular(900, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, err := NewErdosRenyi(900, 0.02, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []Sampler{ring, torus, reg, er} {
+		r := xrand.New(1)
+		v := 0
+		allocs := testing.AllocsPerRun(5_000, func() {
+			v = g.SampleNeighbor(r, v)
+		})
+		if allocs != 0 {
+			t.Errorf("%v SampleNeighbor allocates %.1f per op, want 0", g, allocs)
+		}
+	}
+}
+
+// BenchmarkSampleNeighbor measures the per-sample cost of every topology;
+// CI greps the Complete line for "0 B/op" to pin the clique fast path.
+func BenchmarkSampleNeighbor(b *testing.B) {
+	const n = 1 << 14
+	ring, _ := NewRing(n, 2)
+	torus, _ := NewTorus(128, 128)
+	reg, err := NewRandomRegular(n, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	er, err := NewErdosRenyi(n, 0.002, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name string
+		g    Sampler
+	}{
+		{"Complete", NewComplete(n)},
+		{"Ring", ring},
+		{"Torus", torus},
+		{"RandomRegular", reg},
+		{"ErdosRenyi", er},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			r := xrand.New(1)
+			v := 0
+			for i := 0; i < b.N; i++ {
+				v = bc.g.SampleNeighbor(r, v)
+			}
+		})
+	}
+}

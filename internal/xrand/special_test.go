@@ -208,56 +208,6 @@ func TestExpCDF(t *testing.T) {
 	}
 }
 
-func TestZipfProbabilitiesSumToOne(t *testing.T) {
-	for _, k := range []int{1, 2, 10, 1000} {
-		for _, s := range []float64{0, 0.5, 1, 2} {
-			z := NewZipf(k, s)
-			sum := 0.0
-			for i := 0; i < k; i++ {
-				sum += z.Prob(i)
-			}
-			if math.Abs(sum-1) > 1e-9 {
-				t.Errorf("Zipf(k=%d,s=%v) probs sum to %v", k, s, sum)
-			}
-		}
-	}
-}
-
-func TestZipfUniformWhenSZero(t *testing.T) {
-	z := NewZipf(5, 0)
-	for i := 0; i < 5; i++ {
-		if math.Abs(z.Prob(i)-0.2) > 1e-12 {
-			t.Errorf("Zipf s=0 Prob(%d) = %v", i, z.Prob(i))
-		}
-	}
-}
-
-func TestZipfSampleDistribution(t *testing.T) {
-	z := NewZipf(4, 1)
-	r := New(300)
-	const n = 200000
-	counts := make([]int, 4)
-	for i := 0; i < n; i++ {
-		counts[z.Sample(r)]++
-	}
-	for i := 0; i < 4; i++ {
-		got := float64(counts[i]) / n
-		want := z.Prob(i)
-		if math.Abs(got-want) > 0.01 {
-			t.Errorf("Zipf empirical P(%d) = %v, want %v", i, got, want)
-		}
-	}
-}
-
-func TestZipfOrdering(t *testing.T) {
-	z := NewZipf(10, 1.5)
-	for i := 1; i < 10; i++ {
-		if z.Prob(i) > z.Prob(i-1)+1e-15 {
-			t.Errorf("Zipf probs not non-increasing at %d", i)
-		}
-	}
-}
-
 func BenchmarkGammaQuantile(b *testing.B) {
 	var sink float64
 	for i := 0; i < b.N; i++ {

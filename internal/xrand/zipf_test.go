@@ -1,0 +1,111 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfProbabilities(t *testing.T) {
+	for _, c := range []struct {
+		k int
+		s float64
+	}{
+		{1, 0}, {1, 2}, {4, 0}, {4, 1}, {8, 1.5}, {32, 0.8}, {100, 2},
+	} {
+		z := NewZipf(c.k, c.s)
+		if z.K() != c.k {
+			t.Fatalf("NewZipf(%d, %v).K() = %d", c.k, c.s, z.K())
+		}
+		// Probabilities normalize and follow (i+1)^{-s} ratios.
+		total := 0.0
+		norm := 0.0
+		for i := 0; i < c.k; i++ {
+			norm += math.Pow(float64(i+1), -c.s)
+		}
+		for i := 0; i < c.k; i++ {
+			p := z.Prob(i)
+			if p <= 0 || p > 1 {
+				t.Fatalf("Zipf(%d, %v).Prob(%d) = %v out of range", c.k, c.s, i, p)
+			}
+			want := math.Pow(float64(i+1), -c.s) / norm
+			if math.Abs(p-want) > 1e-12 {
+				t.Errorf("Zipf(%d, %v).Prob(%d) = %v, want %v", c.k, c.s, i, p, want)
+			}
+			total += p
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Errorf("Zipf(%d, %v) probabilities sum to %v", c.k, c.s, total)
+		}
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z := NewZipf(10, 0)
+	for i := 0; i < 10; i++ {
+		if math.Abs(z.Prob(i)-0.1) > 1e-12 {
+			t.Fatalf("Zipf(10, 0).Prob(%d) = %v, want 0.1", i, z.Prob(i))
+		}
+	}
+}
+
+func TestZipfSampleDistribution(t *testing.T) {
+	const k, s, n = 6, 1.2, 200_000
+	z := NewZipf(k, s)
+	r := New(42)
+	counts := make([]int, k)
+	for i := 0; i < n; i++ {
+		v := z.Sample(r)
+		if v < 0 || v >= k {
+			t.Fatalf("sample %d outside [0, %d)", v, k)
+		}
+		counts[v]++
+	}
+	// Each empirical frequency within 5 sd of its binomial expectation.
+	for i := 0; i < k; i++ {
+		p := z.Prob(i)
+		sd := math.Sqrt(n * p * (1 - p))
+		if d := math.Abs(float64(counts[i]) - n*p); d > 5*sd {
+			t.Errorf("outcome %d: count %d deviates %.1f sd from expectation %.0f",
+				i, counts[i], d/sd, n*p)
+		}
+	}
+	// Monotone decreasing head: outcome 0 strictly dominates outcome k-1.
+	if counts[0] <= counts[k-1] {
+		t.Errorf("Zipf head %d not heavier than tail %d", counts[0], counts[k-1])
+	}
+}
+
+func TestZipfOrdering(t *testing.T) {
+	z := NewZipf(10, 1.5)
+	for i := 1; i < 10; i++ {
+		if z.Prob(i) > z.Prob(i-1)+1e-15 {
+			t.Errorf("Zipf probs not non-increasing at %d", i)
+		}
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	z := NewZipf(16, 1.1)
+	a, b := New(7), New(7)
+	for i := 0; i < 10_000; i++ {
+		if x, y := z.Sample(a), z.Sample(b); x != y {
+			t.Fatalf("draw %d: same seed diverged (%d vs %d)", i, x, y)
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("k=0", func() { NewZipf(0, 1) })
+	expectPanic("negative s", func() { NewZipf(4, -1) })
+	expectPanic("NaN s", func() { NewZipf(4, math.NaN()) })
+	expectPanic("Prob out of range", func() { NewZipf(4, 1).Prob(4) })
+	expectPanic("Prob negative", func() { NewZipf(4, 1).Prob(-1) })
+}

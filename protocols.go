@@ -37,14 +37,19 @@ type syncProtocol struct{}
 
 func (syncProtocol) Info() ProtocolInfo {
 	return ProtocolInfo{
-		Name:        "sync",
-		Family:      "generation",
-		Description: "synchronous generation protocol (Algorithm 1)",
+		Name:          "sync",
+		Family:        "generation",
+		TopologyAware: true,
+		Description:   "synchronous generation protocol (Algorithm 1)",
 	}
 }
 
 func (syncProtocol) Run(ctx context.Context, spec Spec) (*Result, error) {
 	assign, err := toInternalAssignment(spec.Assignment, spec.N, spec.K)
+	if err != nil {
+		return nil, err
+	}
+	tp, err := spec.Topology.build(spec.N, spec.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -56,7 +61,8 @@ func (syncProtocol) Run(ctx context.Context, spec Spec) (*Result, error) {
 		N: spec.N, K: spec.K, Alpha: spec.Alpha, Assignment: assign,
 		Gamma: spec.Sync.Gamma, Schedule: sched, MaxSteps: spec.MaxSteps,
 		Seed: spec.Seed, Eps: spec.Eps, RecordEvery: spec.recordEveryRounds(),
-		Ctx: ctx, Observe: spec.observe(), DiscardTrajectory: spec.DiscardTrajectory,
+		Topo: tp,
+		Ctx:  ctx, Observe: spec.observe(), DiscardTrajectory: spec.DiscardTrajectory,
 	})
 	if err != nil {
 		return nil, err
@@ -65,6 +71,7 @@ func (syncProtocol) Run(ctx context.Context, spec Spec) (*Result, error) {
 		"generations":       float64(len(res.Generations)),
 		"two_choices_steps": float64(len(res.TwoChoicesSteps)),
 	}
+	spec.Topology.topoStats(tp, extra)
 	return convertResult(res.Outcome, res.Trajectory, res.FinalCounts,
 		float64(res.Steps), !res.Outcome.FullConsensus, extra), nil
 }
@@ -75,10 +82,11 @@ type leaderProtocol struct{}
 
 func (leaderProtocol) Info() ProtocolInfo {
 	return ProtocolInfo{
-		Name:        "leader",
-		Family:      "generation",
-		Async:       true,
-		Description: "asynchronous single-leader protocol (Algorithms 2-3)",
+		Name:          "leader",
+		Family:        "generation",
+		Async:         true,
+		TopologyAware: true,
+		Description:   "asynchronous single-leader protocol (Algorithms 2-3)",
 	}
 }
 
@@ -91,9 +99,13 @@ func (leaderProtocol) Run(ctx context.Context, spec Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	tp, err := spec.Topology.build(spec.N, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
 	res, err := leader.Run(leader.Config{
 		N: spec.N, K: spec.K, Alpha: spec.Alpha, Assignment: assign,
-		Latency: lat, MaxTime: spec.MaxTime, Seed: spec.Seed,
+		Latency: lat, Topo: tp, MaxTime: spec.MaxTime, Seed: spec.Seed,
 		Eps: spec.Eps, RecordEvery: spec.RecordEvery,
 		Ctx: ctx, Observe: spec.observe(), DiscardTrajectory: spec.DiscardTrajectory,
 	})
@@ -106,6 +118,7 @@ func (leaderProtocol) Run(ctx context.Context, spec Spec) (*Result, error) {
 		"gstar":  float64(res.GStar),
 		"phases": float64(len(res.PhaseLog)),
 	}
+	spec.Topology.topoStats(tp, extra)
 	return convertResult(res.Outcome, res.Trajectory, res.FinalCounts,
 		res.EndTime, res.TimedOut, extra), nil
 }
@@ -116,10 +129,11 @@ type decentralizedProtocol struct{}
 
 func (decentralizedProtocol) Info() ProtocolInfo {
 	return ProtocolInfo{
-		Name:        "decentralized",
-		Family:      "generation",
-		Async:       true,
-		Description: "fully decentralized protocol: clustering + consensus (Algorithms 4-5)",
+		Name:          "decentralized",
+		Family:        "generation",
+		Async:         true,
+		TopologyAware: true,
+		Description:   "fully decentralized protocol: clustering + consensus (Algorithms 4-5)",
 	}
 }
 
@@ -132,9 +146,13 @@ func (decentralizedProtocol) Run(ctx context.Context, spec Spec) (*Result, error
 	if err != nil {
 		return nil, err
 	}
+	tp, err := spec.Topology.build(spec.N, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
 	c := noleader.Config{
 		N: spec.N, K: spec.K, Alpha: spec.Alpha, Assignment: assign,
-		Latency: lat, MaxTime: spec.MaxTime, Seed: spec.Seed,
+		Latency: lat, Topo: tp, MaxTime: spec.MaxTime, Seed: spec.Seed,
 		Eps: spec.Eps, RecordEvery: spec.RecordEvery,
 		Ctx: ctx, Observe: spec.observe(), DiscardTrajectory: spec.DiscardTrajectory,
 	}
@@ -151,6 +169,7 @@ func (decentralizedProtocol) Run(ctx context.Context, spec Spec) (*Result, error
 		"participating_frac": res.Clustering.ParticipatingFrac(),
 		"leaders":            float64(len(res.Clustering.ParticipatingLeaders())),
 	}
+	spec.Topology.topoStats(tp, extra)
 	return convertResult(res.Outcome, res.Trajectory, res.FinalCounts,
 		res.EndTime, res.TimedOut, extra), nil
 }
@@ -163,9 +182,10 @@ type baselineProtocol struct {
 
 func (p baselineProtocol) Info() ProtocolInfo {
 	return ProtocolInfo{
-		Name:        p.rule,
-		Family:      "baseline",
-		Description: "classical " + p.rule + " dynamics (§1.1 related work)",
+		Name:          p.rule,
+		Family:        "baseline",
+		TopologyAware: true,
+		Description:   "classical " + p.rule + " dynamics (§1.1 related work)",
 	}
 }
 
@@ -178,11 +198,15 @@ func (p baselineProtocol) Run(ctx context.Context, spec Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	tp, err := spec.Topology.build(spec.N, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
 	bcfg := baseline.Config{
 		N: spec.N, K: spec.K, Alpha: spec.Alpha, Assignment: assign,
 		MaxRounds: spec.MaxSteps, Seed: spec.Seed, Eps: spec.Eps,
-		RecordEvery: spec.recordEveryRounds(),
-		Ctx:         ctx, Observe: spec.observe(), DiscardTrajectory: spec.DiscardTrajectory,
+		RecordEvery: spec.recordEveryRounds(), Topo: tp,
+		Ctx: ctx, Observe: spec.observe(), DiscardTrajectory: spec.DiscardTrajectory,
 	}
 	var res *baseline.Result
 	if spec.Baseline.Sequential {
@@ -194,6 +218,7 @@ func (p baselineProtocol) Run(ctx context.Context, spec Spec) (*Result, error) {
 		return nil, err
 	}
 	extra := map[string]float64{"rounds": float64(res.Rounds)}
+	spec.Topology.topoStats(tp, extra)
 	return convertResult(res.Outcome, res.Trajectory, res.FinalCounts,
 		float64(res.Rounds), !res.Outcome.FullConsensus, extra), nil
 }

@@ -23,6 +23,12 @@ type ProtocolInfo struct {
 	// Spec.MaxTime. Round-based protocols count synchronous rounds and
 	// use Spec.MaxSteps.
 	Async bool
+	// TopologyAware reports that the protocol honours Spec.Topology: it
+	// samples interaction partners through the configured graph rather
+	// than assuming the clique. All built-in protocols are topology-aware;
+	// externally registered protocols that ignore Spec.Topology should
+	// leave this false so listings do not overpromise.
+	TopologyAware bool
 	// Description is a one-line summary for listings.
 	Description string
 }

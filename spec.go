@@ -42,6 +42,11 @@ type Spec struct {
 	// Latency describes the channel-establishment distribution T2 of the
 	// asynchronous protocols. The zero value is the paper's Exp(1).
 	Latency LatencySpec
+	// Topology selects the interaction graph nodes sample partners from.
+	// The zero value is the complete graph — the paper's model — and is
+	// guaranteed to reproduce pre-topology results byte-identically for
+	// the same seed. See TopologySpec for the other kinds.
+	Topology TopologySpec
 	// Observer, when non-nil, receives every trajectory snapshot as it is
 	// recorded — the streaming alternative to Result.Trajectory. Under
 	// RunMany or Sweep the same Observer serves concurrent runs and must
@@ -134,6 +139,13 @@ func (s *Spec) validate() error {
 		return fmt.Errorf("plurality: invalid RecordEvery %v", s.RecordEvery)
 	}
 	if _, err := s.Latency.build(); err != nil {
+		return err
+	}
+	// Topology constraints (grid dims divide N, rings fit, random graphs
+	// connected) are checked by constructing the sampler, exactly as the
+	// adapters will; the random kinds are cheap enough (O(N + edges)) that
+	// failing here, before any replication starts, is worth the rebuild.
+	if _, err := s.Topology.build(s.N, s.Seed); err != nil {
 		return err
 	}
 	if g := s.Sync.Gamma; g != 0 && (g <= 0 || g >= 1 || math.IsNaN(g)) {

@@ -68,6 +68,10 @@ type SweepConfig struct {
 	Ns     []int
 	Ks     []int
 	Alphas []float64
+	// Topologies is the interaction-graph axis; an empty axis means the
+	// single Base.Topology. With entries, every grid point runs once per
+	// topology and the result table gains a "topology" label column.
+	Topologies []TopologySpec
 	// Reps is the number of seeded replications per grid point; default 5.
 	Reps int
 	// Metrics optionally maps each Result to named measurements. nil means
@@ -82,6 +86,9 @@ type SweepCell struct {
 	// N, K and Alpha locate the cell in the grid.
 	N, K  int
 	Alpha float64
+	// Topology is the interaction graph of the cell (TopologySpec.Label
+	// form, e.g. "complete" or "torus(32x32)").
+	Topology string
 	// Metrics holds the aggregated measurements of the cell.
 	Metrics map[string]Summary
 }
@@ -92,7 +99,7 @@ type SweepResult struct {
 	// Protocol is the protocol that ran.
 	Protocol string
 	// Cells holds one entry per grid point, in grid order (n-major, then
-	// k, then alpha).
+	// k, then alpha, then topology).
 	Cells []SweepCell
 
 	table *harness.Table
@@ -157,44 +164,66 @@ func Sweep(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
 	if len(alphas) == 0 {
 		alphas = []float64{cfg.Base.Alpha}
 	}
+	topos := cfg.Topologies
+	if len(topos) == 0 {
+		topos = []TopologySpec{cfg.Base.Topology}
+	}
 
 	out := &SweepResult{
 		Protocol: cfg.Protocol,
 		table: harness.NewTable(fmt.Sprintf("sweep: %s", cfg.Protocol),
 			[]string{"n", "k", "alpha"}, order),
 	}
+	if len(cfg.Topologies) > 0 {
+		out.table.LabelOrder = []string{"topology"}
+	}
 	for _, n := range ns {
 		for _, k := range ks {
 			for _, a := range alphas {
-				spec := cfg.Base
-				spec.N, spec.K, spec.Alpha = n, k, a
-				if err := spec.validate(); err != nil {
-					return nil, err
+				for _, tp := range topos {
+					spec := cfg.Base
+					spec.N, spec.K, spec.Alpha, spec.Topology = n, k, a, tp
+					// Validate with replication 0's actual seed so the
+					// random-graph connectivity check inspects a graph the
+					// cell really runs on (replications with GraphSeed 0
+					// derive their graphs from the run seed).
+					spec.Seed = cfg.Base.Seed + 1
+					if err := spec.validate(); err != nil {
+						return nil, err
+					}
+					// Label the graph the cell actually runs on — defaults
+					// resolved per n, so two cells sharing {Kind: "torus"}
+					// still distinguish their 30x30 from their 32x32.
+					label := tp.ResolvedLabel(n)
+					// The spec is validated above and the protocol resolved
+					// once, so replications go straight to the engine.
+					agg, err := harness.ReplicateCtx(ctx, reps,
+						func(rctx context.Context, rep uint64) (harness.Metrics, error) {
+							s := spec
+							s.Seed = cfg.Base.Seed + rep*1e6 + 1
+							res, err := p.Run(rctx, s)
+							if err != nil {
+								return nil, err
+							}
+							return metricFn(res), nil
+						})
+					if err != nil {
+						return nil, err
+					}
+					var labels map[string]string
+					if len(cfg.Topologies) > 0 {
+						labels = map[string]string{"topology": label}
+					}
+					out.table.AppendLabeled(labels, map[string]float64{
+						"n": float64(n), "k": float64(k), "alpha": a,
+					}, agg)
+					cell := SweepCell{N: n, K: k, Alpha: a, Topology: label,
+						Metrics: make(map[string]Summary, len(agg))}
+					for name, s := range agg {
+						cell.Metrics[name] = summarize(s)
+					}
+					out.Cells = append(out.Cells, cell)
 				}
-				// The spec is validated above and the protocol resolved
-				// once, so replications go straight to the engine.
-				agg, err := harness.ReplicateCtx(ctx, reps,
-					func(rctx context.Context, rep uint64) (harness.Metrics, error) {
-						s := spec
-						s.Seed = cfg.Base.Seed + rep*1e6 + 1
-						res, err := p.Run(rctx, s)
-						if err != nil {
-							return nil, err
-						}
-						return metricFn(res), nil
-					})
-				if err != nil {
-					return nil, err
-				}
-				out.table.Append(map[string]float64{
-					"n": float64(n), "k": float64(k), "alpha": a,
-				}, agg)
-				cell := SweepCell{N: n, K: k, Alpha: a,
-					Metrics: make(map[string]Summary, len(agg))}
-				for name, s := range agg {
-					cell.Metrics[name] = summarize(s)
-				}
-				out.Cells = append(out.Cells, cell)
 			}
 		}
 	}
