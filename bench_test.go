@@ -208,3 +208,42 @@ func BenchmarkRecorderStreaming100k(b *testing.B) {
 		}
 	}
 }
+
+// --- typed event kernel + sharded batch layer (PR 3) ---
+
+// benchKernelSpec is the n=100k single-leader instance used to track kernel
+// throughput (events/sec) across PRs; BENCH_PR3.json records its history.
+func benchKernelSpec() Spec {
+	return Spec{N: 100_000, K: 4, Alpha: 2, Seed: 1, MaxTime: 4, DiscardTrajectory: true}
+}
+
+// BenchmarkKernelLeader100k runs the asynchronous single-leader protocol at
+// n=100k over a fixed virtual-time window on the typed event kernel.
+func BenchmarkKernelLeader100k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(context.Background(), "leader", benchKernelSpec())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats["events"] < 100_000 {
+			b.Fatal("implausibly few events")
+		}
+	}
+}
+
+// BenchmarkRunBatchSerial and BenchmarkRunBatchParallel bracket the batch
+// layer's sharding win: the same eight replications on one worker versus a
+// GOMAXPROCS-wide pool. Their ns/op ratio is the parallel speedup.
+func benchBatch(b *testing.B, workers int) {
+	b.Helper()
+	spec := Spec{N: 20_000, K: 4, Alpha: 2, Seed: 1, MaxTime: 4, DiscardTrajectory: true}
+	for i := 0; i < b.N; i++ {
+		if _, err := RunBatch(context.Background(), "leader", spec, 8, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunBatchSerial(b *testing.B)   { benchBatch(b, 1) }
+func BenchmarkRunBatchParallel(b *testing.B) { benchBatch(b, 0) }

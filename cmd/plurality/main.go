@@ -30,7 +30,20 @@ import (
 	"syscall"
 
 	"plurality"
+	"plurality/internal/prof"
 )
+
+// flushProfiles finalizes any active profiles; exit() routes every
+// post-setup termination through it so an error or losing run still leaves
+// parseable profile files (os.Exit skips defers). It is replaced once
+// profiling starts.
+var flushProfiles = func() {}
+
+// exit flushes profiles and terminates with code.
+func exit(code int) {
+	flushProfiles()
+	os.Exit(code)
+}
 
 func main() {
 	var (
@@ -50,6 +63,12 @@ func main() {
 		stream      = flag.Bool("stream", false, "do not accumulate the trajectory (O(1) memory); without -json, print snapshots live")
 		quiet       = flag.Bool("q", false, "print only the outcome line")
 		jsonOut     = flag.Bool("json", false, "emit the run as one JSON object on stdout (for analysis scripts); with -stream the object omits the trajectory")
+
+		bench        = flag.Bool("bench", false, "benchmark mode: run with O(1) recording and emit a throughput report (events/sec, allocs, peak heap) as JSON on stdout")
+		benchReps    = flag.Int("bench-reps", 1, "with -bench: replications to run through the parallel batch layer")
+		benchWorkers = flag.Int("bench-workers", 0, "with -bench: worker bound for the batch layer; 0 means GOMAXPROCS")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 
 		topology  = flag.String("topology", "complete", "interaction graph: complete | ring | torus | random-regular | erdos-renyi")
 		width     = flag.Int("width", 0, "ring half-width (neighbors v±1..v±width); 0 means 1")
@@ -85,6 +104,9 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	flushProfiles = prof.Start(*cpuProfile, *memProfile)
+	defer flushProfiles()
+
 	spec := plurality.Spec{
 		N: *n, K: *k, Alpha: *alpha, Seed: *seed, MaxTime: *maxTime,
 		Latency:  plurality.LatencySpec{Kind: *latencyKind, Mean: *latencyMean},
@@ -111,10 +133,26 @@ func main() {
 	// Label the interaction graph a run actually uses (defaults resolved).
 	topoLabel := spec.Topology.ResolvedLabel(*n)
 
+	if *bench {
+		var rep *plurality.BenchReport
+		var err error
+		if *benchReps > 1 {
+			rep, err = plurality.BenchBatch(ctx, *protocol, spec, *benchReps, *benchWorkers)
+		} else {
+			rep, err = plurality.Bench(ctx, *protocol, spec)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit(1)
+		}
+		fmt.Println(rep.JSON())
+		return
+	}
+
 	res, err := plurality.Run(ctx, *protocol, spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		exit(1)
 	}
 
 	if *jsonOut {
@@ -130,10 +168,10 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		if err := enc.Encode(out); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		if !res.PluralityWon {
-			os.Exit(2)
+			exit(2)
 		}
 		return
 	}
@@ -160,7 +198,7 @@ func main() {
 	}
 	fmt.Println(res)
 	if !res.PluralityWon {
-		os.Exit(2)
+		exit(2)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"syscall"
 
 	"plurality"
+	"plurality/internal/prof"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 		ks       = flag.String("k", "4", "comma-separated opinion counts")
 		alphas   = flag.String("alpha", "2", "comma-separated initial biases")
 		reps     = flag.Int("reps", 5, "replications per grid point")
+		workers  = flag.Int("workers", 0, "worker pool bound for the flattened cells-by-reps job list; 0 means GOMAXPROCS, 1 runs sequentially")
 		seed     = flag.Uint64("seed", 0, "seed offset")
 		latMean  = flag.Float64("latency-mean", 1, "mean channel latency (async)")
 		csvOut   = flag.Bool("csv", false, "emit CSV instead of an ASCII table")
@@ -39,6 +41,9 @@ func main() {
 		width    = flag.Int("width", 0, "ring half-width for the ring topology; 0 means 1")
 		degree   = flag.Int("degree", 0, "degree for the random-regular topology; 0 means 4")
 		p        = flag.Float64("p", 0, "edge probability for the erdos-renyi topology; 0 means 2·ln(n)/n")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -54,6 +59,9 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	flushProfiles = prof.Start(*cpuProfile, *memProfile)
+	defer flushProfiles()
+
 	res, err := plurality.Sweep(ctx, plurality.SweepConfig{
 		Protocol: *protocol,
 		Base: plurality.Spec{
@@ -65,6 +73,7 @@ func main() {
 		Alphas:     aList,
 		Topologies: tList,
 		Reps:       *reps,
+		Workers:    *workers,
 	})
 	ok(err)
 	if *csvOut {
@@ -123,9 +132,15 @@ func parseFloats(s string) ([]float64, error) {
 	return out, nil
 }
 
+// flushProfiles finalizes any active profiles before an error exit; it is
+// replaced once profiling starts, so an interrupted sweep still leaves
+// parseable profile files.
+var flushProfiles = func() {}
+
 func ok(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		flushProfiles()
 		os.Exit(1)
 	}
 }

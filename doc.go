@@ -48,6 +48,24 @@
 // latencies). Every run is reproducible from its Seed: the same (protocol,
 // Spec) pair yields an identical Result.
 //
+// # Determinism under parallel batching
+//
+// The determinism guarantee extends to every batch entry point. A single
+// run executes events in (virtual time, insertion sequence) order on a
+// single goroutine; all randomness derives from Spec.Seed through named
+// splittable RNG streams. RunMany, RunBatch and Sweep shard replications
+// across a bounded worker pool, but each replication derives its own seed
+// (Seed + i for batches, a fixed per-replication offset for sweeps), owns
+// its entire simulator state, and writes an index-addressed result slot —
+// so the returned slice (and every aggregated sweep table) is bit-identical
+// for every worker count and goroutine interleaving, including workers=1.
+// The worker bound therefore only trades wall-clock time against peak
+// memory (each in-flight replication holds one simulator). Scale is bounded
+// by MaxNodes (the event kernel addresses nodes as int32); steady-state
+// event scheduling allocates nothing, which is what makes n = 10⁶
+// asynchronous runs seconds-scale — see Bench and BENCH_PR3.json for the
+// measured trajectory.
+//
 // See the examples/ directory for complete programs and cmd/experiments for
 // the harness that regenerates the paper's figures and claims.
 package plurality

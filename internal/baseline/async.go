@@ -9,6 +9,112 @@ import (
 	"plurality/internal/xrand"
 )
 
+// Typed event kinds of the Poisson baseline engine (see HandleEvent).
+const (
+	// evTick is one Poisson tick of node ev.Node.
+	evTick int32 = iota
+	// evComplete is node ev.Node's channels to its (up to three) sampled
+	// targets ev.A, ev.B, ev.C completing.
+	evComplete
+)
+
+// poissonState is the mutable state of one Poisson-scheduler baseline run.
+// Sampled targets travel inside the typed event payload and the opinion
+// reads go through a fixed scratch buffer, so the per-tick path performs no
+// allocations.
+type poissonState struct {
+	cfg      Config
+	rule     Rule
+	nSamples int
+	sm       *sim.Simulator
+	clocks   *sim.Clocks
+	tickFn   func(int)
+	lat      sim.Latency
+	smp      *xrand.RNG
+	latR     *xrand.RNG
+
+	cols      []opinion.Opinion
+	locked    []bool
+	counts    opinion.Counts
+	undecided int
+	scratch   [3]opinion.Opinion // rule.Samples() <= 3 for every built-in rule
+
+	mono   bool
+	monoAt float64
+}
+
+// HandleEvent dispatches the Poisson baseline's typed events.
+func (ps *poissonState) HandleEvent(ev sim.Event) {
+	switch ev.Kind {
+	case evTick:
+		ps.clocks.Fire(ev.Node, ps.tickFn)
+	case evComplete:
+		ps.complete(int(ev.Node), ev.A, ev.B, ev.C)
+	}
+}
+
+func (ps *poissonState) isMono() bool {
+	if ps.undecided > 0 {
+		return false
+	}
+	for _, c := range ps.counts {
+		if c == ps.counts.Total() && c > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (ps *poissonState) setNode(v int, c opinion.Opinion) {
+	old := ps.cols[v]
+	if old == c {
+		return
+	}
+	ps.cols[v] = c
+	if old == opinion.None {
+		ps.undecided--
+	} else {
+		ps.counts[old]--
+	}
+	if c == opinion.None {
+		ps.undecided++
+	} else {
+		ps.counts[c]++
+	}
+	if !ps.mono && ps.isMono() {
+		ps.mono = true
+		ps.monoAt = ps.sm.Now()
+	}
+}
+
+func (ps *poissonState) tick(v int) {
+	if ps.mono || ps.locked[v] {
+		return
+	}
+	ps.locked[v] = true
+	var t [3]int32
+	for i := 0; i < ps.nSamples; i++ {
+		t[i] = int32(ps.cfg.Topo.SampleNeighbor(ps.smp, v))
+	}
+	d := 0.0
+	for i := 0; i < ps.nSamples; i++ {
+		d = math.Max(d, ps.lat.Sample(ps.latR))
+	}
+	ps.sm.ScheduleAfter(d, sim.Event{Kind: evComplete, Node: int32(v), A: t[0], B: t[1], C: t[2]})
+}
+
+func (ps *poissonState) complete(v int, a, b, c int32) {
+	ps.locked[v] = false
+	if ps.mono {
+		return
+	}
+	t := [3]int32{a, b, c}
+	for i := 0; i < ps.nSamples; i++ {
+		ps.scratch[i] = ps.cols[t[i]]
+	}
+	ps.setNode(v, ps.rule.Update(ps.cols[v], ps.scratch[:ps.nSamples]))
+}
+
 // RunPoisson drives a rule under the paper's asynchronous communication
 // model (§3.1): every node ticks at Poisson rate 1, opens channels to its
 // samples in parallel (accumulated latency = max of the individual
@@ -25,91 +131,39 @@ func RunPoisson(rule Rule, cfg Config, lat sim.Latency) (*Result, error) {
 	if lat == nil {
 		lat = sim.ExpLatency{Rate: 1}
 	}
+	if n := rule.Samples(); n > 3 {
+		panic("baseline: rules with more than 3 samples need a wider event payload")
+	}
 	root := xrand.New(cfg.Seed)
 	cols, plurality := initialState(&cfg, root)
 	res := &Result{Rule: rule.Name(), InitialPlurality: plurality}
 	rec := metrics.NewRecorder(cfg.Eps, cfg.DiscardTrajectory, cfg.Observe)
 
 	sm := sim.New()
-	smp := root.SplitNamed("sampling")
-	latR := root.SplitNamed("latency")
-	locked := make([]bool, cfg.N)
-	counts := opinion.CountOf(cols, cfg.K)
-	undecided := 0
+	ps := &poissonState{
+		cfg:      cfg,
+		rule:     rule,
+		nSamples: rule.Samples(),
+		sm:       sm,
+		lat:      lat,
+		smp:      root.SplitNamed("sampling"),
+		latR:     root.SplitNamed("latency"),
+		cols:     cols,
+		locked:   make([]bool, cfg.N),
+		counts:   opinion.CountOf(cols, cfg.K),
+	}
 	for _, c := range cols {
 		if c == opinion.None {
-			undecided++
-		}
-	}
-	mono := false
-	monoAt := 0.0
-	isMono := func() bool {
-		if undecided > 0 {
-			return false
-		}
-		for _, c := range counts {
-			if c == counts.Total() && c > 0 {
-				return true
-			}
-		}
-		return false
-	}
-
-	setNode := func(v int, c opinion.Opinion) {
-		old := cols[v]
-		if old == c {
-			return
-		}
-		cols[v] = c
-		if old == opinion.None {
-			undecided--
-		} else {
-			counts[old]--
-		}
-		if c == opinion.None {
-			undecided++
-		} else {
-			counts[c]++
-		}
-		if !mono && isMono() {
-			mono = true
-			monoAt = sm.Now()
+			ps.undecided++
 		}
 	}
 
-	nSamples := rule.Samples()
-	tick := func(v int) {
-		if mono || locked[v] {
-			return
-		}
-		locked[v] = true
-		targets := make([]int, nSamples)
-		for i := range targets {
-			targets[i] = cfg.Topo.SampleNeighbor(smp, v)
-		}
-		d := 0.0
-		for range targets {
-			d = math.Max(d, lat.Sample(latR))
-		}
-		sm.After(d, func() {
-			defer func() { locked[v] = false }()
-			if mono {
-				return
-			}
-			samples := make([]opinion.Opinion, nSamples)
-			for i, u := range targets {
-				samples[i] = cols[u]
-			}
-			setNode(v, rule.Update(cols[v], samples))
-		})
-	}
-
+	ps.tickFn = ps.tick
+	sm.SetHandler(ps)
+	sm.Reserve(2*cfg.N + 64)
 	clockR := root.SplitNamed("clocks")
-	for v := 0; v < cfg.N; v++ {
-		v := v
-		c := sim.NewClock(sm, clockR.Split(), 1, func() { tick(v) })
-		c.Start()
-	}
+	ps.clocks = sim.NewClocks(sm, clockR, cfg.N, 1, evTick)
+	ps.clocks.StartAll()
 
 	maxTime := float64(cfg.MaxRounds)
 	record := func() {
@@ -118,7 +172,7 @@ func RunPoisson(rule Rule, cfg Config, lat sim.Latency) (*Result, error) {
 	var recordTick func()
 	recordTick = func() {
 		record()
-		if mono || sm.Now() >= maxTime {
+		if ps.mono || sm.Now() >= maxTime {
 			sm.Stop()
 			return
 		}
@@ -127,7 +181,7 @@ func RunPoisson(rule Rule, cfg Config, lat sim.Latency) (*Result, error) {
 	record()
 	sm.After(float64(cfg.RecordEvery), recordTick)
 	sm.At(maxTime, func() {
-		if !mono {
+		if !ps.mono {
 			record()
 			sm.Stop()
 		}
@@ -140,9 +194,9 @@ func RunPoisson(rule Rule, cfg Config, lat sim.Latency) (*Result, error) {
 	res.FinalCounts = opinion.CountOf(cols, cfg.K)
 	res.Trajectory = rec.Trajectory()
 	res.Outcome = rec.Outcome(res.FinalCounts, plurality)
-	if mono {
+	if ps.mono {
 		res.Outcome.FullConsensus = true
-		res.Outcome.ConsensusTime = monoAt
+		res.Outcome.ConsensusTime = ps.monoAt
 	}
 	return res, nil
 }

@@ -1,6 +1,10 @@
 package baseline
 
 import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"strconv"
 	"testing"
 
 	"plurality/internal/opinion"
@@ -111,5 +115,50 @@ func TestRunPoissonUndecidedCountsAsNotMono(t *testing.T) {
 	}
 	if res.Outcome.ConsensusTime <= 0 {
 		t.Error("consensus reported at t=0 although node 0 was undecided")
+	}
+}
+
+// digestPoisson folds the fields of a Poisson-kernel run that depend on
+// event ordering into a SHA-256 digest; floats are rendered in hex so the
+// digest changes iff the run is no longer bit-identical.
+func digestPoisson(res *Result) string {
+	h := sha256.New()
+	hx := func(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+	fmt.Fprintf(h, "rule=%s rounds=%d winner=%d full=%t ct=%s counts=%v\n",
+		res.Rule, res.Rounds, res.Outcome.Winner, res.Outcome.FullConsensus,
+		hx(res.Outcome.ConsensusTime), res.FinalCounts)
+	for _, p := range res.Trajectory {
+		fmt.Fprintf(h, "p %s %s %s\n", hx(p.Time), hx(p.TopFrac), hx(p.PluralityFrac))
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestRunPoissonGolden pins the Poisson scheduler against the pre-refactor
+// closure kernel (recorded at commit 85af9cc): the typed event kernel must
+// replay these runs byte-for-byte.
+func TestRunPoissonGolden(t *testing.T) {
+	golden := map[string]string{
+		"pull-voting":     "a02f95c7ebb21b053cfebacd1b9a2f2e1016eef9856d3379a12044b4859ce197",
+		"two-choices":     "5e1714f465bc0d30d1def074f6df7e7e2f26ae142e164feb9a5a3d19b471c3da",
+		"3-majority":      "051468d0ab80091d0bfef2ea282ca40b409ee0dcbf8c107a7cb21879569f57ca",
+		"undecided-state": "4c8db0f1a618d18edce066fc386d1ccd69123cf866053a79e732513d5d213024",
+	}
+	for name, want := range golden {
+		rule, err := NewRule(name, xrand.New(21))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunPoisson(rule, Config{N: 500, K: 3, Alpha: 2.5, Seed: 17}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := digestPoisson(res)
+		if os.Getenv("PLURALITY_GOLDEN_RECORD") != "" {
+			fmt.Printf("GOLDEN\t%q: %q,\n", name, got)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s: poisson digest changed:\n  got  %s\n  want %s", name, got, want)
+		}
 	}
 }

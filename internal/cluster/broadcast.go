@@ -24,6 +24,96 @@ type BroadcastResult struct {
 	TimedOut bool
 }
 
+// Typed event kinds of the broadcast engine (see bcastState.HandleEvent).
+const (
+	// bcTick is one Poisson tick of node ev.Node.
+	bcTick int32 = iota
+	// bcComplete is node ev.Node's channels to contacts ev.A and ev.B
+	// completing: equalize the informed bit across the visible leaders.
+	bcComplete
+)
+
+// bcastState is the mutable state of one broadcast run; per-node flags are
+// flat slices indexed by node id.
+type bcastState struct {
+	cl     *Clustering
+	sm     *sim.Simulator
+	clocks *sim.Clocks
+	tickFn func(int)
+	tp     topo.Sampler
+	lat    sim.Latency
+	smp    *xrand.RNG
+	latR   *xrand.RNG
+
+	participating []bool
+	informed      []bool
+	locked        []bool
+	informTimes   map[int]float64
+	remaining     int
+}
+
+// HandleEvent dispatches the broadcast engine's typed events.
+func (bs *bcastState) HandleEvent(ev sim.Event) {
+	switch ev.Kind {
+	case bcTick:
+		bs.clocks.Fire(ev.Node, bs.tickFn)
+	case bcComplete:
+		bs.complete(int(ev.Node), int(ev.A), int(ev.B))
+	}
+}
+
+func (bs *bcastState) inform(l int) {
+	if !bs.participating[l] || bs.informed[l] {
+		return
+	}
+	bs.informed[l] = true
+	bs.informTimes[l] = bs.sm.Now()
+	bs.remaining--
+	if bs.remaining == 0 {
+		bs.sm.Stop()
+	}
+}
+
+func (bs *bcastState) tick(v int) {
+	my := int(bs.cl.LeaderOf[v])
+	if my < 0 || !bs.participating[my] {
+		return // inactive node: not in a participating cluster
+	}
+	if bs.locked[v] {
+		return
+	}
+	bs.locked[v] = true
+	a := bs.tp.SampleNeighbor(bs.smp, v)
+	b := bs.tp.SampleNeighbor(bs.smp, v)
+	// Own leader + two contacts in parallel, then their leaders in
+	// parallel: max(T2,T2,T2) + max(T2,T2).
+	lat := bs.lat
+	d := math.Max(lat.Sample(bs.latR), math.Max(lat.Sample(bs.latR), lat.Sample(bs.latR))) +
+		math.Max(lat.Sample(bs.latR), lat.Sample(bs.latR))
+	bs.sm.ScheduleAfter(d, sim.Event{Kind: bcComplete, Node: int32(v), A: int32(a), B: int32(b)})
+}
+
+func (bs *bcastState) complete(v, a, b int) {
+	bs.locked[v] = false
+	my := int(bs.cl.LeaderOf[v])
+	la, lb := int(bs.cl.LeaderOf[a]), int(bs.cl.LeaderOf[b])
+	group := [3]int{my, la, lb}
+	any := false
+	for _, l := range group {
+		if l >= 0 && bs.informed[l] {
+			any = true
+			break
+		}
+	}
+	if any {
+		for _, l := range group {
+			if l >= 0 {
+				bs.inform(l)
+			}
+		}
+	}
+}
+
 // Broadcast runs the §4.2 push–pull broadcast over an existing clustering:
 // on each tick an active node contacts its own leader and two random nodes,
 // obtains their leaders' addresses, contacts those, and equalizes the
@@ -42,90 +132,50 @@ func Broadcast(cl *Clustering, lat sim.Latency, seed uint64, maxTime float64) (*
 		maxTime = 64 * (1 + lat.Mean())
 	}
 	root := xrand.New(seed)
-	smp := root.SplitNamed("sampling")
-	latR := root.SplitNamed("latency")
-	sm := sim.New()
-
-	participating := make(map[int]bool, len(leaders))
-	for _, l := range leaders {
-		participating[l] = true
-	}
-	informed := make(map[int]bool, len(leaders))
-	informTimes := make(map[int]float64, len(leaders))
-	remaining := len(leaders)
-
-	inform := func(l int) {
-		if !participating[l] || informed[l] {
-			return
-		}
-		informed[l] = true
-		informTimes[l] = sm.Now()
-		remaining--
-		if remaining == 0 {
-			sm.Stop()
-		}
-	}
-	// The message originates at the first participating leader.
-	inform(leaders[0])
-	res := &BroadcastResult{LeaderCount: len(leaders), InformTimes: informTimes}
-	if remaining == 0 {
-		res.CompleteTime = 0
-		return res, nil
-	}
-
 	n := cl.N
 	tp, err := topo.OrComplete(cl.Topo, n)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
-	locked := make([]bool, n)
-	tick := func(v int) {
-		my := int(cl.LeaderOf[v])
-		if my < 0 || !participating[my] {
-			return // inactive node: not in a participating cluster
-		}
-		if locked[v] {
-			return
-		}
-		locked[v] = true
-		a := tp.SampleNeighbor(smp, v)
-		b := tp.SampleNeighbor(smp, v)
-		// Own leader + two contacts in parallel, then their leaders in
-		// parallel: max(T2,T2,T2) + max(T2,T2).
-		d := math.Max(lat.Sample(latR), math.Max(lat.Sample(latR), lat.Sample(latR))) +
-			math.Max(lat.Sample(latR), lat.Sample(latR))
-		sm.After(d, func() {
-			defer func() { locked[v] = false }()
-			la, lb := int(cl.LeaderOf[a]), int(cl.LeaderOf[b])
-			group := [3]int{my, la, lb}
-			any := false
-			for _, l := range group {
-				if l >= 0 && informed[l] {
-					any = true
-					break
-				}
-			}
-			if any {
-				for _, l := range group {
-					if l >= 0 {
-						inform(l)
-					}
-				}
-			}
-		})
+	sm := sim.New()
+	bs := &bcastState{
+		cl:            cl,
+		sm:            sm,
+		tp:            tp,
+		lat:           lat,
+		smp:           root.SplitNamed("sampling"),
+		latR:          root.SplitNamed("latency"),
+		participating: make([]bool, n),
+		informed:      make([]bool, n),
+		locked:        make([]bool, n),
+		informTimes:   make(map[int]float64, len(leaders)),
+		remaining:     len(leaders),
+	}
+	for _, l := range leaders {
+		bs.participating[l] = true
 	}
 
-	clockR := root.SplitNamed("clocks")
-	for v := 0; v < n; v++ {
-		v := v
-		c := sim.NewClock(sm, clockR.Split(), 1, func() { tick(v) })
-		c.Start()
+	// The message originates at the first participating leader.
+	bs.inform(leaders[0])
+	res := &BroadcastResult{LeaderCount: len(leaders), InformTimes: bs.informTimes}
+	if bs.remaining == 0 {
+		res.CompleteTime = 0
+		return res, nil
 	}
+
+	bs.tickFn = bs.tick
+	sm.SetHandler(bs)
+	sm.Reserve(2*n + 64)
+	clockR := root.SplitNamed("clocks")
+	bs.clocks = sim.NewClocks(sm, clockR, n, 1, bcTick)
+	bs.clocks.StartAll()
 	sm.At(maxTime, func() {
 		res.TimedOut = true
 		sm.Stop()
 	})
 	sm.Run()
+	remaining := bs.remaining
+	informTimes := bs.informTimes
 
 	if res.TimedOut && remaining > 0 {
 		res.CompleteTime = -1

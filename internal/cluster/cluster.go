@@ -187,16 +187,170 @@ func (c *Clustering) ParticipatingFrac() float64 {
 	return float64(total) / float64(c.N)
 }
 
-// leaderState is the per-leader clustering state machine.
-type leaderState struct {
-	size       int  // members including the leader
-	filled     bool // reached TargetSize
-	count      int  // 0-signals received since filled
-	pauseDone  bool // finished the c2 counting pause
-	consensus  bool // switched to consensus mode
-	excluded   bool // too small when the wave arrived; never participates
-	switchTime float64
-	rebcastEnd float64 // forwards the wave until this time
+// Typed event kinds of the clustering engine (see formState.HandleEvent).
+const (
+	// evTick is one Poisson tick of node ev.Node.
+	evTick int32 = iota
+	// evSignal is a 0-signal arriving at leader ev.Node.
+	evSignal
+	// evJoin is node ev.Node's channels to contacts ev.A, ev.B, ev.C
+	// completing: join attempt plus consensus-wave gossip.
+	evJoin
+)
+
+// formState is the mutable state of one clustering run. Per-leader state is
+// dense struct-of-arrays, addressed by leaderIdx, so the signal and join
+// hot paths are slice arithmetic without map lookups.
+type formState struct {
+	p      Params
+	sm     *sim.Simulator
+	clocks *sim.Clocks
+	tickFn func(int)
+	smp    *xrand.RNG
+	latR   *xrand.RNG
+
+	leaderOf []int32
+	rank     []int32 // join order within the cluster
+	locked   []bool
+
+	// leaderIdx maps a node id to its dense leader slot (-1 otherwise);
+	// the l* slices are indexed by slot, in Leaders order.
+	leaderIdx   []int32
+	lSize       []int32 // members including the leader
+	lCount      []int32 // 0-signals received since filled
+	lFilled     []bool  // reached TargetSize
+	lPauseDone  []bool  // finished the c2 counting pause
+	lConsensus  []bool  // switched to consensus mode
+	lExcluded   []bool  // too small when the wave arrived; never participates
+	lSwitchTime []float64
+	lRebcastEnd []float64 // forwards the wave until this time
+
+	pauseTicks, switchTicks int32
+	clustered               int
+	cl                      *Clustering
+}
+
+// HandleEvent dispatches the clustering engine's typed events.
+func (fs *formState) HandleEvent(ev sim.Event) {
+	switch ev.Kind {
+	case evTick:
+		fs.clocks.Fire(ev.Node, fs.tickFn)
+	case evSignal:
+		fs.leaderSignal(fs.leaderIdx[ev.Node])
+	case evJoin:
+		fs.join(int(ev.Node), int(ev.A), int(ev.B), int(ev.C))
+	}
+}
+
+// switchLeader moves leader slot li into consensus mode (or excludes it)
+// when the consensus wave reaches it.
+func (fs *formState) switchLeader(li int32) {
+	if fs.lConsensus[li] || fs.lExcluded[li] {
+		return
+	}
+	if int(fs.lSize[li]) < fs.p.TargetSize {
+		fs.lExcluded[li] = true
+		return
+	}
+	now := fs.sm.Now()
+	fs.lConsensus[li] = true
+	fs.lSwitchTime[li] = now
+	fs.lRebcastEnd[li] = now + fs.p.RebroadcastTime
+	if fs.cl.FirstSwitch < 0 {
+		fs.cl.FirstSwitch = now
+	}
+	fs.cl.LastSwitch = now
+}
+
+// leaderSignal processes a 0-signal arriving at leader slot li.
+func (fs *formState) leaderSignal(li int32) {
+	if fs.lConsensus[li] || fs.lExcluded[li] || !fs.lFilled[li] {
+		return
+	}
+	fs.lCount[li]++
+	if fs.lCount[li] >= fs.pauseTicks {
+		fs.lPauseDone[li] = true
+	}
+	if fs.lCount[li] >= fs.switchTicks {
+		// This leader originates the consensus wave.
+		fs.switchLeader(li)
+	}
+}
+
+// tick is the per-node clustering action.
+func (fs *formState) tick(v int) {
+	myLeader := int(fs.leaderOf[v])
+	// Members among the first TargetSize joiners keep clocking their
+	// leader with 0-signals.
+	if myLeader >= 0 && fs.rank[v] < int32(fs.p.TargetSize) {
+		fs.sm.ScheduleAfter(fs.p.Latency.Sample(fs.latR),
+			sim.Event{Kind: evSignal, Node: int32(myLeader)})
+	}
+	if fs.locked[v] {
+		return
+	}
+	fs.locked[v] = true
+	// Contact own leader (if any) and three random nodes in parallel,
+	// then the leader of one of them: accumulated latency
+	// max(T2,T2,T2,T2) + T2.
+	c1 := fs.p.Topo.SampleNeighbor(fs.smp, v)
+	c2 := fs.p.Topo.SampleNeighbor(fs.smp, v)
+	c3 := fs.p.Topo.SampleNeighbor(fs.smp, v)
+	lat := fs.p.Latency
+	d := math.Max(math.Max(lat.Sample(fs.latR), lat.Sample(fs.latR)),
+		math.Max(lat.Sample(fs.latR), lat.Sample(fs.latR))) +
+		lat.Sample(fs.latR)
+	fs.sm.ScheduleAfter(d,
+		sim.Event{Kind: evJoin, Node: int32(v), A: int32(c1), B: int32(c2), C: int32(c3)})
+}
+
+// join handles node v's established channels: the join attempt if
+// unassigned, then consensus-wave gossip between the visible leaders.
+func (fs *formState) join(v, c1, c2, c3 int) {
+	fs.locked[v] = false
+	// Choose a reported leader to call: prefer the first contact with an
+	// assigned leader (paper: "one of these leaders is called").
+	called := -1
+	for _, c := range [3]int{c1, c2, c3} {
+		if lc := int(fs.leaderOf[c]); lc >= 0 {
+			called = lc
+			break
+		}
+	}
+	my := int(fs.leaderOf[v])
+	// Join attempt if unassigned.
+	if my < 0 && called >= 0 {
+		li := fs.leaderIdx[called]
+		accepting := !fs.lConsensus[li] && !fs.lExcluded[li] &&
+			(int(fs.lSize[li]) < fs.p.TargetSize || fs.lPauseDone[li])
+		if accepting {
+			fs.leaderOf[v] = int32(called)
+			fs.rank[v] = fs.lSize[li]
+			fs.lSize[li]++
+			if int(fs.lSize[li]) >= fs.p.TargetSize {
+				fs.lFilled[li] = true
+			}
+			fs.clustered++
+		}
+	}
+	// Consensus-wave gossip between the two leaders we can see.
+	my = int(fs.leaderOf[v])
+	if fs.rebroadcasting(called) && my >= 0 && my != called {
+		fs.switchLeader(fs.leaderIdx[my])
+	}
+	if fs.rebroadcasting(my) && called >= 0 && called != my {
+		fs.switchLeader(fs.leaderIdx[called])
+	}
+}
+
+// rebroadcasting reports whether leader node l is currently forwarding the
+// consensus wave.
+func (fs *formState) rebroadcasting(l int) bool {
+	if l < 0 {
+		return false
+	}
+	li := fs.leaderIdx[l]
+	return fs.lConsensus[li] && fs.sm.Now() <= fs.lRebcastEnd[li]
 }
 
 // Form runs the clustering protocol of §4.1 and returns the resulting
@@ -206,47 +360,62 @@ func Form(p Params) (*Clustering, error) {
 		return nil, err
 	}
 	root := xrand.New(p.Seed)
-	smp := root.SplitNamed("sampling")
-	latR := root.SplitNamed("latency")
-	coinR := root.SplitNamed("coins")
 	sm := sim.New()
-
 	n := p.N
-	leaderOf := make([]int32, n)
-	rank := make([]int32, n) // join order within the cluster
-	for i := range leaderOf {
-		leaderOf[i] = -1
-		rank[i] = -1
+
+	fs := &formState{
+		p:         p,
+		sm:        sm,
+		smp:       root.SplitNamed("sampling"),
+		latR:      root.SplitNamed("latency"),
+		leaderOf:  make([]int32, n),
+		rank:      make([]int32, n),
+		locked:    make([]bool, n),
+		leaderIdx: make([]int32, n),
 	}
-	states := make(map[int]*leaderState)
+	coinR := root.SplitNamed("coins")
+	for i := range fs.leaderOf {
+		fs.leaderOf[i] = -1
+		fs.rank[i] = -1
+		fs.leaderIdx[i] = -1
+	}
 	var leaders []int
+	addLeader := func(v int) {
+		fs.leaderIdx[v] = int32(len(leaders))
+		leaders = append(leaders, v)
+		fs.leaderOf[v] = int32(v)
+		fs.rank[v] = 0
+	}
 	for v := 0; v < n; v++ {
 		if coinR.Bernoulli(p.LeaderProb) {
-			leaders = append(leaders, v)
-			leaderOf[v] = int32(v)
-			rank[v] = 0
-			states[v] = &leaderState{size: 1}
+			addLeader(v)
 		}
 	}
 	if len(leaders) == 0 {
 		// Degenerate draw: force one leader so the protocol is well posed.
-		v := coinR.Intn(n)
-		leaders = append(leaders, v)
-		leaderOf[v] = int32(v)
-		rank[v] = 0
-		states[v] = &leaderState{size: 1}
+		addLeader(coinR.Intn(n))
+	}
+	fs.lSize = make([]int32, len(leaders))
+	fs.lCount = make([]int32, len(leaders))
+	fs.lFilled = make([]bool, len(leaders))
+	fs.lPauseDone = make([]bool, len(leaders))
+	fs.lConsensus = make([]bool, len(leaders))
+	fs.lExcluded = make([]bool, len(leaders))
+	fs.lSwitchTime = make([]float64, len(leaders))
+	fs.lRebcastEnd = make([]float64, len(leaders))
+	for li := range fs.lSize {
+		fs.lSize[li] = 1
 	}
 
-	pauseTicks := int(math.Ceil(p.C2Mult * float64(p.TargetSize) *
+	fs.pauseTicks = int32(math.Ceil(p.C2Mult * float64(p.TargetSize) *
 		math.Log2(math.Log2(float64(n))+2)))
-	switchTicks := pauseTicks + int(math.Ceil(p.C3Mult*float64(p.TargetSize)*
+	fs.switchTicks = fs.pauseTicks + int32(math.Ceil(p.C3Mult*float64(p.TargetSize)*
 		math.Log2(math.Log2(float64(n))+2)))
 
-	clustered := 0
 	cl := &Clustering{
 		N:               n,
 		TargetSize:      p.TargetSize,
-		LeaderOf:        leaderOf,
+		LeaderOf:        fs.leaderOf,
 		Leaders:         leaders,
 		Size:            make(map[int]int, len(leaders)),
 		InConsensusMode: make(map[int]bool, len(leaders)),
@@ -255,128 +424,22 @@ func Form(p Params) (*Clustering, error) {
 		LastSwitch:      -1,
 		Topo:            p.Topo,
 	}
-	clustered = len(leaders)
+	fs.cl = cl
+	fs.clustered = len(leaders)
 
-	locked := make([]bool, n)
-
-	// switchLeader moves a leader into consensus mode (or excludes it) when
-	// the consensus wave reaches it.
-	var switchLeader func(l int)
-	switchLeader = func(l int) {
-		st := states[l]
-		if st.consensus || st.excluded {
-			return
-		}
-		if st.size < p.TargetSize {
-			st.excluded = true
-			return
-		}
-		st.consensus = true
-		st.switchTime = sm.Now()
-		st.rebcastEnd = sm.Now() + p.RebroadcastTime
-		if cl.FirstSwitch < 0 {
-			cl.FirstSwitch = sm.Now()
-		}
-		cl.LastSwitch = sm.Now()
-	}
-
-	// leaderSignal processes a 0-signal arriving at leader l.
-	leaderSignal := func(l int) {
-		st := states[l]
-		if st.consensus || st.excluded || !st.filled {
-			return
-		}
-		st.count++
-		if st.count >= pauseTicks {
-			st.pauseDone = true
-		}
-		if st.count >= switchTicks {
-			// This leader originates the consensus wave.
-			switchLeader(l)
-		}
-	}
-
-	// tick is the per-node clustering action.
-	tick := func(v int) {
-		myLeader := int(leaderOf[v])
-		// Members among the first TargetSize joiners keep clocking their
-		// leader with 0-signals.
-		if myLeader >= 0 && rank[v] < int32(p.TargetSize) {
-			l := myLeader
-			sm.After(p.Latency.Sample(latR), func() { leaderSignal(l) })
-		}
-		if locked[v] {
-			return
-		}
-		locked[v] = true
-		// Contact own leader (if any) and three random nodes in parallel,
-		// then the leader of one of them: accumulated latency
-		// max(T2,T2,T2,T2) + T2.
-		c1 := p.Topo.SampleNeighbor(smp, v)
-		c2 := p.Topo.SampleNeighbor(smp, v)
-		c3 := p.Topo.SampleNeighbor(smp, v)
-		d := math.Max(math.Max(p.Latency.Sample(latR), p.Latency.Sample(latR)),
-			math.Max(p.Latency.Sample(latR), p.Latency.Sample(latR))) +
-			p.Latency.Sample(latR)
-		sm.After(d, func() {
-			defer func() { locked[v] = false }()
-			// Choose a reported leader to call: prefer the first contact
-			// with an assigned leader (paper: "one of these leaders is
-			// called").
-			called := -1
-			for _, c := range [3]int{c1, c2, c3} {
-				if lc := int(leaderOf[c]); lc >= 0 {
-					called = lc
-					break
-				}
-			}
-			my := int(leaderOf[v])
-			// Join attempt if unassigned.
-			if my < 0 && called >= 0 {
-				st := states[called]
-				accepting := !st.consensus && !st.excluded &&
-					(st.size < p.TargetSize || st.pauseDone)
-				if accepting {
-					leaderOf[v] = int32(called)
-					rank[v] = int32(st.size)
-					st.size++
-					if st.size >= p.TargetSize {
-						st.filled = true
-					}
-					clustered++
-				}
-			}
-			// Consensus-wave gossip between the two leaders we can see.
-			my = int(leaderOf[v])
-			rebroadcasting := func(l int) bool {
-				if l < 0 {
-					return false
-				}
-				st := states[l]
-				return st.consensus && sm.Now() <= st.rebcastEnd
-			}
-			if rebroadcasting(called) && my >= 0 && my != called {
-				switchLeader(my)
-			}
-			if rebroadcasting(my) && called >= 0 && called != my {
-				switchLeader(called)
-			}
-		})
-	}
-
+	fs.tickFn = fs.tick
+	sm.SetHandler(fs)
+	sm.Reserve(3*n + 64)
 	clockR := root.SplitNamed("clocks")
-	for v := 0; v < n; v++ {
-		v := v
-		c := sim.NewClock(sm, clockR.Split(), 1, func() { tick(v) })
-		c.Start()
-	}
+	fs.clocks = sim.NewClocks(sm, clockR, n, 1, evTick)
+	fs.clocks.StartAll()
 
 	// Coverage recorder + settlement watchdog.
 	bigFrac := func() float64 {
-		tot := 0
-		for _, l := range leaders {
-			if states[l].size >= p.TargetSize {
-				tot += states[l].size
+		tot := int32(0)
+		for li := range leaders {
+			if int(fs.lSize[li]) >= p.TargetSize {
+				tot += fs.lSize[li]
 			}
 		}
 		return float64(tot) / float64(n)
@@ -387,9 +450,8 @@ func Form(p Params) (*Clustering, error) {
 		}
 		// Settled once every big cluster's leader has decided and the
 		// rebroadcast window of the slowest switch has passed.
-		for _, l := range leaders {
-			st := states[l]
-			if st.size >= p.TargetSize && !st.consensus && !st.excluded {
+		for li := range leaders {
+			if int(fs.lSize[li]) >= p.TargetSize && !fs.lConsensus[li] && !fs.lExcluded[li] {
 				return false
 			}
 		}
@@ -399,7 +461,7 @@ func Form(p Params) (*Clustering, error) {
 	record := func() {
 		cl.Coverage = append(cl.Coverage, CoveragePoint{
 			Time:           sm.Now(),
-			ClusteredFrac:  float64(clustered) / float64(n),
+			ClusteredFrac:  float64(fs.clustered) / float64(n),
 			BigClusterFrac: bigFrac(),
 		})
 	}
@@ -424,12 +486,11 @@ func Form(p Params) (*Clustering, error) {
 	}
 
 	cl.EndTime = sm.Now()
-	for _, l := range leaders {
-		st := states[l]
-		cl.Size[l] = st.size
-		cl.InConsensusMode[l] = st.consensus
-		if st.consensus {
-			cl.SwitchTime[l] = st.switchTime
+	for li, l := range leaders {
+		cl.Size[l] = int(fs.lSize[li])
+		cl.InConsensusMode[l] = fs.lConsensus[li]
+		if fs.lConsensus[li] {
+			cl.SwitchTime[l] = fs.lSwitchTime[li]
 		}
 	}
 	return cl, nil

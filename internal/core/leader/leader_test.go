@@ -155,6 +155,9 @@ func TestGenerationsBounded(t *testing.T) {
 }
 
 func TestSuccessRateAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed success-rate sweep skipped in -short mode")
+	}
 	wins := 0
 	const trials = 10
 	for seed := 0; seed < trials; seed++ {

@@ -75,13 +75,26 @@ type Result struct {
 	PeakLeaderLoad      float64
 }
 
+// Typed event kinds of the single-leader engine (see HandleEvent).
+const (
+	// evTick is one Poisson tick of node ev.Node.
+	evTick int32 = iota
+	// evSignal is an i-signal (i = ev.A) arriving at the leader.
+	evSignal
+	// evComplete is node ev.Node's channels to samples ev.A and ev.B
+	// completing.
+	evComplete
+)
+
 // runState bundles the mutable simulation state of one run.
 type runState struct {
-	cfg   Config
-	sm    *sim.Simulator
-	lat   sim.Latency
-	tickR *xrand.RNG // sampling randomness (targets)
-	latR  *xrand.RNG // latency randomness
+	cfg    Config
+	sm     *sim.Simulator
+	clocks *sim.Clocks
+	tickFn func(int) // rs.tick bound once so Fire calls allocate nothing
+	lat    sim.Latency
+	tickR  *xrand.RNG // sampling randomness (targets)
+	latR   *xrand.RNG // latency randomness
 
 	cols   []opinion.Opinion
 	gens   []int32
@@ -105,9 +118,12 @@ type runState struct {
 	// used for the §3.2 invariant check.
 	propSeen []bool
 
-	// loadBuckets counts leader-bound messages per time unit for the §4.5
-	// congestion metric.
-	loadBuckets map[int]uint64
+	// §4.5 congestion metric: leader-bound messages per C1-wide time
+	// bucket. Time is monotone, so one open (bucket, count) pair plus a
+	// running peak replaces a per-bucket map.
+	loadBucket int32
+	loadCount  uint64
+	peakLoad   uint64
 
 	res        *Result
 	plurality  opinion.Opinion
@@ -153,25 +169,24 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	rs := &runState{
-		cfg:         cfg,
-		sm:          sim.New(),
-		lat:         cfg.Latency,
-		tickR:       root.SplitNamed("ticks"),
-		latR:        root.SplitNamed("latency"),
-		cols:        cols,
-		gens:        make([]int32, cfg.N),
-		locked:      make([]bool, cfg.N),
-		seenG:       make([]int32, cfg.N),
-		seenP:       make([]bool, cfg.N),
-		colorCount:  initCounts,
-		genCount:    make([]int, gStar+1),
-		leaderGen:   1,
-		c3Ticks:     int(cfg.C3 * float64(cfg.N)),
-		genThresh:   int(math.Ceil(cfg.GenFraction * float64(cfg.N))),
-		gStar:       gStar,
-		propSeen:    make([]bool, gStar+2),
-		loadBuckets: make(map[int]uint64),
-		plurality:   opinion.Opinion(pl),
+		cfg:        cfg,
+		sm:         sim.New(),
+		lat:        cfg.Latency,
+		tickR:      root.SplitNamed("ticks"),
+		latR:       root.SplitNamed("latency"),
+		cols:       cols,
+		gens:       make([]int32, cfg.N),
+		locked:     make([]bool, cfg.N),
+		seenG:      make([]int32, cfg.N),
+		seenP:      make([]bool, cfg.N),
+		colorCount: initCounts,
+		genCount:   make([]int, gStar+1),
+		leaderGen:  1,
+		c3Ticks:    int(cfg.C3 * float64(cfg.N)),
+		genThresh:  int(math.Ceil(cfg.GenFraction * float64(cfg.N))),
+		gStar:      gStar,
+		propSeen:   make([]bool, gStar+2),
+		plurality:  opinion.Opinion(pl),
 		res: &Result{
 			InitialPlurality: opinion.Opinion(pl),
 			C1:               cfg.C1,
@@ -205,13 +220,15 @@ func Run(cfg Config) (*Result, error) {
 		})
 	}
 
-	// One Poisson clock per node.
+	// One Poisson clock per node, in struct-of-arrays form: clock RNGs are
+	// split from the same parent in the same node order as the legacy
+	// per-node Clock objects, so tick times are bit-identical.
+	rs.tickFn = rs.tick
+	rs.sm.SetHandler(rs)
+	rs.sm.Reserve(3*cfg.N + 64)
 	clockR := root.SplitNamed("clocks")
-	for v := 0; v < cfg.N; v++ {
-		v := v
-		c := sim.NewClock(rs.sm, clockR.Split(), 1, func() { rs.tick(v) })
-		c.Start()
-	}
+	rs.clocks = sim.NewClocks(rs.sm, clockR, cfg.N, 1, evTick)
+	rs.clocks.StartAll()
 
 	// Periodic recorder + termination watchdog.
 	rec := metrics.NewRecorder(cfg.Eps, cfg.DiscardTrajectory, cfg.Observe)
@@ -252,11 +269,10 @@ func Run(cfg Config) (*Result, error) {
 
 	rs.res.EndTime = rs.sm.Now()
 	rs.res.Events = rs.sm.Processed()
-	for _, c := range rs.loadBuckets {
-		if f := float64(c); f > rs.res.PeakLeaderLoad {
-			rs.res.PeakLeaderLoad = f
-		}
+	if rs.loadCount > rs.peakLoad {
+		rs.peakLoad = rs.loadCount
 	}
+	rs.res.PeakLeaderLoad = float64(rs.peakLoad)
 	rs.res.FinalCounts = opinion.CountOf(rs.cols, cfg.K)
 	// Ensure the final state is in the trajectory exactly once more (the
 	// stop path records before stopping, but a monochromatic flip between
@@ -277,6 +293,19 @@ func Run(cfg Config) (*Result, error) {
 	return rs.res, nil
 }
 
+// HandleEvent dispatches the engine's typed events; it is the hot path a
+// run spends nearly all its time in, so every case is allocation-free.
+func (rs *runState) HandleEvent(ev sim.Event) {
+	switch ev.Kind {
+	case evTick:
+		rs.clocks.Fire(ev.Node, rs.tickFn)
+	case evSignal:
+		rs.leaderSignal(int(ev.A))
+	case evComplete:
+		rs.complete(int(ev.Node), int(ev.A), int(ev.B))
+	}
+}
+
 // tick handles one Poisson tick of node v (Algorithm 2 lines 1-3).
 func (rs *runState) tick(v int) {
 	if rs.mono || rs.crashed[v] {
@@ -286,7 +315,7 @@ func (rs *runState) tick(v int) {
 	// Line 1: 0-signal to the leader; fire-and-forget with latency.
 	// SignalLoss (an extension; 0 in the paper's model) may drop it.
 	if rs.cfg.SignalLoss == 0 || !rs.latR.Bernoulli(rs.cfg.SignalLoss) {
-		rs.sm.After(rs.lat.Sample(rs.latR), func() { rs.leaderSignal(0) })
+		rs.sm.ScheduleAfter(rs.lat.Sample(rs.latR), sim.Event{Kind: evSignal})
 	}
 	// Line 2: locked nodes do nothing else.
 	if rs.locked[v] {
@@ -299,13 +328,15 @@ func (rs *runState) tick(v int) {
 	b := rs.cfg.Topo.SampleNeighbor(rs.tickR, v)
 	d := math.Max(rs.lat.Sample(rs.latR), rs.lat.Sample(rs.latR)) +
 		rs.lat.Sample(rs.latR)
-	rs.sm.After(d, func() { rs.complete(v, a, b) })
+	rs.sm.ScheduleAfter(d, sim.Event{Kind: evComplete, Node: int32(v), A: int32(a), B: int32(b)})
 }
 
 // complete handles the established channels of node v (Algorithm 2 lines
 // 5-15).
 func (rs *runState) complete(v, a, b int) {
-	defer func() { rs.locked[v] = false }()
+	// The event runs atomically, so the lock can drop on entry: it only
+	// gates future tick events.
+	rs.locked[v] = false
 	if rs.mono || rs.crashed[v] {
 		return
 	}
@@ -375,9 +406,9 @@ func (rs *runState) setNode(v int, col opinion.Opinion, gen int32) {
 			rs.maxGen = int(gen)
 		}
 		if gen > oldGen {
-			g := int(gen)
 			if rs.cfg.SignalLoss == 0 || !rs.latR.Bernoulli(rs.cfg.SignalLoss) {
-				rs.sm.After(rs.lat.Sample(rs.latR), func() { rs.leaderSignal(g) })
+				rs.sm.ScheduleAfter(rs.lat.Sample(rs.latR),
+					sim.Event{Kind: evSignal, A: int32(gen)})
 			}
 		}
 	}
@@ -387,7 +418,15 @@ func (rs *runState) setNode(v int, col opinion.Opinion, gen int32) {
 // leader, bucketed by time unit for the §4.5 congestion metric.
 func (rs *runState) leaderMessage() {
 	rs.res.TotalLeaderMessages++
-	rs.loadBuckets[int(rs.sm.Now()/rs.cfg.C1)]++
+	bucket := int32(rs.sm.Now() / rs.cfg.C1)
+	if bucket != rs.loadBucket {
+		if rs.loadCount > rs.peakLoad {
+			rs.peakLoad = rs.loadCount
+		}
+		rs.loadBucket = bucket
+		rs.loadCount = 0
+	}
+	rs.loadCount++
 }
 
 // leaderSignal processes one arriving i-signal at the leader (Algorithm 3).

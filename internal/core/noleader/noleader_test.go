@@ -121,6 +121,9 @@ func TestProposition31aOverlap(t *testing.T) {
 }
 
 func TestSuccessRateAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed success-rate sweep skipped in -short mode")
+	}
 	wins := 0
 	const trials = 6
 	for seed := 0; seed < trials; seed++ {

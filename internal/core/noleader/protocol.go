@@ -87,18 +87,6 @@ type Result struct {
 	PeakLeaderLoad      float64
 }
 
-// leaderState is one participating cluster leader during consensus.
-type leaderState struct {
-	gen      int
-	state    LeaderStateKind
-	card     int
-	t        int // 0-signal counter
-	genSize  int // hasChanged signals for the current gen
-	sleepAt  int // t threshold for state 2
-	propAt   int // t threshold for state 3
-	excluded bool
-}
-
 // Run forms clusters and then executes Algorithms 4 and 5 under cfg.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.normalize(); err != nil {
@@ -156,9 +144,8 @@ func Run(cfg Config) (*Result, error) {
 		tmpGen:    make([]int32, cfg.N),
 		tmpState:  make([]int8, cfg.N),
 		counts:    initCounts,
-		leaders:   make(map[int]*leaderState),
+		leaderIdx: make([]int32, cfg.N),
 		gStar:     gStar,
-		load:      make(map[int]map[int]uint64),
 		plurality: opinion.Opinion(pl),
 		phase:     map[int]*GenPhases{},
 		res: &Result{
@@ -169,14 +156,27 @@ func Run(cfg Config) (*Result, error) {
 			GStar:            gStar,
 		},
 	}
-	for _, l := range cl.ParticipatingLeaders() {
-		st := &leaderState{gen: 1, state: StateTwoChoices, card: cl.Size[l]}
-		st.sleepAt = int(math.Ceil(cfg.TwoChoicesUnits * cfg.C1 * float64(st.card)))
-		st.propAt = st.sleepAt + int(math.Ceil(cfg.SleepUnits*cfg.C1*float64(st.card)))
-		rs.leaders[l] = st
+	for i := range rs.leaderIdx {
+		rs.leaderIdx[i] = -1
 	}
+	participating := cl.ParticipatingLeaders()
+	for _, l := range participating {
+		li := int32(len(rs.lGen))
+		rs.leaderIdx[l] = li
+		card := cl.Size[l]
+		sleepAt := int32(math.Ceil(cfg.TwoChoicesUnits * cfg.C1 * float64(card)))
+		rs.lGen = append(rs.lGen, 1)
+		rs.lState = append(rs.lState, int8(StateTwoChoices))
+		rs.lCard = append(rs.lCard, int32(card))
+		rs.lT = append(rs.lT, 0)
+		rs.lGenSize = append(rs.lGenSize, 0)
+		rs.lSleepAt = append(rs.lSleepAt, sleepAt)
+		rs.lPropAt = append(rs.lPropAt, sleepAt+int32(math.Ceil(cfg.SleepUnits*cfg.C1*float64(card))))
+	}
+	rs.loadBucket = make([]int32, len(participating))
+	rs.loadCount = make([]uint64, len(participating))
 	rs.notePhase(1, StateTwoChoices, 0)
-	if len(rs.leaders) == 0 {
+	if len(participating) == 0 {
 		// Degenerate clustering: report a failed run rather than panic.
 		rs.res.TimedOut = true
 		rs.res.FinalCounts = initCounts
@@ -186,12 +186,12 @@ func Run(cfg Config) (*Result, error) {
 		return rs.res, nil
 	}
 
+	rs.tickFn = rs.tick
+	rs.sm.SetHandler(rs)
+	rs.sm.Reserve(3*cfg.N + 64)
 	clockR := root.SplitNamed("clocks")
-	for v := 0; v < cfg.N; v++ {
-		v := v
-		c := sim.NewClock(rs.sm, clockR.Split(), 1, func() { rs.tick(v) })
-		c.Start()
-	}
+	rs.clocks = sim.NewClocks(rs.sm, clockR, cfg.N, 1, evTick)
+	rs.clocks.StartAll()
 
 	rec := metrics.NewRecorder(cfg.Eps, cfg.DiscardTrajectory, cfg.Observe)
 	var recordTick func()
@@ -229,13 +229,13 @@ func Run(cfg Config) (*Result, error) {
 
 	rs.res.EndTime = rs.sm.Now()
 	rs.res.Events = rs.sm.Processed()
-	for _, buckets := range rs.load {
-		for _, c := range buckets {
-			if f := float64(c); f > rs.res.PeakLeaderLoad {
-				rs.res.PeakLeaderLoad = f
-			}
+	// Fold the still-open time-unit buckets into the running peak.
+	for _, c := range rs.loadCount {
+		if c > rs.peakLoad {
+			rs.peakLoad = c
 		}
 	}
+	rs.res.PeakLeaderLoad = float64(rs.peakLoad)
 	rs.res.FinalCounts = opinion.CountOf(rs.cols, cfg.K)
 	if last, ok := rec.Last(); !ok || last.Time < rs.res.EndTime {
 		record()

@@ -9,13 +9,30 @@ import (
 	"plurality/internal/xrand"
 )
 
-// consensusState bundles the mutable state of the consensus phase.
+// Typed event kinds of the decentralized consensus engine (see HandleEvent).
+const (
+	// evTick is one Poisson tick of node ev.Node.
+	evTick int32 = iota
+	// evSignal is an (i, s, hasChanged)-signal arriving at leader ev.Node
+	// with i = ev.A, s = ev.B and hasChanged = ev.C != 0.
+	evSignal
+	// evComplete is node ev.Node's channels to samples ev.A, ev.B, ev.C
+	// completing (Algorithm 4 lines 5-21).
+	evComplete
+)
+
+// consensusState bundles the mutable state of the consensus phase. The
+// per-leader state is held in dense struct-of-arrays form — one slot per
+// participating leader, addressed through leaderIdx — so the hot signal
+// path is pure slice arithmetic with no map lookups or pointer chasing.
 type consensusState struct {
-	cfg  Config
-	cl   *cluster.Clustering
-	sm   *sim.Simulator
-	smp  *xrand.RNG
-	latR *xrand.RNG
+	cfg    Config
+	cl     *cluster.Clustering
+	sm     *sim.Simulator
+	clocks *sim.Clocks
+	tickFn func(int) // rs.tick bound once so Fire calls allocate nothing
+	smp    *xrand.RNG
+	latR   *xrand.RNG
 
 	cols     []opinion.Opinion
 	gens     []int32
@@ -24,11 +41,29 @@ type consensusState struct {
 	tmpGen   []int32 // leader gen stored at the previous own-leader contact
 	tmpState []int8  // leader state stored at the previous own-leader contact
 
-	counts  opinion.Counts
-	maxGen  int
-	leaders map[int]*leaderState
-	gStar   int
-	load    map[int]map[int]uint64 // leader -> time-unit bucket -> messages
+	counts opinion.Counts
+	maxGen int
+
+	// leaderIdx maps a node id to its dense leader slot, -1 for everything
+	// that is not a participating leader. The l* slices are indexed by slot.
+	leaderIdx []int32
+	lGen      []int32
+	lState    []int8
+	lCard     []int32
+	lT        []int32 // 0-signal counter
+	lGenSize  []int32 // hasChanged signals for the current gen
+	lSleepAt  []int32 // t threshold for state 2
+	lPropAt   []int32 // t threshold for state 3
+
+	gStar int
+
+	// §4.5 congestion metric: leader-bound messages per C1-wide time
+	// bucket. Virtual time is monotone, so per-leader bucket indices are
+	// non-decreasing and a running (bucket, count) pair plus a global peak
+	// replaces the old per-leader bucket maps.
+	loadBucket []int32
+	loadCount  []uint64
+	peakLoad   uint64
 
 	plurality opinion.Opinion
 	mono      bool
@@ -36,6 +71,25 @@ type consensusState struct {
 
 	phase map[int]*GenPhases
 	res   *Result
+}
+
+// HandleEvent dispatches the engine's typed events — the hot path of the
+// consensus phase; every case is allocation-free.
+func (rs *consensusState) HandleEvent(ev sim.Event) {
+	switch ev.Kind {
+	case evTick:
+		rs.clocks.Fire(ev.Node, rs.tickFn)
+	case evSignal:
+		rs.signal(int(ev.Node), int(ev.A), LeaderStateKind(ev.B), ev.C != 0)
+	case evComplete:
+		// The leader of v and its participation bit are static during the
+		// consensus phase, so they are recomputed here instead of being
+		// carried in the event payload.
+		v := int(ev.Node)
+		myLeader := int(rs.cl.LeaderOf[v])
+		participates := myLeader >= 0 && rs.leaderIdx[myLeader] >= 0
+		rs.complete(v, int(ev.A), int(ev.B), int(ev.C), myLeader, participates)
+	}
 }
 
 // notePhase updates the Figure 2 marks for generation g entering state s.
@@ -67,74 +121,78 @@ func (rs *consensusState) notePhase(g int, s LeaderStateKind, t float64) {
 	}
 }
 
-// setLeader transitions leader l to (gen, state), recording the phase marks.
-func (rs *consensusState) setLeader(l int, st *leaderState, gen int, s LeaderStateKind) {
-	if gen != st.gen || s != st.state {
-		st.gen = gen
-		st.state = s
-		rs.notePhase(gen, s, rs.sm.Now())
+// setLeader transitions leader slot li to (gen, state), recording the phase
+// marks.
+func (rs *consensusState) setLeader(li int32, gen int32, s LeaderStateKind) {
+	if gen != rs.lGen[li] || int8(s) != rs.lState[li] {
+		rs.lGen[li] = gen
+		rs.lState[li] = int8(s)
+		rs.notePhase(int(gen), s, rs.sm.Now())
 	}
 }
 
-// leaderMessage accounts one message reaching leader l, bucketed by time
-// unit for the §4.5 congestion metric.
-func (rs *consensusState) leaderMessage(l int) {
+// leaderMessage accounts one message reaching leader slot li, bucketed by
+// time unit for the §4.5 congestion metric.
+func (rs *consensusState) leaderMessage(li int32) {
 	rs.res.TotalLeaderMessages++
-	bucket := int(rs.sm.Now() / rs.cfg.C1)
-	lb, ok := rs.load[l]
-	if !ok {
-		lb = make(map[int]uint64)
-		rs.load[l] = lb
+	bucket := int32(rs.sm.Now() / rs.cfg.C1)
+	if bucket != rs.loadBucket[li] {
+		if rs.loadCount[li] > rs.peakLoad {
+			rs.peakLoad = rs.loadCount[li]
+		}
+		rs.loadBucket[li] = bucket
+		rs.loadCount[li] = 0
 	}
-	lb[bucket]++
+	rs.loadCount[li]++
 }
 
 // signal processes an (i, s, hasChanged)-signal arriving at leader l
 // (Algorithm 5).
 func (rs *consensusState) signal(l int, i int, s LeaderStateKind, hasChanged bool) {
-	st, ok := rs.leaders[l]
-	if !ok {
+	li := rs.leaderIdx[l]
+	if li < 0 {
 		return
 	}
-	rs.leaderMessage(l)
+	rs.leaderMessage(li)
 	if rs.mono {
 		return
 	}
 	// Lines 1-3: lexicographic adoption of fresher leader states. Only the
 	// tick counter t is rebased (Algorithm 5 line 3); gen_size survives
 	// state-only changes and resets only when the generation moves on.
-	if i > 0 && (i > st.gen || (i == st.gen && s > st.state)) {
-		genChanged := i > st.gen
-		rs.setLeader(l, st, i, s)
+	gen, state := rs.lGen[li], LeaderStateKind(rs.lState[li])
+	if i > 0 && (int32(i) > gen || (int32(i) == gen && s > state)) {
+		genChanged := int32(i) > gen
+		rs.setLeader(li, int32(i), s)
 		switch s {
 		case StateTwoChoices:
-			st.t = 0
+			rs.lT[li] = 0
 		case StateSleeping:
-			st.t = st.sleepAt
+			rs.lT[li] = rs.lSleepAt[li]
 		case StatePropagation:
-			st.t = st.propAt
+			rs.lT[li] = rs.lPropAt[li]
 		}
 		if genChanged {
-			st.genSize = 0
+			rs.lGenSize[li] = 0
 		}
 	}
 	// Lines 4-9: the 0-signal clock.
 	if i == 0 {
-		st.t++
-		if st.state == StateTwoChoices && st.t >= st.sleepAt {
-			rs.setLeader(l, st, st.gen, StateSleeping)
-		} else if st.state == StateSleeping && st.t >= st.propAt {
-			rs.setLeader(l, st, st.gen, StatePropagation)
+		rs.lT[li]++
+		if rs.lState[li] == int8(StateTwoChoices) && rs.lT[li] >= rs.lSleepAt[li] {
+			rs.setLeader(li, rs.lGen[li], StateSleeping)
+		} else if rs.lState[li] == int8(StateSleeping) && rs.lT[li] >= rs.lPropAt[li] {
+			rs.setLeader(li, rs.lGen[li], StatePropagation)
 		}
 	}
 	// Lines 10-15: population estimate of the newest generation.
-	if hasChanged && i == st.gen {
-		st.genSize++
-		thresh := int(math.Ceil(rs.cfg.GenFraction * float64(st.card)))
-		if st.genSize >= thresh && st.gen < rs.gStar {
-			rs.setLeader(l, st, st.gen+1, StateTwoChoices)
-			st.t = 0
-			st.genSize = 0
+	if hasChanged && int32(i) == rs.lGen[li] {
+		rs.lGenSize[li]++
+		thresh := int32(math.Ceil(rs.cfg.GenFraction * float64(rs.lCard[li])))
+		if rs.lGenSize[li] >= thresh && int(rs.lGen[li]) < rs.gStar {
+			rs.setLeader(li, rs.lGen[li]+1, StateTwoChoices)
+			rs.lT[li] = 0
+			rs.lGenSize[li] = 0
 		}
 	}
 }
@@ -145,9 +203,12 @@ func (rs *consensusState) sendSignal(l int, i int, s LeaderStateKind, hasChanged
 	if l < 0 {
 		return
 	}
-	rs.sm.After(rs.cfg.Latency.Sample(rs.latR), func() {
-		rs.signal(l, i, s, hasChanged)
-	})
+	var hc int32
+	if hasChanged {
+		hc = 1
+	}
+	rs.sm.ScheduleAfter(rs.cfg.Latency.Sample(rs.latR),
+		sim.Event{Kind: evSignal, Node: int32(l), A: int32(i), B: int32(s), C: hc})
 }
 
 // setNode commits a color/generation update for node v.
@@ -174,10 +235,7 @@ func (rs *consensusState) tick(v int) {
 		return
 	}
 	myLeader := int(rs.cl.LeaderOf[v])
-	participates := false
-	if myLeader >= 0 {
-		_, participates = rs.leaders[myLeader]
-	}
+	participates := myLeader >= 0 && rs.leaderIdx[myLeader] >= 0
 	// Line 1: (0,3,·)-signal to the own leader.
 	if participates {
 		rs.sendSignal(myLeader, 0, StatePropagation, false)
@@ -197,12 +255,15 @@ func (rs *consensusState) tick(v int) {
 	lat := rs.cfg.Latency
 	three := math.Max(lat.Sample(rs.latR), math.Max(lat.Sample(rs.latR), lat.Sample(rs.latR)))
 	two := math.Max(lat.Sample(rs.latR), lat.Sample(rs.latR))
-	rs.sm.After(three+two, func() { rs.complete(v, v1, v2, v3, myLeader, participates) })
+	rs.sm.ScheduleAfter(three+two,
+		sim.Event{Kind: evComplete, Node: int32(v), A: int32(v1), B: int32(v2), C: int32(v3)})
 }
 
 // complete handles node v's established channels (Algorithm 4 lines 5-21).
 func (rs *consensusState) complete(v, v1, v2, v3, myLeader int, participates bool) {
-	defer func() { rs.locked[v] = false }()
+	// The event runs atomically, so the lock can drop on entry: it only
+	// gates future tick events.
+	rs.locked[v] = false
 	if rs.mono {
 		return
 	}
@@ -229,12 +290,15 @@ func (rs *consensusState) complete(v, v1, v2, v3, myLeader int, participates boo
 	}
 	// Line 8: the sampled third node's leader must be active.
 	l := int(rs.cl.LeaderOf[v3])
-	lst, ok := rs.leaders[l]
-	if !ok {
+	var li int32 = -1
+	if l >= 0 {
+		li = rs.leaderIdx[l]
+	}
+	if li < 0 {
 		return // gen(l) = 0: non-active cluster sampled
 	}
-	rs.leaderMessage(l) // the (gen, state) read is one served request
-	lGen, lState := lst.gen, lst.state
+	rs.leaderMessage(li) // the (gen, state) read is one served request
+	lGen, lState := int(rs.lGen[li]), LeaderStateKind(rs.lState[li])
 	inSync := int(rs.tmpGen[v]) == lGen && LeaderStateKind(rs.tmpState[v]) == lState
 
 	promoted := false
@@ -277,10 +341,10 @@ func (rs *consensusState) complete(v, v1, v2, v3, myLeader int, participates boo
 		rs.sendSignal(myLeader, lGen, lState, false)
 	}
 	// Line 19: refresh the stored leader view from the own leader.
-	if own, ok := rs.leaders[myLeader]; ok {
-		rs.leaderMessage(myLeader)
-		rs.tmpGen[v] = int32(own.gen)
-		rs.tmpState[v] = int8(own.state)
+	if ownLi := rs.leaderIdx[myLeader]; ownLi >= 0 {
+		rs.leaderMessage(ownLi)
+		rs.tmpGen[v] = rs.lGen[ownLi]
+		rs.tmpState[v] = rs.lState[ownLi]
 	}
 	// Line 20: the final generation finishes.
 	if int(rs.gens[v]) >= rs.gStar {

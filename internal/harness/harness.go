@@ -28,6 +28,15 @@ type Metrics map[string]float64
 // promptly. ForEach returns that first error, or nil once every call
 // completed.
 func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	return ForEachWorkers(ctx, n, 0, fn)
+}
+
+// ForEachWorkers is ForEach with an explicit worker bound: workers <= 0
+// means GOMAXPROCS, workers == 1 runs the batch sequentially on one
+// goroutine (useful for bounding memory: each in-flight replication owns
+// its full simulator state). Results are index-addressed by the caller, so
+// the outcome is identical for every worker count.
+func ForEachWorkers(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		panic(fmt.Sprintf("harness: ForEach with n=%d", n))
 	}
@@ -36,7 +45,9 @@ func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) err
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	workers := runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}

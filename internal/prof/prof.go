@@ -1,0 +1,59 @@
+// Package prof is the shared pprof plumbing of the CLIs: one call wires up
+// optional CPU and allocation profiling, and the returned flush is safe to
+// invoke from both a defer and an explicit pre-os.Exit path (os.Exit skips
+// defers, so error exits must flush by hand).
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath and arranges an allocation
+// profile dump to memPath; an empty path disables that profile. It returns
+// a flush that stops the CPU profile and writes the allocation profile —
+// idempotent, so defer it and also call it before any os.Exit. A profile
+// file that cannot be created or written is reported on stderr with exit
+// code 1 (for the CPU profile, at Start; for the allocation profile, a
+// message at flush time), matching the CLIs' error style.
+func Start(cpuPath, memPath string) (flush func()) {
+	stopCPU := func() {}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	flushed := false
+	return func() {
+		if flushed {
+			return
+		}
+		flushed = true
+		stopCPU()
+		if memPath == "" {
+			return
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+}

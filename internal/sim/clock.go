@@ -6,63 +6,86 @@ import (
 	"plurality/internal/xrand"
 )
 
-// Clock is a Poisson clock attached to a simulator: it fires its callback at
-// exponentially distributed intervals with the configured rate, matching the
+// Clocks is the struct-of-arrays form of n Poisson clocks, one per node,
+// firing typed events instead of closures: per-node generator state lives
+// in one flat []xrand.RNG slice and every tick is a {kind, node} Event, so
+// a million clocks cost two slices instead of a million clock objects and
+// the steady-state tick path performs zero allocations. This matches the
 // paper's per-node "random Poisson clock that ticks at constant rate".
 //
-// A Clock must be started exactly once. Stopping is permanent; protocols use
-// it when a node leaves the dynamics (e.g. a cluster is dissolved).
-type Clock struct {
+// Seeding is bit-compatible with the legacy per-node construction the
+// typed kernel replaced: the parent RNG is split once per node in node
+// order, exactly as n successive parent.Split() calls would be.
+type Clocks struct {
 	sim     *Simulator
-	rng     *xrand.RNG
+	kind    int32
 	rate    float64
-	tick    func()
+	rngs    []xrand.RNG
+	stopped []bool
 	ticks   uint64
-	stopped bool
 	started bool
 }
 
-// NewClock creates a clock firing tick at Poisson rate on s, drawing
-// inter-tick gaps from rng. It panics if rate <= 0.
-func NewClock(s *Simulator, rng *xrand.RNG, rate float64, tick func()) *Clock {
+// NewClocks derives n per-node clocks of the given rate from parent,
+// emitting Event{Kind: kind, Node: v} ticks on s. It panics if rate <= 0.
+func NewClocks(s *Simulator, parent *xrand.RNG, n int, rate float64, kind int32) *Clocks {
 	if rate <= 0 {
 		panic(fmt.Sprintf("sim: clock rate %v", rate))
 	}
-	if tick == nil {
-		panic("sim: nil tick handler")
+	if kind < 0 {
+		panic(fmt.Sprintf("sim: negative clock event kind %d", kind))
 	}
-	return &Clock{sim: s, rng: rng, rate: rate, tick: tick}
+	c := &Clocks{
+		sim:     s,
+		kind:    kind,
+		rate:    rate,
+		rngs:    make([]xrand.RNG, n),
+		stopped: make([]bool, n),
+	}
+	for v := range c.rngs {
+		parent.SplitInto(&c.rngs[v])
+	}
+	return c
 }
 
-// Start schedules the first tick. Calling Start twice panics: a doubled
-// clock silently doubles the tick rate, corrupting the model.
-func (c *Clock) Start() {
+// StartAll schedules the first tick of every clock in node order. Calling
+// it twice panics: doubled clocks silently double the tick rate,
+// corrupting the model.
+func (c *Clocks) StartAll() {
 	if c.started {
-		panic("sim: clock started twice")
+		panic("sim: clocks started twice")
 	}
 	c.started = true
-	c.scheduleNext()
+	for v := range c.rngs {
+		c.sim.ScheduleAfter(c.rngs[v].Exp(c.rate), Event{Kind: c.kind, Node: int32(v)})
+	}
 }
 
-func (c *Clock) scheduleNext() {
-	c.sim.After(c.rng.Exp(c.rate), func() {
-		if c.stopped {
-			return
-		}
-		c.ticks++
-		c.tick()
-		if !c.stopped {
-			c.scheduleNext()
-		}
-	})
+// Fire handles one popped tick event for node v: unless the clock is
+// stopped it runs tick(v) and schedules the next tick (skipped when tick
+// itself stopped the clock). Engines call it from their HandleEvent with a
+// method value stored once at setup, so the call allocates nothing.
+func (c *Clocks) Fire(v int32, tick func(int)) {
+	if c.stopped[v] {
+		return
+	}
+	c.ticks++
+	tick(int(v))
+	if !c.stopped[v] {
+		c.sim.ScheduleAfter(c.rngs[v].Exp(c.rate), Event{Kind: c.kind, Node: v})
+	}
 }
 
-// Stop permanently silences the clock. Safe to call multiple times and from
+// Stop permanently silences node v's clock; its pending tick becomes a
+// no-op when popped (lazy cancellation). Safe to call repeatedly and from
 // within the tick callback.
-func (c *Clock) Stop() { c.stopped = true }
+func (c *Clocks) Stop(v int32) { c.stopped[v] = true }
 
-// Ticks returns how many times the clock has fired.
-func (c *Clock) Ticks() uint64 { return c.ticks }
+// Ticks returns the total number of ticks fired across all clocks.
+func (c *Clocks) Ticks() uint64 { return c.ticks }
 
 // Rate returns the configured Poisson rate.
-func (c *Clock) Rate() float64 { return c.rate }
+func (c *Clocks) Rate() float64 { return c.rate }
+
+// Len returns the number of clocks.
+func (c *Clocks) Len() int { return len(c.rngs) }

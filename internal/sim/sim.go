@@ -9,10 +9,22 @@
 // they were scheduled. All stochastic behaviour enters through xrand.RNG
 // instances supplied by the caller, which makes whole protocol executions
 // reproducible from one seed.
+//
+// # Event representation
+//
+// The hot path is typed: an Event is a fixed-size record {Kind, Node, A, B,
+// C} stored by value in the scheduling heap and dispatched to the engine's
+// EventHandler, so steady-state scheduling performs zero allocations — the
+// heap slice is the only storage and it reaches a stable capacity after
+// warm-up. Closure events (At/After) remain available for cold paths such
+// as periodic recorders and watchdogs; their functions live out-of-line in
+// a growable arena with free-list reuse, so a recorder that reschedules the
+// same function value also stops allocating after the first occupancy.
+// Cancellation is lazy: a cancelled closure event stays queued as a
+// tombstone and is skipped (uncounted) when popped.
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
@@ -22,36 +34,50 @@ import (
 // simulator passes no arguments because handlers close over their state.
 type Handler func()
 
-// event is a scheduled handler with a total order (time, then seq).
+// Event is the typed, allocation-free form of a scheduled action: a small
+// POD record the engine interprets. Kind is an engine-defined discriminant
+// (>= 0), Node the acting node, and A, B, C free payload words (sampled
+// partner ids, signal values, ...). Engines receive popped events through
+// their EventHandler and switch on Kind.
+type Event struct {
+	// Kind discriminates the event for the engine's dispatch; engines
+	// define their own kinds starting at 0.
+	Kind int32
+	// Node is the node the event concerns (engine-defined; 0 if unused).
+	Node int32
+	// A, B and C carry event payload (engine-defined; 0 if unused).
+	A, B, C int32
+}
+
+// EventHandler dispatches typed events. An engine implements it once and
+// installs it with SetHandler; the simulator calls it for every typed event
+// it pops.
+type EventHandler interface {
+	HandleEvent(ev Event)
+}
+
+// kindFunc marks an internal closure event; its arena index is in ev.a.
+// Engine kinds are non-negative, so the namespaces cannot collide.
+const kindFunc int32 = -1
+
+// event is a scheduled action with a total order (time, then seq). Typed
+// events embed their payload directly; closure events point into the fn
+// arena via a (kind=kindFunc, a=index) pair.
 type event struct {
-	at  float64
-	seq uint64
-	fn  Handler
+	at      float64
+	seq     uint64
+	kind    int32
+	node    int32
+	a, b, c int32
 }
 
-// eventHeap is a binary min-heap of events ordered by (at, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return e
+// Token identifies one scheduled closure event for lazy cancellation. The
+// zero Token is never valid: idx stores the arena slot + 1, so an engine
+// can use a zero Token field as its "nothing scheduled" sentinel and
+// Cancel it harmlessly.
+type Token struct {
+	idx int32 // arena slot + 1; 0 marks the invalid zero Token
+	gen uint32
 }
 
 // Simulator is a deterministic discrete-event scheduler over continuous
@@ -59,9 +85,16 @@ func (h *eventHeap) Pop() any {
 type Simulator struct {
 	now       float64
 	seq       uint64
-	queue     eventHeap
+	queue     []event // binary min-heap ordered by (at, seq)
+	handler   EventHandler
 	processed uint64
 	stopped   bool
+
+	// Closure arena: out-of-line storage for At/After functions, recycled
+	// through a free list so steady-state closure scheduling reuses slots.
+	fns     []Handler
+	fnGen   []uint32
+	freeFns []int32
 }
 
 // New returns an empty simulator positioned at virtual time 0.
@@ -69,28 +102,103 @@ func New() *Simulator {
 	return &Simulator{}
 }
 
+// SetHandler installs the typed-event dispatcher. It must be set before the
+// first typed event fires; closure events need no handler.
+func (s *Simulator) SetHandler(h EventHandler) { s.handler = h }
+
+// Reserve pre-sizes the event heap for at least n pending events, avoiding
+// the O(log n) incremental growth reallocations during warm-up. Engines
+// call it with a small multiple of the node count (every node keeps a tick
+// plus a bounded number of in-flight channel events queued).
+func (s *Simulator) Reserve(n int) {
+	if cap(s.queue) >= n {
+		return
+	}
+	q := make([]event, len(s.queue), n)
+	copy(q, s.queue)
+	s.queue = q
+}
+
 // Now returns the current virtual time.
 func (s *Simulator) Now() float64 { return s.now }
 
-// Processed returns the number of events executed so far; experiments report
-// it as a proxy for simulated work.
+// Processed returns the number of events executed so far (cancelled events
+// are skipped, not executed); experiments report it as a proxy for
+// simulated work.
 func (s *Simulator) Processed() uint64 { return s.processed }
 
-// Pending returns the number of events currently scheduled.
+// Pending returns the number of events currently scheduled, counting
+// cancelled-but-unpopped tombstones.
 func (s *Simulator) Pending() int { return len(s.queue) }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// panics: the model has no causality violations, so such a call is always a
-// protocol bug worth failing loudly on.
-func (s *Simulator) At(t float64, fn Handler) {
+// checkTime panics on causality violations and non-finite times: the model
+// has no time travel, so such a call is always a protocol bug worth failing
+// loudly on.
+func (s *Simulator) checkTime(t float64) {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
 	}
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		panic(fmt.Sprintf("sim: scheduling at non-finite time %v", t))
 	}
-	heap.Push(&s.queue, event{at: t, seq: s.seq, fn: fn})
+}
+
+// push appends an event and restores the heap property. This is the single
+// scheduling primitive; it allocates only when the heap slice grows.
+func (s *Simulator) push(e event) {
+	e.seq = s.seq
 	s.seq++
+	s.queue = append(s.queue, e)
+	s.siftUp(len(s.queue) - 1)
+}
+
+// Schedule enqueues a typed event at absolute virtual time t.
+func (s *Simulator) Schedule(t float64, ev Event) {
+	s.checkTime(t)
+	if ev.Kind < 0 {
+		panic(fmt.Sprintf("sim: negative event kind %d is reserved", ev.Kind))
+	}
+	s.push(event{at: t, kind: ev.Kind, node: ev.Node, a: ev.A, b: ev.B, c: ev.C})
+}
+
+// ScheduleAfter enqueues a typed event d >= 0 after the current time.
+func (s *Simulator) ScheduleAfter(d float64, ev Event) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	s.Schedule(s.now+d, ev)
+}
+
+// grabSlot stores fn in the arena and returns its slot index.
+func (s *Simulator) grabSlot(fn Handler) int32 {
+	if n := len(s.freeFns); n > 0 {
+		i := s.freeFns[n-1]
+		s.freeFns = s.freeFns[:n-1]
+		s.fns[i] = fn
+		return i
+	}
+	s.fns = append(s.fns, fn)
+	s.fnGen = append(s.fnGen, 0)
+	return int32(len(s.fns) - 1)
+}
+
+// freeSlot clears a slot and recycles it; bumping the generation
+// invalidates outstanding Tokens for the slot.
+func (s *Simulator) freeSlot(i int32) {
+	s.fns[i] = nil
+	s.fnGen[i]++
+	s.freeFns = append(s.freeFns, i)
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics. This is the cold-path API: the function is stored out-of-line in
+// the arena; hot paths should use typed events instead.
+func (s *Simulator) At(t float64, fn Handler) {
+	s.checkTime(t)
+	if fn == nil {
+		panic("sim: At with nil handler")
+	}
+	s.push(event{at: t, kind: kindFunc, a: s.grabSlot(fn)})
 }
 
 // After schedules fn to run d >= 0 time after the current virtual time.
@@ -101,18 +209,57 @@ func (s *Simulator) After(d float64, fn Handler) {
 	s.At(s.now+d, fn)
 }
 
-// Step executes the single earliest pending event. It reports whether an
-// event was executed (false when the queue is empty or the simulator has
-// been stopped).
-func (s *Simulator) Step() bool {
-	if s.stopped || len(s.queue) == 0 {
-		return false
+// AtCancel schedules fn like At and returns a Token for lazy cancellation.
+func (s *Simulator) AtCancel(t float64, fn Handler) Token {
+	s.checkTime(t)
+	if fn == nil {
+		panic("sim: AtCancel with nil handler")
 	}
-	e := heap.Pop(&s.queue).(event)
-	s.now = e.at
-	s.processed++
-	e.fn()
+	i := s.grabSlot(fn)
+	s.push(event{at: t, kind: kindFunc, a: i})
+	return Token{idx: i + 1, gen: s.fnGen[i]}
+}
+
+// Cancel lazily cancels a closure event scheduled with AtCancel: the queued
+// entry becomes a tombstone that is skipped (and not counted as processed)
+// when popped. It reports whether the event was still pending.
+func (s *Simulator) Cancel(tok Token) bool {
+	i := tok.idx - 1
+	if i < 0 || int(i) >= len(s.fns) {
+		return false // zero or corrupt Token
+	}
+	if s.fnGen[i] != tok.gen || s.fns[i] == nil {
+		return false // already fired, freed or cancelled
+	}
+	s.fns[i] = nil
 	return true
+}
+
+// Step executes the single earliest pending event, skipping cancelled
+// tombstones. It reports whether an event was executed (false when the
+// queue is empty or the simulator has been stopped).
+func (s *Simulator) Step() bool {
+	for {
+		if s.stopped || len(s.queue) == 0 {
+			return false
+		}
+		e := s.pop()
+		if e.kind == kindFunc {
+			fn := s.fns[e.a]
+			s.freeSlot(e.a)
+			if fn == nil {
+				continue // lazily cancelled: skip without counting
+			}
+			s.now = e.at
+			s.processed++
+			fn()
+			return true
+		}
+		s.now = e.at
+		s.processed++
+		s.handler.HandleEvent(Event{Kind: e.kind, Node: e.node, A: e.a, B: e.b, C: e.c})
+		return true
+	}
 }
 
 // Run executes events until the queue drains or Stop is called.
@@ -169,3 +316,69 @@ func (s *Simulator) Stop() { s.stopped = true }
 
 // Stopped reports whether Stop has been called.
 func (s *Simulator) Stopped() bool { return s.stopped }
+
+// --- heap primitives ---
+//
+// A hand-rolled binary min-heap over the value-typed event slice. The
+// (at, seq) key is a strict total order — seq is unique — so the pop
+// sequence is implementation-independent: any correct heap yields the same
+// execution order, which is what the golden kernel-equivalence tests pin.
+
+// less orders events by (at, seq).
+func (s *Simulator) less(i, j int) bool {
+	if s.queue[i].at != s.queue[j].at {
+		return s.queue[i].at < s.queue[j].at
+	}
+	return s.queue[i].seq < s.queue[j].seq
+}
+
+func (s *Simulator) siftUp(i int) {
+	q := s.queue
+	e := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := q[parent]
+		if e.at > p.at || (e.at == p.at && e.seq > p.seq) {
+			break
+		}
+		q[i] = p
+		i = parent
+	}
+	q[i] = e
+}
+
+func (s *Simulator) siftDown(i int) {
+	q := s.queue
+	n := len(q)
+	e := q[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && s.less(r, child) {
+			child = r
+		}
+		c := q[child]
+		if e.at < c.at || (e.at == c.at && e.seq < c.seq) {
+			break
+		}
+		q[i] = c
+		i = child
+	}
+	q[i] = e
+}
+
+// pop removes and returns the minimum event.
+func (s *Simulator) pop() event {
+	q := s.queue
+	n := len(q)
+	e := q[0]
+	q[0] = q[n-1]
+	q[n-1] = event{}
+	s.queue = q[:n-1]
+	if n > 1 {
+		s.siftDown(0)
+	}
+	return e
+}

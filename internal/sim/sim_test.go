@@ -205,13 +205,20 @@ func TestHeapOrderProperty(t *testing.T) {
 	}
 }
 
+// startClocks wires a Clocks set firing tick into a fresh handler on s.
+func startClocks(s *Simulator, seed uint64, n int, rate float64, tick func(int)) *Clocks {
+	var c *Clocks
+	s.SetHandler(handlerFunc(func(ev Event) { c.Fire(ev.Node, tick) }))
+	c = NewClocks(s, xrand.New(seed), n, rate, 0)
+	c.StartAll()
+	return c
+}
+
 func TestClockRate(t *testing.T) {
 	s := New()
-	r := xrand.New(7)
-	c := NewClock(s, r, 2.0, func() {})
-	c.Start()
+	c := startClocks(s, 7, 1, 2.0, func(int) {})
 	s.RunUntil(5000)
-	c.Stop()
+	c.Stop(0)
 	// Expect ~rate*horizon ticks; Poisson sd is sqrt(mean).
 	mean := 2.0 * 5000
 	got := float64(c.Ticks())
@@ -222,12 +229,10 @@ func TestClockRate(t *testing.T) {
 
 func TestClockInterTickExponential(t *testing.T) {
 	s := New()
-	r := xrand.New(8)
 	var times []float64
-	c := NewClock(s, r, 1.0, func() { times = append(times, s.Now()) })
-	c.Start()
+	c := startClocks(s, 8, 1, 1.0, func(int) { times = append(times, s.Now()) })
 	s.RunUntil(20000)
-	c.Stop()
+	c.Stop(0)
 	// Kolmogorov-style check on gaps: fraction below ln 2 should be ~1/2.
 	below := 0
 	for i := 1; i < len(times); i++ {
@@ -243,16 +248,14 @@ func TestClockInterTickExponential(t *testing.T) {
 
 func TestClockStopInsideCallback(t *testing.T) {
 	s := New()
-	r := xrand.New(9)
 	count := 0
-	var c *Clock
-	c = NewClock(s, r, 1.0, func() {
+	var c *Clocks
+	c = startClocks(s, 9, 1, 1.0, func(int) {
 		count++
 		if count == 3 {
-			c.Stop()
+			c.Stop(0)
 		}
 	})
-	c.Start()
 	s.Run()
 	if count != 3 {
 		t.Fatalf("clock fired %d times after Stop, want 3", count)
@@ -261,14 +264,13 @@ func TestClockStopInsideCallback(t *testing.T) {
 
 func TestClockDoubleStartPanics(t *testing.T) {
 	s := New()
-	c := NewClock(s, xrand.New(1), 1, func() {})
-	c.Start()
+	c := startClocks(s, 1, 4, 1, func(int) {})
 	defer func() {
 		if recover() == nil {
-			t.Fatal("double Start did not panic")
+			t.Fatal("double StartAll did not panic")
 		}
 	}()
-	c.Start()
+	c.StartAll()
 }
 
 func TestLatencyMeans(t *testing.T) {
@@ -329,9 +331,8 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 
 func BenchmarkClockTicks(b *testing.B) {
 	s := New()
-	r := xrand.New(1)
-	c := NewClock(s, r, 1, func() {})
-	c.Start()
+	startClocks(s, 1, 1, 1, func(int) {})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.RunUntil(s.Now() + 1)
@@ -374,5 +375,52 @@ func TestRunContextNilAndDrained(t *testing.T) {
 	s2.After(1, func() {})
 	if err := s2.RunContext(context.Background()); err != nil {
 		t.Fatalf("RunContext(Background) = %v", err)
+	}
+}
+
+func TestAtCancel(t *testing.T) {
+	s := New()
+	fired := []string{}
+	tok := s.AtCancel(1, func() { fired = append(fired, "cancelled") })
+	s.At(2, func() { fired = append(fired, "kept") })
+	if !s.Cancel(tok) {
+		t.Fatal("pending event did not cancel")
+	}
+	if s.Cancel(tok) {
+		t.Fatal("double Cancel reported success")
+	}
+	// The zero Token must be a harmless no-op, not an aliased slot 0.
+	if s.Cancel(Token{}) {
+		t.Fatal("zero Token cancelled something")
+	}
+	before := s.Processed()
+	s.Run()
+	if len(fired) != 1 || fired[0] != "kept" {
+		t.Fatalf("fired %v, want only the kept event", fired)
+	}
+	// The cancelled tombstone is skipped without counting as processed.
+	if s.Processed()-before != 1 {
+		t.Fatalf("processed %d events, want 1", s.Processed()-before)
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	s := New()
+	ran := false
+	tok := s.AtCancel(1, func() { ran = true })
+	s.Run()
+	if !ran {
+		t.Fatal("event did not fire")
+	}
+	if s.Cancel(tok) {
+		t.Fatal("Cancel after fire reported success")
+	}
+	// The slot is recycled; a stale token must not kill the new occupant.
+	s.At(2, func() {})
+	if s.Cancel(tok) {
+		t.Fatal("stale token cancelled a recycled slot")
+	}
+	if !s.Step() {
+		t.Fatal("recycled-slot event did not run")
 	}
 }

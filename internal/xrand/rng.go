@@ -73,11 +73,19 @@ func (r *RNG) Uint64() uint64 {
 // supported way to hand randomness to concurrent replications.
 func (r *RNG) Split() *RNG {
 	c := &RNG{}
+	r.SplitInto(c)
+	return c
+}
+
+// SplitInto seeds an existing child generator exactly as Split would,
+// without allocating. It is the struct-of-arrays form used by the event
+// kernel's per-node Poisson clocks: a []RNG slice seeded by successive
+// SplitInto calls is bit-identical to the same number of Split calls.
+func (r *RNG) SplitInto(c *RNG) {
 	// Mix two parent outputs through SplitMix64-style finalizers so the
 	// child state is decorrelated from raw parent outputs.
 	a, b := r.Uint64(), r.Uint64()
 	c.Reseed(a ^ bits.RotateLeft64(b, 32))
-	return c
 }
 
 // SplitNamed derives a child generator whose stream depends on both the

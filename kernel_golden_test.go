@@ -1,0 +1,126 @@
+package plurality
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"testing"
+)
+
+// This file pins the event-kernel refactor: the typed, zero-allocation
+// kernel must produce byte-identical Results to the closure-heap kernel it
+// replaced. The digests below were recorded on the pre-refactor kernel
+// (commit 85af9cc) for every registered protocol crossed with the three
+// reference topologies; any change to event ordering, RNG draw order or
+// engine arithmetic shows up as a digest mismatch.
+//
+// To re-record after an intentional, reviewed behaviour change:
+//
+//	PLURALITY_GOLDEN_RECORD=1 go test -run TestKernelGolden -v .
+
+// digestResult folds every field of a Result — including the full
+// trajectory and the protocol-specific stats — into a SHA-256 digest.
+// Floats are rendered in hex ('x') form, so two Results digest equal iff
+// they are bit-identical.
+func digestResult(res *Result) string {
+	h := sha256.New()
+	hx := func(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+	fmt.Fprintf(h, "winner=%d pwon=%t full=%t ct=%s eps=%t et=%s e=%s dur=%s to=%t\n",
+		res.Winner, res.PluralityWon, res.FullConsensus, hx(res.ConsensusTime),
+		res.EpsReached, hx(res.EpsTime), hx(res.Eps), hx(res.Duration), res.TimedOut)
+	fmt.Fprintf(h, "counts=%v\n", res.FinalCounts)
+	for _, p := range res.Trajectory {
+		fmt.Fprintf(h, "p %s %s %s %s %d\n",
+			hx(p.Time), hx(p.TopFrac), hx(p.PluralityFrac), hx(p.Bias), p.MaxGen)
+	}
+	keys := make([]string, 0, len(res.Stats))
+	for k := range res.Stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(h, "s %s=%s\n", k, hx(res.Stats[k]))
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// goldenTopologies are the three reference interaction graphs of the
+// equivalence matrix. GraphSeed is pinned so the random-regular graph is
+// identical no matter how the run seed is derived.
+var goldenTopologies = []TopologySpec{
+	{Kind: TopologyComplete},
+	{Kind: TopologyTorus},
+	{Kind: TopologyRandomRegular, Degree: 4, GraphSeed: 3},
+}
+
+// goldenSpec is the shared instance: large enough that every protocol phase
+// (clustering, generations, propagation tails) actually runs, small enough
+// that the full 7x3 matrix stays in test-suite budget.
+func kernelGoldenSpec(tp TopologySpec) Spec {
+	return Spec{N: 600, K: 3, Alpha: 2.5, Seed: 7, Topology: tp}
+}
+
+// kernelGolden maps "protocol/topology-label" to the pre-refactor digest.
+var kernelGolden = map[string]string{
+	"3-majority/complete":                 "992ed5c605d38e2c3ea43e72a08eddb6c5bd00fb1db9f9d79fffecd315c23c83",
+	"3-majority/random-regular(d=4)":      "be3712502dde1f907bbb1778da9ab326cc71650775c450f06636a246d76c0c34",
+	"3-majority/torus(24x25)":             "e176f59095e4c57b5ae87b8d0d7344af9ddd9bb6ffea9c613ca7a6ec0652cf7d",
+	"decentralized/complete":              "a0291b5cb28d0a43785ae8fb52321074599816b34a1638f2ed84c5aa81ffb1e2",
+	"decentralized/random-regular(d=4)":   "fab080e1a31abd7a155ef97db2b4214eccd4e5b1e5b1036cdd5284732115ea93",
+	"decentralized/torus(24x25)":          "fb5b36fcc8d0f7ae3bff69a79f99a5cf03bfd9d39680ba185cd7cd8b7d9df8c5",
+	"leader/complete":                     "df62bdcaa2fb0aa083932b04441b633739f49dffac0e139bc48cde1cfb30e9dc",
+	"leader/random-regular(d=4)":          "ea7e05344b065d341ffb8f66293c6a58338cdcd324dc49448a8afff562d67225",
+	"leader/torus(24x25)":                 "abd7a485d6fee181898f465862bdd20f5d523619e34e20a9195dc91b27c80934",
+	"pull-voting/complete":                "8dfd1d68305755fd34a6c9d4ccd3218fb00ff1d48b20923dc27cd1ac22abb206",
+	"pull-voting/random-regular(d=4)":     "8a614c6116bce8e2e684bced311a2c86e9a6e5036e0e921b7052b94221cd1d8b",
+	"pull-voting/torus(24x25)":            "eeef76668d13374243d0f0d0f26f80f06fa0c05aeafb9480a1f4e5dbdfcc0c0f",
+	"sync/complete":                       "ecb267618f110637f3ae0eea726abf505183f7fb4bd6aba586cd77528ebf718e",
+	"sync/random-regular(d=4)":            "2669a4783e0a26962b75aba42601c79d96db4f131b737882c29eab47f697229e",
+	"sync/torus(24x25)":                   "cd2bb4284733d82657911ef2c78f81c37521872792df8b2283c190edc035357c",
+	"two-choices/complete":                "628021f8f8fbf377d9077b8e749662a5ee3236fb41c765f24c9bcc778bb6bf2c",
+	"two-choices/random-regular(d=4)":     "4cd9bceb4dcc56be27a74803e91fc09341b4dc59a8424b1506979a761e1fe54c",
+	"two-choices/torus(24x25)":            "6eeb839b5f7e372bb56dbc7f24764999ede8edf05a657cb4b330c44bc3ba0762",
+	"undecided-state/complete":            "29a1291680315ffa4d41f89876252809d19911dba883db25621fdbe7e196e910",
+	"undecided-state/random-regular(d=4)": "bdd5b344543f16a14d298b508c25b76a3d49fa4245d824f08dbb47b97e60ddd2",
+	"undecided-state/torus(24x25)":        "1522f4111651cef470b89c6378f3444234504e87578fc184708fbb3b1d2367e4",
+}
+
+// TestKernelGolden runs every registered protocol on every reference
+// topology and compares the Result digest against the pre-refactor record.
+func TestKernelGolden(t *testing.T) {
+	record := os.Getenv("PLURALITY_GOLDEN_RECORD") != ""
+	for _, name := range Protocols() {
+		for _, tp := range goldenTopologies {
+			spec := kernelGoldenSpec(tp)
+			key := fmt.Sprintf("%s/%s", name, tp.ResolvedLabel(spec.N))
+			t.Run(key, func(t *testing.T) {
+				if testing.Short() && tp.Kind != TopologyComplete && !record {
+					// The sparse-graph columns multiply the runtime ~10×
+					// (diffusion is slower off the clique); -short keeps the
+					// complete-graph column, the full matrix runs in the
+					// plain suite.
+					t.Skip("sparse-topology golden column skipped in -short mode")
+				}
+				res, err := Run(context.Background(), name, spec)
+				if err != nil {
+					t.Fatalf("Run(%s): %v", key, err)
+				}
+				got := digestResult(res)
+				if record {
+					fmt.Printf("GOLDEN\t%q: %q,\n", key, got)
+					return
+				}
+				want, ok := kernelGolden[key]
+				if !ok {
+					t.Fatalf("no golden digest recorded for %s (got %s)", key, got)
+				}
+				if got != want {
+					t.Errorf("kernel digest changed for %s:\n  got  %s\n  want %s\nthe refactored kernel no longer reproduces the closure-kernel run byte-for-byte", key, got, want)
+				}
+			})
+		}
+	}
+}

@@ -5,14 +5,21 @@ import (
 	"math"
 )
 
+// MaxNodes is the largest supported N. The event kernel addresses nodes and
+// event payloads as int32, which is what keeps a queued event at 40 bytes
+// and the steady-state scheduling path allocation-free; every configuration
+// up to this bound — including the paper's asymptotic regime at n = 10⁶
+// and beyond — is accepted by validation.
+const MaxNodes = math.MaxInt32 - 1
+
 // Spec is the unified parameter set of every registered protocol. One Spec
 // value describes one run regardless of the protocol family; fields a
 // protocol does not use are ignored (for example Latency by the synchronous
 // protocol). The zero value of every optional field means "use the engine's
 // documented default".
 type Spec struct {
-	// N is the number of nodes (>= 2; the decentralized protocol needs
-	// >= 8 for its clustering substrate).
+	// N is the number of nodes (>= 2, at most MaxNodes; the decentralized
+	// protocol needs >= 8 for its clustering substrate).
 	N int
 	// K is the number of opinions (>= 1).
 	K int
@@ -108,6 +115,9 @@ func (f ObserverFunc) Observe(p TrajectoryPoint) { f(p) }
 func (s *Spec) validate() error {
 	if s.N < 2 {
 		return fmt.Errorf("plurality: need N >= 2, got %d", s.N)
+	}
+	if s.N > MaxNodes {
+		return fmt.Errorf("plurality: N %d exceeds MaxNodes %d (the kernel addresses nodes as int32)", s.N, MaxNodes)
 	}
 	if s.K < 1 {
 		return fmt.Errorf("plurality: need K >= 1, got %d", s.K)

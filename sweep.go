@@ -13,8 +13,20 @@ import (
 // result i ran with spec.Seed + i and is identical to the corresponding
 // single Run. The first error cancels the remaining replications.
 func RunMany(ctx context.Context, name string, spec Spec, reps int) ([]*Result, error) {
+	return RunBatch(ctx, name, spec, reps, 0)
+}
+
+// RunBatch is RunMany with an explicit worker bound. Replications are
+// sharded across a pool of `workers` goroutines (<= 0 means GOMAXPROCS, 1
+// runs sequentially — each in-flight replication owns a full simulator, so
+// the bound also caps peak memory). Every replication derives its own RNG
+// stream from spec.Seed + i, and results are index-addressed, so the
+// returned slice is deterministic and bit-identical for every worker count
+// and goroutine interleaving. The first error — or ctx cancellation —
+// cancels the remaining replications and is returned.
+func RunBatch(ctx context.Context, name string, spec Spec, reps, workers int) ([]*Result, error) {
 	if reps <= 0 {
-		return nil, fmt.Errorf("plurality: RunMany with reps=%d", reps)
+		return nil, fmt.Errorf("plurality: RunBatch with reps=%d", reps)
 	}
 	p, err := Lookup(name)
 	if err != nil {
@@ -24,7 +36,7 @@ func RunMany(ctx context.Context, name string, spec Spec, reps int) ([]*Result, 
 		return nil, err
 	}
 	results := make([]*Result, reps)
-	err = harness.ForEach(ctx, reps, func(ctx context.Context, i int) error {
+	err = harness.ForEachWorkers(ctx, reps, workers, func(ctx context.Context, i int) error {
 		s := spec
 		s.Seed = spec.Seed + uint64(i)
 		res, err := p.Run(ctx, s)
@@ -74,6 +86,12 @@ type SweepConfig struct {
 	Topologies []TopologySpec
 	// Reps is the number of seeded replications per grid point; default 5.
 	Reps int
+	// Workers bounds the shared worker pool the whole grid is executed on
+	// (cells and replications are flattened into one job list, so a slow
+	// cell no longer serializes the grid). <= 0 means GOMAXPROCS; 1 runs
+	// the sweep sequentially. The aggregated results are bit-identical for
+	// every worker count.
+	Workers int
 	// Metrics optionally maps each Result to named measurements. nil means
 	// the standard set: duration, plurality_won (0/1 for plurality victory
 	// with full consensus), eps_time (when ε-convergence was reached) and
@@ -177,6 +195,16 @@ func Sweep(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
 	if len(cfg.Topologies) > 0 {
 		out.table.LabelOrder = []string{"topology"}
 	}
+
+	// Pass 1: enumerate and validate every grid cell up front, so a bad
+	// cell fails the sweep before any replication burns CPU.
+	type cellSpec struct {
+		n, k  int
+		alpha float64
+		label string
+		spec  Spec
+	}
+	var cells []cellSpec
 	for _, n := range ns {
 		for _, k := range ks {
 			for _, a := range alphas {
@@ -194,38 +222,61 @@ func Sweep(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
 					// Label the graph the cell actually runs on — defaults
 					// resolved per n, so two cells sharing {Kind: "torus"}
 					// still distinguish their 30x30 from their 32x32.
-					label := tp.ResolvedLabel(n)
-					// The spec is validated above and the protocol resolved
-					// once, so replications go straight to the engine.
-					agg, err := harness.ReplicateCtx(ctx, reps,
-						func(rctx context.Context, rep uint64) (harness.Metrics, error) {
-							s := spec
-							s.Seed = cfg.Base.Seed + rep*1e6 + 1
-							res, err := p.Run(rctx, s)
-							if err != nil {
-								return nil, err
-							}
-							return metricFn(res), nil
-						})
-					if err != nil {
-						return nil, err
-					}
-					var labels map[string]string
-					if len(cfg.Topologies) > 0 {
-						labels = map[string]string{"topology": label}
-					}
-					out.table.AppendLabeled(labels, map[string]float64{
-						"n": float64(n), "k": float64(k), "alpha": a,
-					}, agg)
-					cell := SweepCell{N: n, K: k, Alpha: a, Topology: label,
-						Metrics: make(map[string]Summary, len(agg))}
-					for name, s := range agg {
-						cell.Metrics[name] = summarize(s)
-					}
-					out.Cells = append(out.Cells, cell)
+					cells = append(cells, cellSpec{
+						n: n, k: k, alpha: a, label: tp.ResolvedLabel(n), spec: spec,
+					})
 				}
 			}
 		}
+	}
+
+	// Pass 2: flatten cells × replications into one job list sharded over a
+	// single worker pool, so a slow cell no longer serializes the grid.
+	// Each job writes its own slot; aggregation below walks the slots in
+	// (cell, rep) order, making the output independent of goroutine
+	// interleaving.
+	metrics := make([]map[string]float64, len(cells)*reps)
+	err = harness.ForEachWorkers(ctx, len(metrics), cfg.Workers,
+		func(rctx context.Context, job int) error {
+			s := cells[job/reps].spec
+			s.Seed = cfg.Base.Seed + uint64(job%reps)*1e6 + 1
+			res, err := p.Run(rctx, s)
+			if err != nil {
+				return err
+			}
+			metrics[job] = metricFn(res)
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 3: aggregate per cell, in grid order.
+	for ci, c := range cells {
+		agg := make(map[string]*stats.Summary)
+		for rep := 0; rep < reps; rep++ {
+			for name, v := range metrics[ci*reps+rep] {
+				s, ok := agg[name]
+				if !ok {
+					s = &stats.Summary{}
+					agg[name] = s
+				}
+				s.Add(v)
+			}
+		}
+		var labels map[string]string
+		if len(cfg.Topologies) > 0 {
+			labels = map[string]string{"topology": c.label}
+		}
+		out.table.AppendLabeled(labels, map[string]float64{
+			"n": float64(c.n), "k": float64(c.k), "alpha": c.alpha,
+		}, agg)
+		cell := SweepCell{N: c.n, K: c.k, Alpha: c.alpha, Topology: c.label,
+			Metrics: make(map[string]Summary, len(agg))}
+		for name, s := range agg {
+			cell.Metrics[name] = summarize(s)
+		}
+		out.Cells = append(out.Cells, cell)
 	}
 	return out, nil
 }
