@@ -13,11 +13,22 @@
 //	plurality -protocol 3-majority -n 1024 -k 2 -alpha 4 -topology torus
 //	plurality -protocol sync -n 10000 -k 4 -topology random-regular -degree 8
 //	plurality -protocol sync -n 10000 -k 4 -topology erdos-renyi -p 0.002 -json
+//	plurality -protocol leader -n 100000 -checkpoint run.snap -checkpoint-at 8 -checkpoint-halt
+//	plurality -resume run.snap
+//	plurality -resume run.snap -perturb 3 -max-time 500
 //
 // Protocols: everything listed by plurality.Protocols() — sync, leader,
 // decentralized, and the four baseline dynamics. Topologies: everything
 // listed by plurality.Topologies(); the default complete graph is the
 // paper's model.
+//
+// Checkpointing: -checkpoint-at T captures the full simulator state the
+// first time virtual time (or the round counter) reaches T; -checkpoint
+// FILE writes it as a binary blob plus a FILE.json metadata sidecar, and
+// -checkpoint-halt stops the run right after. -resume FILE continues a
+// blob bit-exactly (same Result an uninterrupted run would produce);
+// -perturb L branches an independent deterministic future off the shared
+// prefix instead, and -max-time extends the horizon of a timed-out run.
 package main
 
 import (
@@ -69,6 +80,12 @@ func main() {
 		benchWorkers = flag.Int("bench-workers", 0, "with -bench: worker bound for the batch layer; 0 means GOMAXPROCS")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+
+		checkpointPath = flag.String("checkpoint", "", "write a snapshot blob to this file (plus a .json metadata sidecar); requires -checkpoint-at")
+		checkpointAt   = flag.Float64("checkpoint-at", 0, "virtual time (or round) to capture the snapshot at")
+		checkpointHalt = flag.Bool("checkpoint-halt", false, "stop the run right after capturing the snapshot")
+		resumePath     = flag.String("resume", "", "resume a run from a snapshot blob written by -checkpoint (protocol and parameters come from the blob)")
+		perturb        = flag.Uint64("perturb", 0, "with -resume: fold this divergence label into every RNG stream (0 = bit-exact continuation)")
 
 		topology  = flag.String("topology", "complete", "interaction graph: complete | ring | torus | random-regular | erdos-renyi")
 		width     = flag.Int("width", 0, "ring half-width (neighbors v±1..v±width); 0 means 1")
@@ -130,6 +147,22 @@ func main() {
 		}
 	}
 
+	if *checkpointAt != 0 {
+		// Negative values reach validation and fail there with a typed
+		// message instead of being silently ignored.
+		spec.Checkpoint = plurality.CheckpointSpec{SnapshotAt: *checkpointAt, Halt: *checkpointHalt}
+	}
+	if *checkpointPath != "" && *checkpointAt <= 0 {
+		fmt.Fprintln(os.Stderr, "plurality: -checkpoint requires -checkpoint-at > 0")
+		exit(1)
+	}
+	if *checkpointAt > 0 && *checkpointPath == "" {
+		// Without a file the captured snapshot would be dropped on the
+		// floor (and -checkpoint-halt would truncate the run for nothing).
+		fmt.Fprintln(os.Stderr, "plurality: -checkpoint-at requires -checkpoint FILE to write the snapshot to")
+		exit(1)
+	}
+
 	// Label the interaction graph a run actually uses (defaults resolved).
 	topoLabel := spec.Topology.ResolvedLabel(*n)
 
@@ -149,10 +182,52 @@ func main() {
 		return
 	}
 
-	res, err := plurality.Run(ctx, *protocol, spec)
+	var res *plurality.Result
+	var err error
+	if *resumePath != "" {
+		blob, ferr := os.ReadFile(*resumePath)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			exit(1)
+		}
+		snapshot, derr := plurality.DecodeSnapshot(blob)
+		if derr != nil {
+			fmt.Fprintln(os.Stderr, derr)
+			exit(1)
+		}
+		meta := snapshot.Meta()
+		// The blob fixes the run's identity; reported labels follow it.
+		*protocol = meta.Protocol
+		*n, *k, *alpha, *seed = meta.Spec.N, meta.Spec.K, meta.Spec.Alpha, meta.Spec.Seed
+		topoLabel = meta.Spec.Topology.ResolvedLabel(meta.Spec.N)
+		opts := &plurality.ResumeOptions{
+			Observer: spec.Observer,
+			Perturb:  *perturb,
+			// -stream keeps its O(1)-memory contract on resumed runs too.
+			DiscardTrajectory: spec.DiscardTrajectory,
+			Checkpoint:        spec.Checkpoint,
+		}
+		if *maxTime > 0 {
+			opts.MaxTime = *maxTime
+		}
+		fmt.Fprintf(os.Stderr, "resuming %s from t=%g (%s)\n", meta.Protocol, meta.Time, *resumePath)
+		res, err = plurality.Resume(ctx, snapshot, opts)
+	} else {
+		res, err = plurality.Run(ctx, *protocol, spec)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		exit(1)
+	}
+	if *checkpointPath != "" {
+		if res.Snapshot == nil {
+			fmt.Fprintf(os.Stderr, "plurality: run ended before -checkpoint-at %g; no snapshot written\n", *checkpointAt)
+			exit(1)
+		}
+		if err := writeSnapshot(res.Snapshot, *checkpointPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit(1)
+		}
 	}
 
 	if *jsonOut {
@@ -200,6 +275,28 @@ func main() {
 	if !res.PluralityWon {
 		exit(2)
 	}
+}
+
+// writeSnapshot writes the blob to path and its metadata sidecar to
+// path+".json", so runs can be inspected without parsing the binary.
+func writeSnapshot(s *plurality.Snapshot, path string) error {
+	blob, err := s.Encode()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+	meta, err := s.MetaJSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path+".json", append(meta, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "snapshot: %s (%d bytes) at t=%g, metadata in %s.json\n",
+		path, len(blob), s.Meta().Time, path)
+	return nil
 }
 
 // sparkline renders the PluralityFrac trajectory as a width-character bar

@@ -33,6 +33,21 @@
 // Sweep runs a protocol over an (n, k, α, topology) factor grid with
 // aggregated metrics, renderable as a table or CSV.
 //
+// # Checkpoint and restore
+//
+// Every built-in protocol can snapshot its complete simulator state
+// mid-flight and resume it bit-exactly. Spec.Checkpoint requests a capture
+// at a virtual time (or round); the Snapshot arrives through the
+// CheckpointSpec.Sink observer and on Result.Snapshot, encodes to one
+// self-describing versioned blob (Snapshot.Encode / DecodeSnapshot), and
+// continues through Resume — the resumed Result is identical to the one an
+// uninterrupted run would have produced. Snapshots are also the warm-start
+// primitive: RunBatchFrom fans a shared prefix out into deterministic
+// divergent futures (ResumeOptions.Perturb), Sweep's WarmStart aggregates
+// them, and ResumeOptions.MaxTime extends a timed-out run past its
+// original horizon — the workflows behind long-horizon tail studies and
+// time-travel debugging (see examples/timetravel).
+//
 // Every protocol samples its interaction partners through a pluggable
 // topology (Spec.Topology): the default complete graph — the paper's model,
 // byte-identical to earlier releases for the same seed and free of
@@ -66,6 +81,9 @@
 // asynchronous runs seconds-scale — see Bench and BENCH_PR3.json for the
 // measured trajectory.
 //
-// See the examples/ directory for complete programs and cmd/experiments for
-// the harness that regenerates the paper's figures and claims.
+// See the examples/ directory for complete programs, cmd/experiments for
+// the harness that regenerates the paper's figures and claims,
+// ARCHITECTURE.md for the layer map and the invariants behind these
+// guarantees, and TESTING.md for the golden-digest workflow that pins
+// them.
 package plurality

@@ -1,0 +1,98 @@
+package plurality
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExportedDocs fails on undocumented exported identifiers in the root
+// package — the public API is the contract, and the CI docs job runs this
+// lint so a new exported name cannot land without a doc comment. The rules
+// follow the classic golint/revive "exported" rule: every exported
+// function, method (on an exported receiver), type, const and var needs a
+// doc comment; a group doc on a const/var/type block covers its specs.
+func TestExportedDocs(t *testing.T) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var missing []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: exported %s %s has no doc comment",
+			filepath.Base(p.Filename), p.Line, kind, name))
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || d.Doc != nil {
+					continue
+				}
+				kind := "function"
+				if d.Recv != nil {
+					if !exportedReceiver(d.Recv) {
+						continue // method on an unexported type
+					}
+					kind = "method"
+				}
+				report(d.Pos(), kind, d.Name.Name)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+							report(s.Pos(), "type", s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, id := range s.Names {
+							if id.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+								report(id.Pos(), strings.ToLower(d.Tok.String()), id.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("%d undocumented exported identifiers:\n%s",
+			len(missing), strings.Join(missing, "\n"))
+	}
+}
+
+// exportedReceiver reports whether a method receiver names an exported
+// type.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	typ := recv.List[0].Type
+	for {
+		switch v := typ.(type) {
+		case *ast.StarExpr:
+			typ = v.X
+		case *ast.IndexExpr: // generic receiver
+			typ = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return false
+		}
+	}
+}

@@ -112,3 +112,72 @@ func ExampleSweep() {
 	// n=1000 k=2 won=1
 	// n=1000 k=4 won=1
 }
+
+// Checkpointing a run half way, shipping the snapshot through its wire
+// format, and resuming it bit-exactly: the resumed Result is the one the
+// uninterrupted run would have produced — pause, copy and continue are
+// free of drift.
+func ExampleResume() {
+	ctx := context.Background()
+	spec := plurality.Spec{N: 2_000, K: 3, Alpha: 2, Seed: 5}
+	plain, err := plurality.Run(ctx, "leader", spec)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	spec.Checkpoint = plurality.CheckpointSpec{SnapshotAt: plain.Duration / 2, Halt: true}
+	half, err := plurality.Run(ctx, "leader", spec)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	blob, err := half.Snapshot.Encode() // a self-contained, file-ready blob
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	snapshot, err := plurality.DecodeSnapshot(blob)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := plurality.Resume(ctx, snapshot, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("same winner:", res.Winner == plain.Winner)
+	fmt.Println("same consensus time:", res.ConsensusTime == plain.ConsensusTime)
+	fmt.Println("same trajectory length:", len(res.Trajectory) == len(plain.Trajectory))
+	// Output:
+	// same winner: true
+	// same consensus time: true
+	// same trajectory length: true
+}
+
+// Warm-started replication: one shared burn-in snapshot, several divergent
+// futures. Replication 0 continues bit-exactly; the others perturb every
+// RNG stream with a deterministic label.
+func ExampleRunBatchFrom() {
+	ctx := context.Background()
+	spec := plurality.Spec{N: 2_000, K: 3, Alpha: 2, Seed: 5,
+		Checkpoint: plurality.CheckpointSpec{SnapshotAt: 10, Halt: true}}
+	half, err := plurality.Run(ctx, "leader", spec)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	futures, err := plurality.RunBatchFrom(ctx, half.Snapshot, 3, 0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("futures:", len(futures))
+	fmt.Println("all converged:", futures[0].FullConsensus &&
+		futures[1].FullConsensus && futures[2].FullConsensus)
+	fmt.Println("futures diverged:", futures[1].ConsensusTime != futures[2].ConsensusTime)
+	// Output:
+	// futures: 3
+	// all converged: true
+	// futures diverged: true
+}

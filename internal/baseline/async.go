@@ -9,13 +9,21 @@ import (
 	"plurality/internal/xrand"
 )
 
-// Typed event kinds of the Poisson baseline engine (see HandleEvent).
+// Typed event kinds of the Poisson baseline engine (see HandleEvent). The
+// cold-path actions (periodic recorder, deadline watchdog) are typed events
+// too, so the pending queue is plain data and a run is checkpointable
+// mid-flight.
 const (
 	// evTick is one Poisson tick of node ev.Node.
 	evTick int32 = iota
 	// evComplete is node ev.Node's channels to its (up to three) sampled
 	// targets ev.A, ev.B, ev.C completing.
 	evComplete
+	// evRecord is the periodic trajectory recorder; it reschedules itself
+	// every cfg.RecordEvery time steps.
+	evRecord
+	// evDeadline is the hard MaxRounds watchdog.
+	evDeadline
 )
 
 // poissonState is the mutable state of one Poisson-scheduler baseline run.
@@ -41,6 +49,13 @@ type poissonState struct {
 
 	mono   bool
 	monoAt float64
+
+	// maxTime is the effective abort horizon, plurality the initially
+	// dominant opinion and rec the trajectory recorder; they live on the
+	// state so the evRecord/evDeadline handlers can reach them.
+	maxTime   float64
+	plurality opinion.Opinion
+	rec       *metrics.Recorder
 }
 
 // HandleEvent dispatches the Poisson baseline's typed events.
@@ -50,7 +65,31 @@ func (ps *poissonState) HandleEvent(ev sim.Event) {
 		ps.clocks.Fire(ev.Node, ps.tickFn)
 	case evComplete:
 		ps.complete(int(ev.Node), ev.A, ev.B, ev.C)
+	case evRecord:
+		ps.record()
+		if ps.mono || ps.sm.Now() >= ps.maxTime {
+			ps.sm.Stop()
+			return
+		}
+		ps.sm.ScheduleAfter(float64(ps.cfg.RecordEvery), sim.Event{Kind: evRecord})
+	case evDeadline:
+		if ps.sm.Now() < ps.maxTime {
+			// The horizon was extended after this watchdog was queued (a
+			// resumed run may override MaxRounds); re-arm at the new
+			// deadline.
+			ps.sm.Schedule(ps.maxTime, sim.Event{Kind: evDeadline})
+			return
+		}
+		if !ps.mono {
+			ps.record()
+			ps.sm.Stop()
+		}
 	}
+}
+
+// record appends one trajectory snapshot at the current virtual time.
+func (ps *poissonState) record() {
+	ps.rec.Append(metrics.Snapshot(ps.sm.Now(), ps.cols, ps.cfg.K, ps.plurality))
 }
 
 func (ps *poissonState) isMono() bool {
@@ -163,30 +202,24 @@ func RunPoisson(rule Rule, cfg Config, lat sim.Latency) (*Result, error) {
 	sm.Reserve(2*cfg.N + 64)
 	clockR := root.SplitNamed("clocks")
 	ps.clocks = sim.NewClocks(sm, clockR, cfg.N, 1, evTick)
-	ps.clocks.StartAll()
-
-	maxTime := float64(cfg.MaxRounds)
-	record := func() {
-		rec.Append(metrics.Snapshot(sm.Now(), cols, cfg.K, plurality))
-	}
-	var recordTick func()
-	recordTick = func() {
-		record()
-		if ps.mono || sm.Now() >= maxTime {
-			sm.Stop()
-			return
+	ps.maxTime = float64(cfg.MaxRounds)
+	ps.plurality = plurality
+	ps.rec = rec
+	if cfg.Ckpt.Restoring() {
+		// Deterministic setup above sized every slice; now overwrite all
+		// mutable state (event heap included) from the captured payload.
+		if err := ps.restore(cfg.Ckpt.Restore, cfg.Ckpt.Perturb); err != nil {
+			return nil, err
 		}
-		sm.After(float64(cfg.RecordEvery), recordTick)
+	} else {
+		ps.clocks.StartAll()
+		// Periodic recorder + termination watchdog, both typed events so
+		// the pending queue stays plain data (see evRecord/evDeadline).
+		ps.record()
+		sm.ScheduleAfter(float64(cfg.RecordEvery), sim.Event{Kind: evRecord})
+		sm.Schedule(ps.maxTime, sim.Event{Kind: evDeadline})
 	}
-	record()
-	sm.After(float64(cfg.RecordEvery), recordTick)
-	sm.At(maxTime, func() {
-		if !ps.mono {
-			record()
-			sm.Stop()
-		}
-	})
-	if err := sm.RunContext(cfg.Ctx); err != nil {
+	if err := ps.runSim(cfg.Ctx); err != nil {
 		return nil, err
 	}
 

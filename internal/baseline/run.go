@@ -6,6 +6,7 @@ import (
 
 	"plurality/internal/metrics"
 	"plurality/internal/opinion"
+	"plurality/internal/snap"
 	"plurality/internal/topo"
 	"plurality/internal/xrand"
 )
@@ -39,6 +40,12 @@ type Config struct {
 	// DiscardTrajectory leaves Result.Trajectory empty, keeping O(1)
 	// recording memory; the Outcome is evaluated incrementally instead.
 	DiscardTrajectory bool
+	// Ckpt requests a mid-run state capture and/or resumes from one; nil
+	// disables checkpointing. Ckpt.At is measured in (parallel) rounds for
+	// RunSync and RunSequential and in virtual time for RunPoisson — the
+	// time axis of the respective Result. See snap.Checkpoint for the
+	// semantics shared by every engine.
+	Ckpt *snap.Checkpoint
 }
 
 // cancelled reports whether the config's context has been cancelled.
@@ -142,10 +149,22 @@ func RunSync(rule Rule, cfg Config) (*Result, error) {
 	record := func(round int) {
 		rec.Append(metrics.Snapshot(float64(round), cols, cfg.K, plurality))
 	}
-	record(0)
 	stepRNG := rng.SplitNamed("steps")
+	startRound := 1
+	if ck := cfg.Ckpt; ck.Restoring() {
+		st := &roundsState{cols: cols, stepRNG: stepRNG, rule: rule, rec: rec}
+		round, rounds, err := restoreRounds(ck.Restore, st, cfg.K, ck.Perturb)
+		if err != nil {
+			return nil, err
+		}
+		res.Rounds = rounds
+		startRound = round + 1
+	} else {
+		record(0)
+	}
+	captured := false
 	samples := make([]opinion.Opinion, rule.Samples())
-	for round := 1; round <= cfg.MaxRounds; round++ {
+	for round := startRound; round <= cfg.MaxRounds; round++ {
 		if cfg.cancelled() {
 			return nil, cfg.Ctx.Err()
 		}
@@ -160,6 +179,15 @@ func RunSync(rule Rule, cfg Config) (*Result, error) {
 		done := monochromatic(cols, cfg.K)
 		if round%cfg.RecordEvery == 0 || done {
 			record(round)
+		}
+		if ck := cfg.Ckpt; ck.Capturing() && !captured && !done && float64(round) >= ck.At {
+			st := &roundsState{tick: round, rounds: res.Rounds, cols: cols,
+				stepRNG: stepRNG, rule: rule, rec: rec}
+			ck.Sink(captureRounds(st), float64(round), 0)
+			captured = true
+			if ck.Halt {
+				break
+			}
 		}
 		if done {
 			break
@@ -186,11 +214,23 @@ func RunSequential(rule Rule, cfg Config) (*Result, error) {
 	record := func(round float64) {
 		rec.Append(metrics.Snapshot(round, cols, cfg.K, plurality))
 	}
-	record(0)
 	stepRNG := rng.SplitNamed("steps")
+	startIt := 1
+	if ck := cfg.Ckpt; ck.Restoring() {
+		st := &roundsState{cols: cols, stepRNG: stepRNG, rule: rule, rec: rec}
+		it, rounds, err := restoreRounds(ck.Restore, st, cfg.K, ck.Perturb)
+		if err != nil {
+			return nil, err
+		}
+		res.Rounds = rounds
+		startIt = it + 1
+	} else {
+		record(0)
+	}
+	captured := false
 	samples := make([]opinion.Opinion, rule.Samples())
 	maxInteractions := cfg.MaxRounds * cfg.N
-	for it := 1; it <= maxInteractions; it++ {
+	for it := startIt; it <= maxInteractions; it++ {
 		if it%cfg.N == 0 && cfg.cancelled() {
 			return nil, cfg.Ctx.Err()
 		}
@@ -199,13 +239,25 @@ func RunSequential(rule Rule, cfg Config) (*Result, error) {
 			samples[i] = cols[cfg.Topo.SampleNeighbor(stepRNG, v)]
 		}
 		cols[v] = rule.Update(cols[v], samples)
+		done := false
 		if it%(cfg.RecordEvery*cfg.N) == 0 {
 			round := float64(it) / float64(cfg.N)
 			res.Rounds = int(round)
 			record(round)
-			if monochromatic(cols, cfg.K) {
+			done = monochromatic(cols, cfg.K)
+		}
+		if ck := cfg.Ckpt; ck.Capturing() && !captured && !done &&
+			float64(it) >= ck.At*float64(cfg.N) {
+			st := &roundsState{tick: it, rounds: res.Rounds, cols: cols,
+				stepRNG: stepRNG, rule: rule, rec: rec}
+			ck.Sink(captureRounds(st), float64(it)/float64(cfg.N), 0)
+			captured = true
+			if ck.Halt {
 				break
 			}
+		}
+		if done {
+			break
 		}
 	}
 	res.FinalCounts = opinion.CountOf(cols, cfg.K)

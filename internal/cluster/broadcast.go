@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"plurality/internal/sim"
+	"plurality/internal/snap"
 	"plurality/internal/topo"
 	"plurality/internal/xrand"
 )
@@ -31,6 +32,8 @@ const (
 	// bcComplete is node ev.Node's channels to contacts ev.A and ev.B
 	// completing: equalize the informed bit across the visible leaders.
 	bcComplete
+	// bcDeadline is the hard maxTime watchdog.
+	bcDeadline
 )
 
 // bcastState is the mutable state of one broadcast run; per-node flags are
@@ -50,6 +53,7 @@ type bcastState struct {
 	locked        []bool
 	informTimes   map[int]float64
 	remaining     int
+	res           *BroadcastResult
 }
 
 // HandleEvent dispatches the broadcast engine's typed events.
@@ -59,6 +63,9 @@ func (bs *bcastState) HandleEvent(ev sim.Event) {
 		bs.clocks.Fire(ev.Node, bs.tickFn)
 	case bcComplete:
 		bs.complete(int(ev.Node), int(ev.A), int(ev.B))
+	case bcDeadline:
+		bs.res.TimedOut = true
+		bs.sm.Stop()
 	}
 }
 
@@ -121,6 +128,15 @@ func (bs *bcastState) complete(v, a, b int) {
 // lat the channel latency (nil for Exp(1)), maxTime the abort horizon
 // (<= 0 for a default of 64·(1+mean latency)).
 func Broadcast(cl *Clustering, lat sim.Latency, seed uint64, maxTime float64) (*BroadcastResult, error) {
+	return BroadcastWithCheckpoint(cl, lat, seed, maxTime, nil)
+}
+
+// BroadcastWithCheckpoint is Broadcast with checkpoint support: ck may
+// request a mid-run capture and/or resume from one (see snap.Checkpoint).
+// A restore must be given the same clustering and seed the capture ran
+// with; everything mutable — kernel heap, clocks, RNG streams, informed
+// bits — comes from the payload.
+func BroadcastWithCheckpoint(cl *Clustering, lat sim.Latency, seed uint64, maxTime float64, ck *snap.Checkpoint) (*BroadcastResult, error) {
 	leaders := cl.ParticipatingLeaders()
 	if len(leaders) == 0 {
 		return nil, fmt.Errorf("cluster: broadcast needs at least one participating leader")
@@ -163,17 +179,23 @@ func Broadcast(cl *Clustering, lat sim.Latency, seed uint64, maxTime float64) (*
 		return res, nil
 	}
 
+	bs.res = res
 	bs.tickFn = bs.tick
 	sm.SetHandler(bs)
 	sm.Reserve(2*n + 64)
 	clockR := root.SplitNamed("clocks")
 	bs.clocks = sim.NewClocks(sm, clockR, n, 1, bcTick)
-	bs.clocks.StartAll()
-	sm.At(maxTime, func() {
-		res.TimedOut = true
-		sm.Stop()
-	})
-	sm.Run()
+	if ck.Restoring() {
+		if err := bs.restore(ck.Restore, ck.Perturb, leaders); err != nil {
+			return nil, err
+		}
+	} else {
+		bs.clocks.StartAll()
+		sm.Schedule(maxTime, sim.Event{Kind: bcDeadline})
+	}
+	if err := bs.runSim(ck); err != nil {
+		return nil, err
+	}
 	remaining := bs.remaining
 	informTimes := bs.informTimes
 

@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"plurality/internal/sim"
+	"plurality/internal/snap"
 	"plurality/internal/topo"
 	"plurality/internal/xrand"
 )
@@ -62,6 +63,10 @@ type Params struct {
 	// Ctx cancels or bounds formation; polled every few hundred simulator
 	// events. nil means never cancelled.
 	Ctx context.Context
+	// Ckpt requests a mid-formation state capture and/or resumes from one;
+	// nil disables checkpointing. See snap.Checkpoint for the semantics
+	// shared by every engine.
+	Ckpt *snap.Checkpoint
 }
 
 func (p *Params) normalize() error {
@@ -188,6 +193,8 @@ func (c *Clustering) ParticipatingFrac() float64 {
 }
 
 // Typed event kinds of the clustering engine (see formState.HandleEvent).
+// The periodic coverage recorder is a typed event too, so the pending queue
+// is plain data and formation is checkpointable mid-flight.
 const (
 	// evTick is one Poisson tick of node ev.Node.
 	evTick int32 = iota
@@ -196,6 +203,10 @@ const (
 	// evJoin is node ev.Node's channels to contacts ev.A, ev.B, ev.C
 	// completing: join attempt plus consensus-wave gossip.
 	evJoin
+	// evRecord is the periodic coverage recorder; it reschedules itself
+	// every RecordEvery time steps and stops the run once formation
+	// settled or MaxTime passed.
+	evRecord
 )
 
 // formState is the mutable state of one clustering run. Per-leader state is
@@ -239,7 +250,54 @@ func (fs *formState) HandleEvent(ev sim.Event) {
 		fs.leaderSignal(fs.leaderIdx[ev.Node])
 	case evJoin:
 		fs.join(int(ev.Node), int(ev.A), int(ev.B), int(ev.C))
+	case evRecord:
+		fs.record()
+		if fs.settled() {
+			fs.sm.Stop()
+			return
+		}
+		if fs.sm.Now() >= fs.p.MaxTime {
+			fs.cl.TimedOut = true
+			fs.sm.Stop()
+			return
+		}
+		fs.sm.ScheduleAfter(fs.p.RecordEvery, sim.Event{Kind: evRecord})
 	}
+}
+
+// record appends one coverage snapshot at the current virtual time.
+func (fs *formState) record() {
+	fs.cl.Coverage = append(fs.cl.Coverage, CoveragePoint{
+		Time:           fs.sm.Now(),
+		ClusteredFrac:  float64(fs.clustered) / float64(fs.p.N),
+		BigClusterFrac: fs.bigFrac(),
+	})
+}
+
+// bigFrac returns the fraction of nodes in clusters that reached
+// TargetSize.
+func (fs *formState) bigFrac() float64 {
+	tot := int32(0)
+	for li := range fs.lSize {
+		if int(fs.lSize[li]) >= fs.p.TargetSize {
+			tot += fs.lSize[li]
+		}
+	}
+	return float64(tot) / float64(fs.p.N)
+}
+
+// settled reports whether every big cluster's leader has decided and the
+// rebroadcast window of the slowest switch has passed.
+func (fs *formState) settled() bool {
+	if fs.cl.FirstSwitch < 0 {
+		return false
+	}
+	for li := range fs.lSize {
+		if int(fs.lSize[li]) >= fs.p.TargetSize && !fs.lConsensus[li] && !fs.lExcluded[li] {
+			return false
+		}
+	}
+	return fs.sm.Now() > fs.cl.LastSwitch+fs.p.RebroadcastTime
 }
 
 // switchLeader moves leader slot li into consensus mode (or excludes it)
@@ -432,56 +490,21 @@ func Form(p Params) (*Clustering, error) {
 	sm.Reserve(3*n + 64)
 	clockR := root.SplitNamed("clocks")
 	fs.clocks = sim.NewClocks(sm, clockR, n, 1, evTick)
-	fs.clocks.StartAll()
+	if p.Ckpt.Restoring() {
+		// Deterministic setup above re-derived the leader set; overwrite
+		// all mutable state (event heap included) from the payload.
+		if err := fs.restore(p.Ckpt.Restore, p.Ckpt.Perturb); err != nil {
+			return nil, err
+		}
+	} else {
+		fs.clocks.StartAll()
+		// Coverage recorder + settlement watchdog, a typed event so the
+		// pending queue stays plain data (see evRecord).
+		fs.record()
+		sm.ScheduleAfter(p.RecordEvery, sim.Event{Kind: evRecord})
+	}
 
-	// Coverage recorder + settlement watchdog.
-	bigFrac := func() float64 {
-		tot := int32(0)
-		for li := range leaders {
-			if int(fs.lSize[li]) >= p.TargetSize {
-				tot += fs.lSize[li]
-			}
-		}
-		return float64(tot) / float64(n)
-	}
-	settled := func() bool {
-		if cl.FirstSwitch < 0 {
-			return false
-		}
-		// Settled once every big cluster's leader has decided and the
-		// rebroadcast window of the slowest switch has passed.
-		for li := range leaders {
-			if int(fs.lSize[li]) >= p.TargetSize && !fs.lConsensus[li] && !fs.lExcluded[li] {
-				return false
-			}
-		}
-		return sm.Now() > cl.LastSwitch+p.RebroadcastTime
-	}
-	var recordTick func()
-	record := func() {
-		cl.Coverage = append(cl.Coverage, CoveragePoint{
-			Time:           sm.Now(),
-			ClusteredFrac:  float64(fs.clustered) / float64(n),
-			BigClusterFrac: bigFrac(),
-		})
-	}
-	recordTick = func() {
-		record()
-		if settled() {
-			sm.Stop()
-			return
-		}
-		if sm.Now() >= p.MaxTime {
-			cl.TimedOut = true
-			sm.Stop()
-			return
-		}
-		sm.After(p.RecordEvery, recordTick)
-	}
-	record()
-	sm.After(p.RecordEvery, recordTick)
-
-	if err := sm.RunContext(p.Ctx); err != nil {
+	if err := fs.runSim(p.Ctx); err != nil {
 		return nil, err
 	}
 

@@ -23,6 +23,7 @@ import (
 	"plurality/internal/metrics"
 	"plurality/internal/opinion"
 	"plurality/internal/sim"
+	"plurality/internal/snap"
 	"plurality/internal/topo"
 	"plurality/internal/xrand"
 )
@@ -94,6 +95,10 @@ type Config struct {
 	// Ctx cancels or bounds the run; polled every few hundred simulator
 	// events. nil means never cancelled.
 	Ctx context.Context
+	// Ckpt requests a mid-run state capture and/or resumes from one; nil
+	// disables checkpointing. See snap.Checkpoint for the semantics shared
+	// by every engine.
+	Ckpt *snap.Checkpoint
 	// Observe, when non-nil, receives every recorded snapshot as it
 	// happens.
 	Observe func(metrics.Point)

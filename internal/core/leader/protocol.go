@@ -75,7 +75,11 @@ type Result struct {
 	PeakLeaderLoad      float64
 }
 
-// Typed event kinds of the single-leader engine (see HandleEvent).
+// Typed event kinds of the single-leader engine (see HandleEvent). All
+// scheduler state of a run is typed — the cold-path actions (periodic
+// recorder, deadline watchdog, crash injection) are events too, not
+// closures — which is what makes the pending event queue plain data and a
+// run checkpointable mid-flight.
 const (
 	// evTick is one Poisson tick of node ev.Node.
 	evTick int32 = iota
@@ -84,6 +88,15 @@ const (
 	// evComplete is node ev.Node's channels to samples ev.A and ev.B
 	// completing.
 	evComplete
+	// evRecord is the periodic trajectory recorder; it reschedules itself
+	// every cfg.RecordEvery time steps and stops the run on consensus or
+	// deadline.
+	evRecord
+	// evDeadline is the hard MaxTime watchdog, independent of the recorder
+	// cadence.
+	evDeadline
+	// evCrash fail-stops the precomputed victim set (CrashFrac extension).
+	evCrash
 )
 
 // runState bundles the mutable simulation state of one run.
@@ -132,9 +145,17 @@ type runState struct {
 	totalTicks uint64
 
 	// crashed marks fail-stopped nodes (CrashFrac extension); aliveN is the
-	// survivor count against which consensus is detected.
-	crashed []bool
-	aliveN  int
+	// survivor count against which consensus is detected. crashVictims is
+	// the deterministic victim set applied by evCrash.
+	crashed      []bool
+	aliveN       int
+	crashVictims []int
+
+	// maxTime is the effective abort horizon and rec the trajectory
+	// recorder; both live on the state so the evRecord/evDeadline handlers
+	// can reach them.
+	maxTime float64
+	rec     *metrics.Recorder
 }
 
 // Run executes Algorithms 2 and 3 under cfg.
@@ -195,29 +216,19 @@ func Run(cfg Config) (*Result, error) {
 	}
 	rs.genCount[0] = cfg.N
 	rs.aliveN = cfg.N
+	rs.maxTime = maxTime
 	rs.crashed = make([]bool, cfg.N)
 	rs.res.PhaseLog = append(rs.res.PhaseLog,
 		PhaseEvent{Time: 0, Gen: 1, Phase: PhaseTwoChoices})
+	restoring := cfg.Ckpt.Restoring()
 	if cfg.CrashFrac > 0 {
+		// The victim set is a deterministic function of the seed, so a
+		// restored run recomputes it instead of carrying it in the blob.
 		m := int(cfg.CrashFrac * float64(cfg.N))
-		victims := root.SplitNamed("crash").Perm(cfg.N)[:m]
-		rs.sm.At(cfg.CrashTime, func() {
-			for _, v := range victims {
-				if rs.crashed[v] {
-					continue
-				}
-				rs.crashed[v] = true
-				rs.aliveN--
-				rs.colorCount[rs.cols[v]]--
-			}
-			// Survivors may already be unanimous.
-			for _, cnt := range rs.colorCount {
-				if cnt == rs.aliveN && rs.aliveN > 0 && !rs.mono {
-					rs.mono = true
-					rs.monoAt = rs.sm.Now()
-				}
-			}
-		})
+		rs.crashVictims = root.SplitNamed("crash").Perm(cfg.N)[:m]
+		if !restoring {
+			rs.sm.Schedule(cfg.CrashTime, sim.Event{Kind: evCrash})
+		}
 	}
 
 	// One Poisson clock per node, in struct-of-arrays form: clock RNGs are
@@ -228,42 +239,24 @@ func Run(cfg Config) (*Result, error) {
 	rs.sm.Reserve(3*cfg.N + 64)
 	clockR := root.SplitNamed("clocks")
 	rs.clocks = sim.NewClocks(rs.sm, clockR, cfg.N, 1, evTick)
-	rs.clocks.StartAll()
-
-	// Periodic recorder + termination watchdog.
-	rec := metrics.NewRecorder(cfg.Eps, cfg.DiscardTrajectory, cfg.Observe)
-	var recordTick func()
-	record := func() {
-		p := metrics.Snapshot(rs.sm.Now(), rs.cols, cfg.K, rs.plurality)
-		p.MaxGen = rs.maxGen
-		p.MaxGenFrac = float64(rs.genCount[rs.maxGen]) / float64(cfg.N)
-		rec.Append(p)
+	rs.rec = metrics.NewRecorder(cfg.Eps, cfg.DiscardTrajectory, cfg.Observe)
+	if restoring {
+		// Deterministic setup above sized every slice; now overwrite all
+		// mutable state (event heap included) from the captured payload.
+		if err := rs.restore(cfg.Ckpt.Restore, cfg.Ckpt.Perturb); err != nil {
+			return nil, err
+		}
+	} else {
+		rs.clocks.StartAll()
+		// Periodic recorder + termination watchdog, both typed events so
+		// the pending queue stays plain data (see evRecord/evDeadline).
+		rs.record()
+		rs.sm.ScheduleAfter(cfg.RecordEvery, sim.Event{Kind: evRecord})
+		// Hard deadline, independent of the recorder cadence.
+		rs.sm.Schedule(maxTime, sim.Event{Kind: evDeadline})
 	}
-	recordTick = func() {
-		record()
-		if rs.mono {
-			rs.sm.Stop()
-			return
-		}
-		if rs.sm.Now() >= maxTime {
-			rs.res.TimedOut = true
-			rs.sm.Stop()
-			return
-		}
-		rs.sm.After(cfg.RecordEvery, recordTick)
-	}
-	record()
-	rs.sm.After(cfg.RecordEvery, recordTick)
-	// Hard deadline, independent of the recorder cadence.
-	rs.sm.At(maxTime, func() {
-		if !rs.mono {
-			record()
-			rs.res.TimedOut = true
-			rs.sm.Stop()
-		}
-	})
 
-	if err := rs.sm.RunContext(cfg.Ctx); err != nil {
+	if err := rs.runSim(cfg.Ctx); err != nil {
 		return nil, err
 	}
 
@@ -277,14 +270,11 @@ func Run(cfg Config) (*Result, error) {
 	// Ensure the final state is in the trajectory exactly once more (the
 	// stop path records before stopping, but a monochromatic flip between
 	// recordings would otherwise be missed).
-	if last, ok := rec.Last(); !ok || last.Time < rs.res.EndTime {
-		p := metrics.Snapshot(rs.res.EndTime, rs.cols, cfg.K, rs.plurality)
-		p.MaxGen = rs.maxGen
-		p.MaxGenFrac = float64(rs.genCount[rs.maxGen]) / float64(cfg.N)
-		rec.Append(p)
+	if last, ok := rs.rec.Last(); !ok || last.Time < rs.res.EndTime {
+		rs.record()
 	}
-	rs.res.Trajectory = rec.Trajectory()
-	rs.res.Outcome = rec.Outcome(rs.res.FinalCounts, rs.plurality)
+	rs.res.Trajectory = rs.rec.Trajectory()
+	rs.res.Outcome = rs.rec.Outcome(rs.res.FinalCounts, rs.plurality)
 	if rs.mono {
 		// Tighten the consensus time to the exact flip moment.
 		rs.res.Outcome.FullConsensus = true
@@ -303,6 +293,59 @@ func (rs *runState) HandleEvent(ev sim.Event) {
 		rs.leaderSignal(int(ev.A))
 	case evComplete:
 		rs.complete(int(ev.Node), int(ev.A), int(ev.B))
+	case evRecord:
+		rs.record()
+		if rs.mono {
+			rs.sm.Stop()
+			return
+		}
+		if rs.sm.Now() >= rs.maxTime {
+			rs.res.TimedOut = true
+			rs.sm.Stop()
+			return
+		}
+		rs.sm.ScheduleAfter(rs.cfg.RecordEvery, sim.Event{Kind: evRecord})
+	case evDeadline:
+		if rs.sm.Now() < rs.maxTime {
+			// The horizon was extended after this watchdog was queued (a
+			// resumed run may override MaxTime); re-arm at the new deadline.
+			rs.sm.Schedule(rs.maxTime, sim.Event{Kind: evDeadline})
+			return
+		}
+		if !rs.mono {
+			rs.record()
+			rs.res.TimedOut = true
+			rs.sm.Stop()
+		}
+	case evCrash:
+		rs.crash()
+	}
+}
+
+// record appends one trajectory snapshot at the current virtual time.
+func (rs *runState) record() {
+	p := metrics.Snapshot(rs.sm.Now(), rs.cols, rs.cfg.K, rs.plurality)
+	p.MaxGen = rs.maxGen
+	p.MaxGenFrac = float64(rs.genCount[rs.maxGen]) / float64(rs.cfg.N)
+	rs.rec.Append(p)
+}
+
+// crash fail-stops the precomputed victim set (CrashFrac extension).
+func (rs *runState) crash() {
+	for _, v := range rs.crashVictims {
+		if rs.crashed[v] {
+			continue
+		}
+		rs.crashed[v] = true
+		rs.aliveN--
+		rs.colorCount[rs.cols[v]]--
+	}
+	// Survivors may already be unanimous.
+	for _, cnt := range rs.colorCount {
+		if cnt == rs.aliveN && rs.aliveN > 0 && !rs.mono {
+			rs.mono = true
+			rs.monoAt = rs.sm.Now()
+		}
 	}
 }
 

@@ -1,0 +1,133 @@
+package leader
+
+import (
+	"reflect"
+	"testing"
+
+	"plurality/internal/snap"
+)
+
+// TestCheckpointRoundtrip pins the engine-level guarantee the public
+// snapshot API builds on: running to the horizon in one piece and running
+// half way, capturing, restoring into a fresh engine and finishing must
+// produce deeply equal Results — same trajectory, same phase log, same
+// event and message counters.
+func TestCheckpointRoundtrip(t *testing.T) {
+	base := Config{N: 400, K: 3, Alpha: 2, Seed: 11}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var blob []byte
+	ckpt := base
+	ckpt.Ckpt = &snap.Checkpoint{
+		At:   plain.EndTime / 2,
+		Halt: true,
+		Sink: func(state []byte, at float64, events uint64) {
+			blob = append([]byte(nil), state...)
+			if at <= 0 || at > plain.EndTime/2 {
+				t.Errorf("capture at %v outside (0, %v]", at, plain.EndTime/2)
+			}
+			if events == 0 {
+				t.Error("capture reported zero executed events")
+			}
+		},
+	}
+	halted, err := Run(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blob == nil {
+		t.Fatal("no snapshot captured")
+	}
+	if halted.EndTime >= plain.EndTime {
+		t.Fatalf("halted run reached %v, want < %v", halted.EndTime, plain.EndTime)
+	}
+
+	resumed := base
+	resumed.Ckpt = &snap.Checkpoint{Restore: blob}
+	res, err := Run(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, plain) {
+		t.Errorf("resumed result differs from uninterrupted run:\nresumed: %+v\nplain:   %+v", res, plain)
+	}
+}
+
+// TestCheckpointPerturb checks that a non-zero perturbation label yields a
+// deterministic but divergent future: two resumes with the same label agree
+// with each other and (almost surely) disagree with the exact continuation
+// on at least the event counter trace.
+func TestCheckpointPerturb(t *testing.T) {
+	base := Config{N: 400, K: 3, Alpha: 1.5, Seed: 5}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blob []byte
+	ckpt := base
+	ckpt.Ckpt = &snap.Checkpoint{
+		At:   plain.EndTime / 2,
+		Halt: true,
+		Sink: func(state []byte, _ float64, _ uint64) { blob = append([]byte(nil), state...) },
+	}
+	if _, err := Run(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if blob == nil {
+		t.Fatal("no snapshot captured")
+	}
+
+	run := func(label uint64) *Result {
+		cfg := base
+		cfg.Ckpt = &snap.Checkpoint{Restore: blob, Perturb: label}
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(7), run(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same perturbation label produced different results")
+	}
+	if reflect.DeepEqual(a, plain) {
+		t.Error("perturbed future identical to the exact continuation")
+	}
+}
+
+// TestRestoreRejectsGarbage pins that a truncated or mismatched payload is
+// a typed error, not a panic.
+func TestRestoreRejectsGarbage(t *testing.T) {
+	base := Config{N: 100, K: 2, Alpha: 2, Seed: 3}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blob []byte
+	ckpt := base
+	ckpt.Ckpt = &snap.Checkpoint{
+		At:   plain.EndTime / 2,
+		Halt: true,
+		Sink: func(state []byte, _ float64, _ uint64) { blob = append([]byte(nil), state...) },
+	}
+	if _, err := Run(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, 7, len(blob) / 2, len(blob) - 1} {
+		cfg := base
+		cfg.Ckpt = &snap.Checkpoint{Restore: blob[:cut]}
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("restore of %d/%d bytes succeeded, want error", cut, len(blob))
+		}
+	}
+	// A blob captured under a different N must be rejected.
+	other := base
+	other.N = 120
+	other.Ckpt = &snap.Checkpoint{Restore: blob}
+	if _, err := Run(other); err == nil {
+		t.Error("restore into a different N succeeded, want error")
+	}
+}

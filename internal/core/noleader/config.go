@@ -23,6 +23,7 @@ import (
 	"plurality/internal/metrics"
 	"plurality/internal/opinion"
 	"plurality/internal/sim"
+	"plurality/internal/snap"
 	"plurality/internal/topo"
 	"plurality/internal/xrand"
 )
@@ -79,6 +80,12 @@ type Config struct {
 	// DiscardTrajectory leaves Result.Trajectory empty, keeping O(1)
 	// recording memory; the Outcome is evaluated incrementally instead.
 	DiscardTrajectory bool
+	// Ckpt requests a mid-run state capture and/or resumes from one; nil
+	// disables checkpointing. Ckpt.At refers to consensus-phase virtual
+	// time (the time axis of the Result); the snapshot embeds the finished
+	// clustering, so a restored run skips formation entirely. See
+	// snap.Checkpoint for the semantics shared by every engine.
+	Ckpt *snap.Checkpoint
 }
 
 func (cfg *Config) normalize() error {

@@ -1,6 +1,7 @@
 package noleader
 
 import (
+	"fmt"
 	"math"
 
 	"plurality/internal/cluster"
@@ -8,6 +9,7 @@ import (
 	"plurality/internal/metrics"
 	"plurality/internal/opinion"
 	"plurality/internal/sim"
+	"plurality/internal/snap"
 	"plurality/internal/xrand"
 )
 
@@ -94,16 +96,34 @@ func Run(cfg Config) (*Result, error) {
 	}
 	root := xrand.New(cfg.Seed)
 
-	// Phase 1: clustering.
+	// Phase 1: clustering. A restored run decodes the finished clustering
+	// from the snapshot instead of replaying formation; the substream draw
+	// still happens so the root RNG stays in the same position either way.
 	cp := cfg.Cluster
 	cp.N = cfg.N
 	cp.Latency = cfg.Latency
 	cp.Topo = cfg.Topo
 	cp.Seed = root.SplitNamed("clustering").Uint64()
 	cp.Ctx = cfg.Ctx
-	cl, err := cluster.Form(cp)
-	if err != nil {
-		return nil, err
+	var cl *cluster.Clustering
+	var restoreR *snap.Reader
+	if cfg.Ckpt.Restoring() {
+		restoreR = snap.NewReader(cfg.Ckpt.Restore)
+		var err error
+		cl, err = cluster.DecodeClustering(restoreR)
+		if err != nil {
+			return nil, fmt.Errorf("noleader: clustering state: %w", err)
+		}
+		if cl.N != cfg.N {
+			return nil, fmt.Errorf("noleader: %w: clustering for N=%d, run has N=%d", snap.ErrCorrupt, cl.N, cfg.N)
+		}
+		cl.Topo = cfg.Topo
+	} else {
+		var err error
+		cl, err = cluster.Form(cp)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// Initial opinions.
@@ -186,44 +206,29 @@ func Run(cfg Config) (*Result, error) {
 		return rs.res, nil
 	}
 
+	rs.maxTime = maxTime
 	rs.tickFn = rs.tick
 	rs.sm.SetHandler(rs)
 	rs.sm.Reserve(3*cfg.N + 64)
 	clockR := root.SplitNamed("clocks")
 	rs.clocks = sim.NewClocks(rs.sm, clockR, cfg.N, 1, evTick)
-	rs.clocks.StartAll()
-
-	rec := metrics.NewRecorder(cfg.Eps, cfg.DiscardTrajectory, cfg.Observe)
-	var recordTick func()
-	record := func() {
-		p := metrics.Snapshot(rs.sm.Now(), rs.cols, cfg.K, rs.plurality)
-		p.MaxGen = rs.maxGen
-		rec.Append(p)
+	rs.rec = metrics.NewRecorder(cfg.Eps, cfg.DiscardTrajectory, cfg.Observe)
+	if restoreR != nil {
+		// Deterministic setup above sized every slice; now overwrite all
+		// mutable state (event heap included) from the captured payload.
+		if err := rs.restore(restoreR, cfg.Ckpt.Perturb); err != nil {
+			return nil, err
+		}
+	} else {
+		rs.clocks.StartAll()
+		// Periodic recorder + termination watchdog, both typed events so
+		// the pending queue stays plain data (see evRecord/evDeadline).
+		rs.record()
+		rs.sm.ScheduleAfter(cfg.RecordEvery, sim.Event{Kind: evRecord})
+		rs.sm.Schedule(maxTime, sim.Event{Kind: evDeadline})
 	}
-	recordTick = func() {
-		record()
-		if rs.mono {
-			rs.sm.Stop()
-			return
-		}
-		if rs.sm.Now() >= maxTime {
-			rs.res.TimedOut = true
-			rs.sm.Stop()
-			return
-		}
-		rs.sm.After(cfg.RecordEvery, recordTick)
-	}
-	record()
-	rs.sm.After(cfg.RecordEvery, recordTick)
-	rs.sm.At(maxTime, func() {
-		if !rs.mono {
-			record()
-			rs.res.TimedOut = true
-			rs.sm.Stop()
-		}
-	})
 
-	if err := rs.sm.RunContext(cfg.Ctx); err != nil {
+	if err := rs.runSim(cfg.Ctx); err != nil {
 		return nil, err
 	}
 
@@ -237,11 +242,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 	rs.res.PeakLeaderLoad = float64(rs.peakLoad)
 	rs.res.FinalCounts = opinion.CountOf(rs.cols, cfg.K)
-	if last, ok := rec.Last(); !ok || last.Time < rs.res.EndTime {
-		record()
+	if last, ok := rs.rec.Last(); !ok || last.Time < rs.res.EndTime {
+		rs.record()
 	}
-	rs.res.Trajectory = rec.Trajectory()
-	rs.res.Outcome = rec.Outcome(rs.res.FinalCounts, rs.plurality)
+	rs.res.Trajectory = rs.rec.Trajectory()
+	rs.res.Outcome = rs.rec.Outcome(rs.res.FinalCounts, rs.plurality)
 	if rs.mono {
 		rs.res.Outcome.FullConsensus = true
 		rs.res.Outcome.ConsensusTime = rs.monoAt

@@ -1,0 +1,76 @@
+package noleader
+
+import (
+	"reflect"
+	"testing"
+
+	"plurality/internal/snap"
+)
+
+// TestCheckpointRoundtrip pins that capturing the consensus phase half way,
+// restoring (which skips formation and decodes the clustering from the
+// blob) and finishing reproduces the uninterrupted run deeply equal.
+func TestCheckpointRoundtrip(t *testing.T) {
+	base := Config{N: 600, K: 3, Alpha: 2.5, Seed: 7}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var blob []byte
+	ckpt := base
+	ckpt.Ckpt = &snap.Checkpoint{
+		At:   plain.EndTime / 2,
+		Halt: true,
+		Sink: func(state []byte, _ float64, _ uint64) { blob = append([]byte(nil), state...) },
+	}
+	if _, err := Run(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if blob == nil {
+		t.Fatal("no snapshot captured")
+	}
+
+	resumed := base
+	resumed.Ckpt = &snap.Checkpoint{Restore: blob}
+	res, err := Run(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The clustering structure is decoded rather than recomputed, so
+	// compare it field-wise without the unserialized Topo attachment.
+	if res.Clustering.Topo == nil {
+		t.Error("restored clustering lost its topology attachment")
+	}
+	res.Clustering.Topo = plain.Clustering.Topo
+	if !reflect.DeepEqual(res, plain) {
+		t.Errorf("resumed result differs from uninterrupted run:\nresumed: %+v\nplain:   %+v", res, plain)
+	}
+}
+
+// TestCheckpointTruncated pins typed-error (not panic) behaviour on
+// truncated payloads.
+func TestCheckpointTruncated(t *testing.T) {
+	base := Config{N: 200, K: 2, Alpha: 2, Seed: 9}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blob []byte
+	ckpt := base
+	ckpt.Ckpt = &snap.Checkpoint{
+		At:   plain.EndTime / 2,
+		Halt: true,
+		Sink: func(state []byte, _ float64, _ uint64) { blob = append([]byte(nil), state...) },
+	}
+	if _, err := Run(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 9, len(blob) / 3, len(blob) - 2} {
+		cfg := base
+		cfg.Ckpt = &snap.Checkpoint{Restore: blob[:cut]}
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("restore of %d/%d bytes succeeded, want error", cut, len(blob))
+		}
+	}
+}

@@ -4,12 +4,16 @@ import (
 	"math"
 
 	"plurality/internal/cluster"
+	"plurality/internal/metrics"
 	"plurality/internal/opinion"
 	"plurality/internal/sim"
 	"plurality/internal/xrand"
 )
 
 // Typed event kinds of the decentralized consensus engine (see HandleEvent).
+// The cold-path actions (periodic recorder, deadline watchdog) are typed
+// events too, so the pending queue is plain data and the consensus phase is
+// checkpointable mid-flight.
 const (
 	// evTick is one Poisson tick of node ev.Node.
 	evTick int32 = iota
@@ -19,6 +23,11 @@ const (
 	// evComplete is node ev.Node's channels to samples ev.A, ev.B, ev.C
 	// completing (Algorithm 4 lines 5-21).
 	evComplete
+	// evRecord is the periodic trajectory recorder; it reschedules itself
+	// every cfg.RecordEvery time steps.
+	evRecord
+	// evDeadline is the hard MaxTime watchdog.
+	evDeadline
 )
 
 // consensusState bundles the mutable state of the consensus phase. The
@@ -71,6 +80,12 @@ type consensusState struct {
 
 	phase map[int]*GenPhases
 	res   *Result
+
+	// maxTime is the effective abort horizon and rec the trajectory
+	// recorder; both live on the state so the evRecord/evDeadline handlers
+	// can reach them.
+	maxTime float64
+	rec     *metrics.Recorder
 }
 
 // HandleEvent dispatches the engine's typed events — the hot path of the
@@ -89,7 +104,38 @@ func (rs *consensusState) HandleEvent(ev sim.Event) {
 		myLeader := int(rs.cl.LeaderOf[v])
 		participates := myLeader >= 0 && rs.leaderIdx[myLeader] >= 0
 		rs.complete(v, int(ev.A), int(ev.B), int(ev.C), myLeader, participates)
+	case evRecord:
+		rs.record()
+		if rs.mono {
+			rs.sm.Stop()
+			return
+		}
+		if rs.sm.Now() >= rs.maxTime {
+			rs.res.TimedOut = true
+			rs.sm.Stop()
+			return
+		}
+		rs.sm.ScheduleAfter(rs.cfg.RecordEvery, sim.Event{Kind: evRecord})
+	case evDeadline:
+		if rs.sm.Now() < rs.maxTime {
+			// The horizon was extended after this watchdog was queued (a
+			// resumed run may override MaxTime); re-arm at the new deadline.
+			rs.sm.Schedule(rs.maxTime, sim.Event{Kind: evDeadline})
+			return
+		}
+		if !rs.mono {
+			rs.record()
+			rs.res.TimedOut = true
+			rs.sm.Stop()
+		}
 	}
+}
+
+// record appends one trajectory snapshot at the current virtual time.
+func (rs *consensusState) record() {
+	p := metrics.Snapshot(rs.sm.Now(), rs.cols, rs.cfg.K, rs.plurality)
+	p.MaxGen = rs.maxGen
+	rs.rec.Append(p)
 }
 
 // notePhase updates the Figure 2 marks for generation g entering state s.

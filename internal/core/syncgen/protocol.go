@@ -7,6 +7,7 @@ import (
 
 	"plurality/internal/metrics"
 	"plurality/internal/opinion"
+	"plurality/internal/snap"
 	"plurality/internal/topo"
 	"plurality/internal/xrand"
 )
@@ -58,6 +59,10 @@ type Config struct {
 	// DiscardTrajectory leaves Result.Trajectory empty, keeping O(1)
 	// recording memory; the Outcome is evaluated incrementally instead.
 	DiscardTrajectory bool
+	// Ckpt requests a state capture at the first completed step >= Ckpt.At
+	// and/or resumes from one; nil disables checkpointing. See
+	// snap.Checkpoint for the semantics shared by every engine.
+	Ckpt *snap.Checkpoint
 }
 
 // GenEvent records the birth and establishment of one generation, the raw
@@ -181,11 +186,21 @@ func Run(cfg Config) (*Result, error) {
 		p.MaxGenFrac = float64(st.genSize[st.maxGen]) / float64(cfg.N)
 		rec.Append(p)
 	}
-	record(0)
-
 	stepRNG := rng.SplitNamed("steps")
 	nextTheoretical := 0
-	for step := 1; step <= maxSteps; step++ {
+	startStep := 1
+	if ck := cfg.Ckpt; ck.Restoring() {
+		step, nt, err := st.restore(ck.Restore, stepRNG, rec, res, ck.Perturb)
+		if err != nil {
+			return nil, err
+		}
+		nextTheoretical = nt
+		startStep = step + 1
+	} else {
+		record(0)
+	}
+	captured := false
+	for step := startStep; step <= maxSteps; step++ {
 		if cfg.Ctx != nil {
 			select {
 			case <-cfg.Ctx.Done():
@@ -211,11 +226,19 @@ func Run(cfg Config) (*Result, error) {
 		}
 		st.step(stepRNG, cfg.Topo, twoChoices)
 		st.noteGenerations(step, cfg.Gamma, res)
-		if step%cfg.RecordEvery == 0 || st.monochromatic() {
+		done := st.monochromatic()
+		if step%cfg.RecordEvery == 0 || done {
 			record(step)
 		}
 		res.Steps = step
-		if st.monochromatic() {
+		if ck := cfg.Ckpt; ck.Capturing() && !captured && !done && float64(step) >= ck.At {
+			ck.Sink(st.capture(step, nextTheoretical, stepRNG, rec, res), float64(step), 0)
+			captured = true
+			if ck.Halt {
+				break
+			}
+		}
+		if done {
 			break
 		}
 	}

@@ -1,0 +1,122 @@
+package syncgen
+
+import (
+	"fmt"
+
+	"plurality/internal/metrics"
+	"plurality/internal/opinion"
+	"plurality/internal/snap"
+	"plurality/internal/xrand"
+)
+
+// This file implements the synchronous engine's checkpoint hooks: the full
+// configuration (opinion and generation vectors, per-generation tallies),
+// the step RNG, the schedule position and the partial result are captured
+// at a step boundary; thresholds and the theoretical schedule itself are
+// recomputed at restore from the Config.
+
+// capture serializes the run's mutable state after completing `step`.
+func (st *state) capture(step, nextTheoretical int, stepRNG *xrand.RNG,
+	rec *metrics.Recorder, res *Result) []byte {
+	w := &snap.Writer{}
+	w.Int(step)
+	w.Int(nextTheoretical)
+	w.RNG(stepRNG)
+	opinion.EncodeSlice(w, st.cols)
+	w.I32s(st.gens)
+	w.Len32(len(st.genCol))
+	for _, row := range st.genCol {
+		w.Ints(row)
+	}
+	w.Ints(st.genSize)
+	w.Int(st.maxGen)
+	w.Ints(res.TwoChoicesSteps)
+	w.Len32(len(res.Generations))
+	for _, g := range res.Generations {
+		w.Int(g.Gen)
+		w.Int(g.BirthStep)
+		w.F64(g.BirthFrac)
+		w.F64(g.BirthBias)
+		w.Int(g.EstablishedStep)
+		w.F64(g.EstablishedBias)
+	}
+	metrics.EncodeRecorder(w, rec)
+	return w.Bytes()
+}
+
+// restore overwrites the run's mutable state from a captured payload and
+// returns the (step, nextTheoretical) position to resume after. Slices are
+// filled in place so caller-held references stay valid.
+func (st *state) restore(stateBytes []byte, stepRNG *xrand.RNG,
+	rec *metrics.Recorder, res *Result, perturb uint64) (step, nextTheoretical int, err error) {
+	r := snap.NewReader(stateBytes)
+	step = r.Int()
+	nextTheoretical = r.Int()
+	if err := r.ReadRNG(stepRNG); err != nil {
+		return 0, 0, fmt.Errorf("syncgen: step rng: %w", err)
+	}
+	cols, err := opinion.DecodeSlice(r, st.k)
+	if err != nil {
+		return 0, 0, fmt.Errorf("syncgen: opinions: %w", err)
+	}
+	gens := r.I32s()
+	ng := r.Len32(4)
+	if e := r.Err(); e != nil {
+		return 0, 0, fmt.Errorf("syncgen: state: %w", e)
+	}
+	if ng != len(st.genCol) {
+		return 0, 0, fmt.Errorf("syncgen: %w: %d generation rows for G*=%d (blob for a different G*?)", snap.ErrCorrupt, ng, st.gCap)
+	}
+	genCol := make([][]int, ng)
+	for g := range genCol {
+		genCol[g] = r.Ints()
+		if len(genCol[g]) != st.k && r.Err() == nil {
+			return 0, 0, fmt.Errorf("syncgen: %w: generation row width %d != k %d", snap.ErrCorrupt, len(genCol[g]), st.k)
+		}
+	}
+	genSize := r.Ints()
+	maxGen := r.Int()
+	twoChoices := r.Ints()
+	nGen := r.Len32(40)
+	if e := r.Err(); e != nil {
+		return 0, 0, fmt.Errorf("syncgen: state: %w", e)
+	}
+	gensEvents := make([]GenEvent, nGen)
+	for i := range gensEvents {
+		gensEvents[i] = GenEvent{
+			Gen:             r.Int(),
+			BirthStep:       r.Int(),
+			BirthFrac:       r.F64(),
+			BirthBias:       r.F64(),
+			EstablishedStep: r.Int(),
+			EstablishedBias: r.F64(),
+		}
+	}
+	if err := metrics.DecodeRecorder(r, rec); err != nil {
+		return 0, 0, fmt.Errorf("syncgen: recorder: %w", err)
+	}
+	if err := r.Finish(); err != nil {
+		return 0, 0, fmt.Errorf("syncgen: state: %w", err)
+	}
+	if len(cols) != st.n || len(gens) != st.n {
+		return 0, 0, fmt.Errorf("syncgen: %w: node-state length mismatch (blob for a different N?)", snap.ErrCorrupt)
+	}
+	if len(genSize) != len(st.genSize) || maxGen < 0 || maxGen > st.gCap ||
+		step < 0 || nextTheoretical < 0 {
+		return 0, 0, fmt.Errorf("syncgen: %w: generation bookkeeping out of range", snap.ErrCorrupt)
+	}
+	copy(st.cols, cols)
+	copy(st.gens, gens)
+	for g := range st.genCol {
+		copy(st.genCol[g], genCol[g])
+	}
+	copy(st.genSize, genSize)
+	st.maxGen = maxGen
+	res.Steps = step
+	res.TwoChoicesSteps = twoChoices
+	res.Generations = gensEvents
+	if perturb != 0 {
+		stepRNG.Perturb(perturb)
+	}
+	return step, nextTheoretical, nil
+}

@@ -1,0 +1,83 @@
+package syncgen
+
+import (
+	"reflect"
+	"testing"
+
+	"plurality/internal/snap"
+)
+
+// TestCheckpointRoundtrip pins the synchronous engine's checkpoint
+// guarantee: run-to-end equals run-half, capture, restore, run-to-end.
+func TestCheckpointRoundtrip(t *testing.T) {
+	base := Config{N: 500, K: 4, Alpha: 2, Seed: 13}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var blob []byte
+	ckpt := base
+	ckpt.Ckpt = &snap.Checkpoint{
+		At:   float64(plain.Steps) / 2,
+		Halt: true,
+		Sink: func(state []byte, at float64, _ uint64) {
+			blob = append([]byte(nil), state...)
+			if at < float64(plain.Steps)/2 {
+				t.Errorf("capture at step %v, want >= %v", at, float64(plain.Steps)/2)
+			}
+		},
+	}
+	halted, err := Run(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blob == nil {
+		t.Fatal("no snapshot captured")
+	}
+	if halted.Steps >= plain.Steps {
+		t.Fatalf("halted run executed %d steps, want < %d", halted.Steps, plain.Steps)
+	}
+
+	resumed := base
+	resumed.Ckpt = &snap.Checkpoint{Restore: blob}
+	res, err := Run(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, plain) {
+		t.Errorf("resumed result differs from uninterrupted run:\nresumed: %+v\nplain:   %+v", res, plain)
+	}
+}
+
+// TestCheckpointTheoreticalSchedule exercises the schedule-position
+// bookkeeping (nextTheoretical) across a restore.
+func TestCheckpointTheoreticalSchedule(t *testing.T) {
+	base := Config{N: 400, K: 3, Alpha: 2, Seed: 21, Schedule: ScheduleTheoretical}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blob []byte
+	ckpt := base
+	ckpt.Ckpt = &snap.Checkpoint{
+		At:   float64(plain.Steps) / 3,
+		Halt: true,
+		Sink: func(state []byte, _ float64, _ uint64) { blob = append([]byte(nil), state...) },
+	}
+	if _, err := Run(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if blob == nil {
+		t.Fatal("no snapshot captured")
+	}
+	resumed := base
+	resumed.Ckpt = &snap.Checkpoint{Restore: blob}
+	res, err := Run(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, plain) {
+		t.Error("resumed theoretical-schedule run differs from uninterrupted run")
+	}
+}

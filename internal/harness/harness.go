@@ -4,6 +4,24 @@
 // tables or CSV. Every experiment in cmd/experiments and every benchmark in
 // bench_test.go is expressed through this package, so the paper's figures
 // and claims are regenerated through one code path.
+//
+// # Worker-count invariance
+//
+// The pool guarantees that batch output is a pure function of the job list,
+// independent of the worker bound and of goroutine interleaving. The
+// contract has three parts, and every caller in this repository follows it:
+// each job derives all of its randomness from its own index (seed offsets
+// or perturbation labels — never from a shared stream), owns its entire
+// mutable state (one simulator per in-flight replication), and writes its
+// result into an index-addressed slot that aggregation later walks in
+// order. Under that contract workers only trade wall-clock time against
+// peak memory; TestRunBatch*/TestSweepWorkerInvariance pin the property
+// under -race, and the checkpoint roundtrip test extends it to resumed
+// runs (RunBatchFrom with ≥ 2 workers).
+//
+// Cancellation is prompt and first-error-wins: the first failing job (or
+// the outer context) cancels the context handed to in-flight jobs, no new
+// job starts, and ForEach returns that first error.
 package harness
 
 import (

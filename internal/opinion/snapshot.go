@@ -1,0 +1,53 @@
+package opinion
+
+import (
+	"fmt"
+
+	"plurality/internal/snap"
+)
+
+// EncodeSlice writes an opinion assignment in the canonical checkpoint
+// form (length-prefixed int32s; None is -1).
+func EncodeSlice(w *snap.Writer, a []Opinion) {
+	w.Len32(len(a))
+	for _, o := range a {
+		w.I32(int32(o))
+	}
+}
+
+// DecodeSlice reads an assignment written by EncodeSlice, validating every
+// value against k opinions (None allowed).
+func DecodeSlice(r *snap.Reader, k int) ([]Opinion, error) {
+	n := r.Len32(4)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	a := make([]Opinion, n)
+	for i := range a {
+		o := Opinion(r.I32())
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if o != None && (o < 0 || int(o) >= k) {
+			return nil, r.Fail(fmt.Errorf("%w: opinion %d outside [0, %d)", snap.ErrCorrupt, o, k))
+		}
+		a[i] = o
+	}
+	return a, nil
+}
+
+// EncodeCounts writes a per-opinion tally.
+func EncodeCounts(w *snap.Writer, c Counts) { w.Ints([]int(c)) }
+
+// DecodeCounts reads a tally written by EncodeCounts, validating its length
+// against k.
+func DecodeCounts(r *snap.Reader, k int) (Counts, error) {
+	vs := r.Ints()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if len(vs) != k {
+		return nil, r.Fail(fmt.Errorf("%w: %d counts for k=%d", snap.ErrCorrupt, len(vs), k))
+	}
+	return Counts(vs), nil
+}

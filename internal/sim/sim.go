@@ -10,18 +10,49 @@
 // instances supplied by the caller, which makes whole protocol executions
 // reproducible from one seed.
 //
+// # The (time, seq) invariant
+//
+// Every push assigns the next value of a monotone sequence counter, and the
+// heap orders by (at, seq) — a strict total order, because seq is unique.
+// Two properties follow, and everything above the kernel leans on them:
+// ties between equal-time events are broken by scheduling order (never by
+// map iteration, goroutine timing or heap layout), and the pop sequence is
+// independent of the heap's internal array arrangement — any correct binary
+// heap over the same pending set yields the same execution. The first makes
+// asynchronous runs reproducible from a seed; the second is what lets a
+// restored snapshot re-heapify its event array without changing the
+// trajectory, and what let the typed kernel rewrite be pinned byte-exact
+// against its predecessor (TestKernelGolden).
+//
 // # Event representation
 //
 // The hot path is typed: an Event is a fixed-size record {Kind, Node, A, B,
 // C} stored by value in the scheduling heap and dispatched to the engine's
 // EventHandler, so steady-state scheduling performs zero allocations — the
 // heap slice is the only storage and it reaches a stable capacity after
-// warm-up. Closure events (At/After) remain available for cold paths such
-// as periodic recorders and watchdogs; their functions live out-of-line in
-// a growable arena with free-list reuse, so a recorder that reschedules the
-// same function value also stops allocating after the first occupancy.
-// Cancellation is lazy: a cancelled closure event stays queued as a
-// tombstone and is skipped (uncounted) when popped.
+// warm-up. Closure events (At/After) remain available for cold paths; their
+// functions live out-of-line in a growable arena with free-list reuse, so a
+// recorder that reschedules the same function value also stops allocating
+// after the first occupancy. Cancellation is lazy: a cancelled closure
+// event stays queued as a tombstone and is skipped (uncounted) when popped.
+//
+// Engines that want to be checkpointable schedule all of their actions —
+// including recorder ticks and watchdogs — as typed events: closures are
+// opaque to the state codec, and EncodeState refuses to capture while a
+// live one is pending (ErrClosuresPending). All engines in this repository
+// are fully typed.
+//
+// # Snapshot and restore
+//
+// EncodeState/DecodeState serialize the scheduler — clock, counters, the
+// pending typed-event heap — and Clocks.EncodeState/DecodeState do the same
+// for the per-node Poisson clocks (generator states, stop flags, tick
+// counter). Capture happens at a barrier, not an event: RunContextTo runs
+// everything scheduled at or before t and returns between events, so no
+// sequence number is consumed and a run with a (non-halting) capture stays
+// byte-identical to one without. Restores re-run the engine's
+// deterministic setup and then overwrite mutable state, after which the
+// continuation is bit-exact.
 package sim
 
 import (

@@ -1,0 +1,33 @@
+package snap
+
+import (
+	"fmt"
+
+	"plurality/internal/xrand"
+)
+
+// RNG writes the four xoshiro256++ state words of g.
+func (w *Writer) RNG(g *xrand.RNG) {
+	st := g.State()
+	w.U64(st[0])
+	w.U64(st[1])
+	w.U64(st[2])
+	w.U64(st[3])
+}
+
+// ReadRNG restores g from four state words written by Writer.RNG. The
+// all-zero state is rejected as corrupt (it is the fixed point of xoshiro).
+func (r *Reader) ReadRNG(g *xrand.RNG) error {
+	var st [4]uint64
+	st[0] = r.U64()
+	st[1] = r.U64()
+	st[2] = r.U64()
+	st[3] = r.U64()
+	if r.err != nil {
+		return r.err
+	}
+	if err := g.SetState(st); err != nil {
+		return r.Fail(fmt.Errorf("%w: %v", ErrCorrupt, err))
+	}
+	return nil
+}

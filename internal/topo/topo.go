@@ -10,11 +10,24 @@
 // voting).
 //
 // Complete is the default and the fast path: it keeps O(1) memory, performs
-// zero per-sample allocations, and consumes randomness exactly like the old
-// sampleOther helpers, so runs on the zero-value topology are byte-identical
-// to the pre-topology code. The sparse topologies carry an explicit CSR
-// adjacency (or a closed-form neighborhood) and sample a uniform neighbor in
-// O(1) as well.
+// zero per-sample allocations (asserted by CI's bench-smoke job), and
+// consumes randomness exactly like the old sampleOther helpers — one
+// TwoDistinct-shaped draw per sample — so runs on the zero-value topology
+// are byte-identical to the pre-topology code for the same seed. The sparse
+// topologies carry an explicit CSR adjacency (or a closed-form
+// neighborhood) and sample a uniform neighbor in O(1) as well.
+//
+// # Invariants
+//
+// Samplers are immutable after construction and safe for concurrent
+// readers, which is what lets parallel replications (and warm-started
+// resumes) share one graph value. Construction of the random kinds is a
+// pure function of (n, parameters, seed): the same inputs rebuild the
+// identical graph, so checkpoint blobs never serialize a sampler — a
+// restored run reconstructs it from the spec. Randomness always flows from
+// the caller's RNG into SampleNeighbor, never from sampler-owned state, so
+// the RNG stream position — part of the checkpoint state — fully determines
+// future samples.
 package topo
 
 import (

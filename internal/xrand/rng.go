@@ -37,19 +37,20 @@ func New(seed uint64) *RNG {
 // Reseed resets the generator state as if it had been created by New(seed).
 func (r *RNG) Reseed(seed uint64) {
 	// SplitMix64 expansion of the seed into four non-degenerate words, as
-	// recommended by the xoshiro authors.
+	// recommended by the xoshiro authors: the i-th word is the output of a
+	// SplitMix64 stream started at seed, i.e. splitmix64(seed + i·golden).
+	const golden uint64 = 0x9e3779b97f4a7c15
 	sm := seed
-	next := func() uint64 {
-		sm += 0x9e3779b97f4a7c15
-		z := sm
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		return z ^ (z >> 31)
-	}
-	r.s0, r.s1, r.s2, r.s3 = next(), next(), next(), next()
+	r.s0 = splitmix64(sm)
+	sm += golden
+	r.s1 = splitmix64(sm)
+	sm += golden
+	r.s2 = splitmix64(sm)
+	sm += golden
+	r.s3 = splitmix64(sm)
 	if r.s0|r.s1|r.s2|r.s3 == 0 {
 		// The all-zero state is the single fixed point of xoshiro; avoid it.
-		r.s0 = 0x9e3779b97f4a7c15
+		r.s0 = golden
 	}
 }
 
@@ -112,6 +113,49 @@ func fnv64(s string) uint64 {
 		h *= prime
 	}
 	return h
+}
+
+// State returns the four xoshiro256++ state words. Together with SetState
+// it makes a generator's position in its stream checkpointable: a restored
+// generator continues the exact sequence the captured one would have
+// produced.
+func (r *RNG) State() [4]uint64 {
+	return [4]uint64{r.s0, r.s1, r.s2, r.s3}
+}
+
+// SetState restores a generator to the given state words, as previously
+// returned by State. The all-zero state is the fixed point of xoshiro and
+// therefore rejected.
+func (r *RNG) SetState(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return errors.New("xrand: SetState with all-zero state")
+	}
+	r.s0, r.s1, r.s2, r.s3 = s[0], s[1], s[2], s[3]
+	return nil
+}
+
+// Perturb folds a non-zero divergence label into the generator state: the
+// perturbed generator is a deterministic function of (state, label) but its
+// stream is decorrelated from the unperturbed one. Restored checkpoints use
+// it to branch independent futures off a shared prefix — same label, same
+// future; label 0 is the identity (the bit-exact continuation).
+func (r *RNG) Perturb(label uint64) {
+	if label == 0 {
+		return
+	}
+	seed := r.s0 ^ bits.RotateLeft64(r.s1, 17) ^ bits.RotateLeft64(r.s2, 31) ^
+		bits.RotateLeft64(r.s3, 47)
+	r.Reseed(seed ^ splitmix64(label))
+}
+
+// splitmix64 is one SplitMix64 step — advance by the golden-ratio
+// increment, then finalize. Reseed uses it to expand seeds and Perturb to
+// spread labels (often small integers) over the full 64-bit space.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // Float64 returns a uniform float64 in [0, 1) with 53 random bits.

@@ -7,6 +7,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -86,6 +87,91 @@ var kernelGolden = map[string]string{
 	"undecided-state/complete":            "29a1291680315ffa4d41f89876252809d19911dba883db25621fdbe7e196e910",
 	"undecided-state/random-regular(d=4)": "bdd5b344543f16a14d298b508c25b76a3d49fa4245d824f08dbb47b97e60ddd2",
 	"undecided-state/torus(24x25)":        "1522f4111651cef470b89c6378f3444234504e87578fc184708fbb3b1d2367e4",
+}
+
+// TestSnapshotRoundtrip pins the checkpoint subsystem's core guarantee on
+// the same 7×3 matrix the kernel digests cover: for every protocol and
+// reference topology, run-to-T and run-to-T/2 → snapshot → encode → decode
+// → restore → run-to-T produce bit-identical Results (hex-float digest
+// equality), including when the resumed half executes under RunBatchFrom
+// with ≥ 2 workers. Because the plain run's digest is itself pinned by
+// TestKernelGolden, this transitively anchors resumed trajectories to the
+// pre-refactor kernel.
+//
+// Set PLURALITY_ROUNDTRIP_DIGESTS=<file> to dump the per-cell digests (the
+// CI docs job uploads them as an artifact).
+func TestSnapshotRoundtrip(t *testing.T) {
+	var digests []string
+	for _, name := range Protocols() {
+		for _, tp := range goldenTopologies {
+			spec := kernelGoldenSpec(tp)
+			key := fmt.Sprintf("%s/%s", name, tp.ResolvedLabel(spec.N))
+			t.Run(key, func(t *testing.T) {
+				if testing.Short() && tp.Kind != TopologyComplete {
+					t.Skip("sparse-topology roundtrip column skipped in -short mode")
+				}
+				ctx := context.Background()
+				plain, err := Run(ctx, name, spec)
+				if err != nil {
+					t.Fatalf("Run(%s): %v", key, err)
+				}
+				want := digestResult(plain)
+				if plain.Duration <= 0 {
+					t.Fatalf("%s: zero-duration run cannot be checkpointed half way", key)
+				}
+
+				// Half run with a halting snapshot at T/2.
+				cspec := spec
+				cspec.Checkpoint = CheckpointSpec{SnapshotAt: plain.Duration / 2, Halt: true}
+				half, err := Run(ctx, name, cspec)
+				if err != nil {
+					t.Fatalf("Run(%s) with checkpoint: %v", key, err)
+				}
+				if half.Snapshot == nil {
+					t.Fatalf("%s: no snapshot captured at t=%g of %g", key, plain.Duration/2, plain.Duration)
+				}
+				meta := half.Snapshot.Meta()
+				if meta.Protocol != name || meta.FormatVersion != SnapshotFormatVersion {
+					t.Fatalf("%s: bad snapshot meta %+v", key, meta)
+				}
+
+				// Through the wire format: encode, decode, resume.
+				blob, err := half.Snapshot.Encode()
+				if err != nil {
+					t.Fatal(err)
+				}
+				sn, err := DecodeSnapshot(blob)
+				if err != nil {
+					t.Fatalf("%s: decode: %v", key, err)
+				}
+				res, err := Resume(ctx, sn, nil)
+				if err != nil {
+					t.Fatalf("%s: resume: %v", key, err)
+				}
+				if got := digestResult(res); got != want {
+					t.Errorf("%s: resumed digest %s != uninterrupted %s", key, got, want)
+				}
+
+				// The batch leg: the exact continuation (replication 0) must
+				// survive the parallel pool with ≥ 2 workers.
+				batch, err := RunBatchFrom(ctx, sn, 2, 2)
+				if err != nil {
+					t.Fatalf("%s: RunBatchFrom: %v", key, err)
+				}
+				if got := digestResult(batch[0]); got != want {
+					t.Errorf("%s: batch-resumed digest %s != uninterrupted %s", key, got, want)
+				}
+				digests = append(digests, fmt.Sprintf("%s\t%s", key, want))
+			})
+		}
+	}
+	if out := os.Getenv("PLURALITY_ROUNDTRIP_DIGESTS"); out != "" && !t.Failed() {
+		sort.Strings(digests)
+		body := strings.Join(digests, "\n") + "\n"
+		if err := os.WriteFile(out, []byte(body), 0o644); err != nil {
+			t.Errorf("writing digest artifact: %v", err)
+		}
+	}
 }
 
 // TestKernelGolden runs every registered protocol on every reference

@@ -8,6 +8,7 @@ import (
 	"plurality/internal/core/noleader"
 	"plurality/internal/core/syncgen"
 	"plurality/internal/metrics"
+	"plurality/internal/snap"
 	"plurality/internal/xrand"
 )
 
@@ -31,20 +32,66 @@ func (s *Spec) observe() func(metrics.Point) {
 	return func(p metrics.Point) { obs.Observe(publicPoint(p)) }
 }
 
+// engineCheckpoint translates the public checkpoint request (and/or a
+// resume payload) into the engines' internal form, wiring the capture sink
+// so engine payloads come back wrapped as public Snapshots. captured
+// receives the snapshot taken during the run, if any; the stored spec has
+// its runtime-only fields (Observer, Checkpoint) cleared.
+func engineCheckpoint(name string, spec Spec, restore []byte, perturb uint64, captured **Snapshot) *snap.Checkpoint {
+	cs := spec.Checkpoint
+	if cs.SnapshotAt <= 0 && restore == nil {
+		return nil
+	}
+	ck := &snap.Checkpoint{Restore: restore, Perturb: perturb}
+	if cs.SnapshotAt > 0 {
+		metaSpec := spec
+		metaSpec.Observer = nil
+		metaSpec.Checkpoint = CheckpointSpec{}
+		ck.At = cs.SnapshotAt
+		ck.Halt = cs.Halt
+		out := captured
+		sink := cs.Sink
+		ck.Sink = func(state []byte, at float64, events uint64) {
+			sn := &Snapshot{meta: SnapshotMeta{
+				FormatVersion: SnapshotFormatVersion,
+				Protocol:      name,
+				Time:          at,
+				Events:        events,
+				Spec:          metaSpec,
+			}, payload: state}
+			*out = sn
+			if sink != nil {
+				sink(sn)
+			}
+		}
+	}
+	return ck
+}
+
 // syncProtocol is Algorithm 1: synchronous generations with adaptive or
 // theoretical two-choices scheduling.
 type syncProtocol struct{}
 
 func (syncProtocol) Info() ProtocolInfo {
 	return ProtocolInfo{
-		Name:          "sync",
-		Family:        "generation",
-		TopologyAware: true,
-		Description:   "synchronous generation protocol (Algorithm 1)",
+		Name:           "sync",
+		Family:         "generation",
+		TopologyAware:  true,
+		Checkpointable: true,
+		Description:    "synchronous generation protocol (Algorithm 1)",
 	}
 }
 
-func (syncProtocol) Run(ctx context.Context, spec Spec) (*Result, error) {
+func (p syncProtocol) Run(ctx context.Context, spec Spec) (*Result, error) {
+	return p.run(ctx, spec, nil, 0)
+}
+
+// ResumeRun implements Resumer.
+func (p syncProtocol) ResumeRun(ctx context.Context, spec Spec, state []byte, perturb uint64) (*Result, error) {
+	return p.run(ctx, spec, state, perturb)
+}
+
+func (syncProtocol) run(ctx context.Context, spec Spec, restore []byte, perturb uint64) (*Result, error) {
 	assign, err := toInternalAssignment(spec.Assignment, spec.N, spec.K)
 	if err != nil {
 		return nil, err
@@ -57,12 +104,14 @@ func (syncProtocol) Run(ctx context.Context, spec Spec) (*Result, error) {
 	if spec.Sync.TheoreticalSchedule {
 		sched = syncgen.ScheduleTheoretical
 	}
+	var captured *Snapshot
 	res, err := syncgen.Run(syncgen.Config{
 		N: spec.N, K: spec.K, Alpha: spec.Alpha, Assignment: assign,
 		Gamma: spec.Sync.Gamma, Schedule: sched, MaxSteps: spec.MaxSteps,
 		Seed: spec.Seed, Eps: spec.Eps, RecordEvery: spec.recordEveryRounds(),
 		Topo: tp,
 		Ctx:  ctx, Observe: spec.observe(), DiscardTrajectory: spec.DiscardTrajectory,
+		Ckpt: engineCheckpoint("sync", spec, restore, perturb, &captured),
 	})
 	if err != nil {
 		return nil, err
@@ -72,8 +121,10 @@ func (syncProtocol) Run(ctx context.Context, spec Spec) (*Result, error) {
 		"two_choices_steps": float64(len(res.TwoChoicesSteps)),
 	}
 	spec.Topology.topoStats(tp, extra)
-	return convertResult(res.Outcome, res.Trajectory, res.FinalCounts,
-		float64(res.Steps), !res.Outcome.FullConsensus, extra), nil
+	out := convertResult(res.Outcome, res.Trajectory, res.FinalCounts,
+		float64(res.Steps), !res.Outcome.FullConsensus, extra)
+	out.Snapshot = captured
+	return out, nil
 }
 
 // leaderProtocol is Algorithms 2 and 3: the asynchronous protocol with a
@@ -82,15 +133,25 @@ type leaderProtocol struct{}
 
 func (leaderProtocol) Info() ProtocolInfo {
 	return ProtocolInfo{
-		Name:          "leader",
-		Family:        "generation",
-		Async:         true,
-		TopologyAware: true,
-		Description:   "asynchronous single-leader protocol (Algorithms 2-3)",
+		Name:           "leader",
+		Family:         "generation",
+		Async:          true,
+		TopologyAware:  true,
+		Checkpointable: true,
+		Description:    "asynchronous single-leader protocol (Algorithms 2-3)",
 	}
 }
 
-func (leaderProtocol) Run(ctx context.Context, spec Spec) (*Result, error) {
+func (p leaderProtocol) Run(ctx context.Context, spec Spec) (*Result, error) {
+	return p.run(ctx, spec, nil, 0)
+}
+
+// ResumeRun implements Resumer.
+func (p leaderProtocol) ResumeRun(ctx context.Context, spec Spec, state []byte, perturb uint64) (*Result, error) {
+	return p.run(ctx, spec, state, perturb)
+}
+
+func (leaderProtocol) run(ctx context.Context, spec Spec, restore []byte, perturb uint64) (*Result, error) {
 	assign, err := toInternalAssignment(spec.Assignment, spec.N, spec.K)
 	if err != nil {
 		return nil, err
@@ -103,11 +164,13 @@ func (leaderProtocol) Run(ctx context.Context, spec Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var captured *Snapshot
 	res, err := leader.Run(leader.Config{
 		N: spec.N, K: spec.K, Alpha: spec.Alpha, Assignment: assign,
 		Latency: lat, Topo: tp, MaxTime: spec.MaxTime, Seed: spec.Seed,
 		Eps: spec.Eps, RecordEvery: spec.RecordEvery,
 		Ctx: ctx, Observe: spec.observe(), DiscardTrajectory: spec.DiscardTrajectory,
+		Ckpt: engineCheckpoint("leader", spec, restore, perturb, &captured),
 	})
 	if err != nil {
 		return nil, err
@@ -119,8 +182,10 @@ func (leaderProtocol) Run(ctx context.Context, spec Spec) (*Result, error) {
 		"phases": float64(len(res.PhaseLog)),
 	}
 	spec.Topology.topoStats(tp, extra)
-	return convertResult(res.Outcome, res.Trajectory, res.FinalCounts,
-		res.EndTime, res.TimedOut, extra), nil
+	out := convertResult(res.Outcome, res.Trajectory, res.FinalCounts,
+		res.EndTime, res.TimedOut, extra)
+	out.Snapshot = captured
+	return out, nil
 }
 
 // decentralizedProtocol is Algorithms 4 and 5: clustering (§4.1) followed
@@ -129,15 +194,26 @@ type decentralizedProtocol struct{}
 
 func (decentralizedProtocol) Info() ProtocolInfo {
 	return ProtocolInfo{
-		Name:          "decentralized",
-		Family:        "generation",
-		Async:         true,
-		TopologyAware: true,
-		Description:   "fully decentralized protocol: clustering + consensus (Algorithms 4-5)",
+		Name:           "decentralized",
+		Family:         "generation",
+		Async:          true,
+		TopologyAware:  true,
+		Checkpointable: true,
+		Description:    "fully decentralized protocol: clustering + consensus (Algorithms 4-5)",
 	}
 }
 
-func (decentralizedProtocol) Run(ctx context.Context, spec Spec) (*Result, error) {
+func (p decentralizedProtocol) Run(ctx context.Context, spec Spec) (*Result, error) {
+	return p.run(ctx, spec, nil, 0)
+}
+
+// ResumeRun implements Resumer. The snapshot embeds the finished
+// clustering, so the resumed run skips formation entirely.
+func (p decentralizedProtocol) ResumeRun(ctx context.Context, spec Spec, state []byte, perturb uint64) (*Result, error) {
+	return p.run(ctx, spec, state, perturb)
+}
+
+func (decentralizedProtocol) run(ctx context.Context, spec Spec, restore []byte, perturb uint64) (*Result, error) {
 	assign, err := toInternalAssignment(spec.Assignment, spec.N, spec.K)
 	if err != nil {
 		return nil, err
@@ -150,11 +226,13 @@ func (decentralizedProtocol) Run(ctx context.Context, spec Spec) (*Result, error
 	if err != nil {
 		return nil, err
 	}
+	var captured *Snapshot
 	c := noleader.Config{
 		N: spec.N, K: spec.K, Alpha: spec.Alpha, Assignment: assign,
 		Latency: lat, Topo: tp, MaxTime: spec.MaxTime, Seed: spec.Seed,
 		Eps: spec.Eps, RecordEvery: spec.RecordEvery,
 		Ctx: ctx, Observe: spec.observe(), DiscardTrajectory: spec.DiscardTrajectory,
+		Ckpt: engineCheckpoint("decentralized", spec, restore, perturb, &captured),
 	}
 	c.Cluster.TargetSize = spec.Async.ClusterTargetSize
 	res, err := noleader.Run(c)
@@ -170,8 +248,10 @@ func (decentralizedProtocol) Run(ctx context.Context, spec Spec) (*Result, error
 		"leaders":            float64(len(res.Clustering.ParticipatingLeaders())),
 	}
 	spec.Topology.topoStats(tp, extra)
-	return convertResult(res.Outcome, res.Trajectory, res.FinalCounts,
-		res.EndTime, res.TimedOut, extra), nil
+	out := convertResult(res.Outcome, res.Trajectory, res.FinalCounts,
+		res.EndTime, res.TimedOut, extra)
+	out.Snapshot = captured
+	return out, nil
 }
 
 // baselineProtocol wraps one classical dynamics rule from the paper's
@@ -182,14 +262,24 @@ type baselineProtocol struct {
 
 func (p baselineProtocol) Info() ProtocolInfo {
 	return ProtocolInfo{
-		Name:          p.rule,
-		Family:        "baseline",
-		TopologyAware: true,
-		Description:   "classical " + p.rule + " dynamics (§1.1 related work)",
+		Name:           p.rule,
+		Family:         "baseline",
+		TopologyAware:  true,
+		Checkpointable: true,
+		Description:    "classical " + p.rule + " dynamics (§1.1 related work)",
 	}
 }
 
 func (p baselineProtocol) Run(ctx context.Context, spec Spec) (*Result, error) {
+	return p.run(ctx, spec, nil, 0)
+}
+
+// ResumeRun implements Resumer.
+func (p baselineProtocol) ResumeRun(ctx context.Context, spec Spec, state []byte, perturb uint64) (*Result, error) {
+	return p.run(ctx, spec, state, perturb)
+}
+
+func (p baselineProtocol) run(ctx context.Context, spec Spec, restore []byte, perturb uint64) (*Result, error) {
 	assign, err := toInternalAssignment(spec.Assignment, spec.N, spec.K)
 	if err != nil {
 		return nil, err
@@ -202,11 +292,13 @@ func (p baselineProtocol) Run(ctx context.Context, spec Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var captured *Snapshot
 	bcfg := baseline.Config{
 		N: spec.N, K: spec.K, Alpha: spec.Alpha, Assignment: assign,
 		MaxRounds: spec.MaxSteps, Seed: spec.Seed, Eps: spec.Eps,
 		RecordEvery: spec.recordEveryRounds(), Topo: tp,
 		Ctx: ctx, Observe: spec.observe(), DiscardTrajectory: spec.DiscardTrajectory,
+		Ckpt: engineCheckpoint(p.rule, spec, restore, perturb, &captured),
 	}
 	var res *baseline.Result
 	if spec.Baseline.Sequential {
@@ -219,6 +311,8 @@ func (p baselineProtocol) Run(ctx context.Context, spec Spec) (*Result, error) {
 	}
 	extra := map[string]float64{"rounds": float64(res.Rounds)}
 	spec.Topology.topoStats(tp, extra)
-	return convertResult(res.Outcome, res.Trajectory, res.FinalCounts,
-		float64(res.Rounds), !res.Outcome.FullConsensus, extra), nil
+	out := convertResult(res.Outcome, res.Trajectory, res.FinalCounts,
+		float64(res.Rounds), !res.Outcome.FullConsensus, extra)
+	out.Snapshot = captured
+	return out, nil
 }

@@ -29,6 +29,13 @@ type ProtocolInfo struct {
 	// externally registered protocols that ignore Spec.Topology should
 	// leave this false so listings do not overpromise.
 	TopologyAware bool
+	// Checkpointable reports that the protocol honours Spec.Checkpoint and
+	// implements Resumer, i.e. its runs can be snapshotted mid-flight and
+	// resumed bit-exactly. All built-in protocols are checkpointable;
+	// external protocols that do not implement the capability must leave
+	// this false — Run rejects checkpoint requests against them instead of
+	// silently ignoring the request.
+	Checkpointable bool
 	// Description is a one-line summary for listings.
 	Description string
 }
@@ -118,6 +125,9 @@ func Run(ctx context.Context, name string, spec Spec) (*Result, error) {
 	}
 	if err := spec.validate(); err != nil {
 		return nil, err
+	}
+	if spec.Checkpoint.SnapshotAt > 0 && !p.Info().Checkpointable {
+		return nil, fmt.Errorf("%w: %q", ErrNoCheckpoint, name)
 	}
 	return p.Run(ctx, spec)
 }

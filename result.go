@@ -48,6 +48,11 @@ type Result struct {
 	// time unit), "events" (simulator events), "clustering_time",
 	// "participating_frac", "gstar", "generations".
 	Stats map[string]float64
+	// Snapshot holds the mid-run state capture requested via
+	// Spec.Checkpoint; nil when none was requested or the run ended before
+	// reaching SnapshotAt. It is excluded from JSON output — snapshots are
+	// exported explicitly through Snapshot.Encode.
+	Snapshot *Snapshot `json:"-"`
 }
 
 // String renders a one-line summary.

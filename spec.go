@@ -57,13 +57,19 @@ type Spec struct {
 	// Observer, when non-nil, receives every trajectory snapshot as it is
 	// recorded — the streaming alternative to Result.Trajectory. Under
 	// RunMany or Sweep the same Observer serves concurrent runs and must
-	// be safe for concurrent use.
-	Observer Observer
+	// be safe for concurrent use. Runtime-only: it is not serialized into
+	// checkpoint metadata (re-attach one via ResumeOptions.Observer).
+	Observer Observer `json:"-"`
 	// DiscardTrajectory leaves Result.Trajectory empty so recording costs
 	// O(1) memory instead of O(steps); the outcome (winner, hitting
 	// times) is evaluated incrementally and is unaffected. Combine with
 	// Observer to consume snapshots without accumulating them.
 	DiscardTrajectory bool
+	// Checkpoint requests a mid-run state snapshot (see CheckpointSpec);
+	// the zero value disables it. Snapshots capture the complete simulator
+	// state and resume bit-exactly through Resume. Only checkpointable
+	// protocols accept it (ProtocolInfo.Checkpointable; all built-ins are).
+	Checkpoint CheckpointSpec
 	// Sync holds the synchronous protocol's knobs.
 	Sync SyncOptions
 	// Async holds the asynchronous protocols' knobs.
@@ -157,6 +163,9 @@ func (s *Spec) validate() error {
 	// failing here, before any replication starts, is worth the rebuild.
 	if _, err := s.Topology.build(s.N, s.Seed); err != nil {
 		return err
+	}
+	if at := s.Checkpoint.SnapshotAt; at < 0 || math.IsNaN(at) || math.IsInf(at, 0) {
+		return fmt.Errorf("plurality: invalid Checkpoint.SnapshotAt %v", at)
 	}
 	if g := s.Sync.Gamma; g != 0 && (g <= 0 || g >= 1 || math.IsNaN(g)) {
 		return fmt.Errorf("plurality: Sync.Gamma %v outside (0, 1)", g)

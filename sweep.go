@@ -97,6 +97,16 @@ type SweepConfig struct {
 	// with full consensus), eps_time (when ε-convergence was reached) and
 	// consensus_time (when full consensus was reached).
 	Metrics func(*Result) map[string]float64
+	// WarmStart, when non-nil, turns the sweep into a warm-started
+	// replication study: instead of running cells from scratch, every
+	// replication resumes this shared prefix snapshot — replication 0 as
+	// the bit-exact continuation, replication r > 0 with divergence label
+	// r (ResumeOptions.Perturb) — so the common prefix is simulated once
+	// and only the futures fan out. Protocol and Base are taken from the
+	// snapshot; the structural axes (Ns, Ks, Alphas, Topologies) must be
+	// empty, because a snapshot freezes N, K, the assignment and the
+	// graph.
+	WarmStart *Snapshot
 }
 
 // SweepCell is one grid point's aggregated outcome.
@@ -148,17 +158,69 @@ func StandardMetrics(res *Result) map[string]float64 {
 	return m
 }
 
+// sweepWarmStart is the WarmStart arm of Sweep: one cell, frozen at the
+// snapshot's structural parameters, whose replications resume the shared
+// prefix with distinct divergence labels instead of running from scratch.
+func sweepWarmStart(ctx context.Context, cfg SweepConfig, metricFn func(*Result) map[string]float64, order []string, reps int) (*SweepResult, error) {
+	if len(cfg.Ns)+len(cfg.Ks)+len(cfg.Alphas)+len(cfg.Topologies) > 0 {
+		return nil, fmt.Errorf("plurality: warm-start sweeps cannot vary Ns/Ks/Alphas/Topologies — the snapshot freezes them; vary only Reps")
+	}
+	meta := cfg.WarmStart.Meta()
+	if cfg.Protocol != "" && cfg.Protocol != meta.Protocol {
+		return nil, fmt.Errorf("plurality: sweep protocol %q != snapshot protocol %q", cfg.Protocol, meta.Protocol)
+	}
+	spec := meta.Spec
+	measurements := make([]map[string]float64, reps)
+	err := harness.ForEachWorkers(ctx, reps, cfg.Workers,
+		func(rctx context.Context, rep int) error {
+			res, err := Resume(rctx, cfg.WarmStart, &ResumeOptions{Perturb: uint64(rep)})
+			if err != nil {
+				return err
+			}
+			measurements[rep] = metricFn(res)
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := &SweepResult{
+		Protocol: meta.Protocol,
+		table: harness.NewTable(fmt.Sprintf("warm-start sweep: %s from t=%g", meta.Protocol, meta.Time),
+			[]string{"n", "k", "alpha"}, order),
+	}
+	agg := make(map[string]*stats.Summary)
+	for _, m := range measurements {
+		for name, v := range m {
+			s, ok := agg[name]
+			if !ok {
+				s = &stats.Summary{}
+				agg[name] = s
+			}
+			s.Add(v)
+		}
+	}
+	out.table.Append(map[string]float64{
+		"n": float64(spec.N), "k": float64(spec.K), "alpha": spec.Alpha,
+	}, agg)
+	cell := SweepCell{N: spec.N, K: spec.K, Alpha: spec.Alpha,
+		Topology: spec.Topology.ResolvedLabel(spec.N),
+		Metrics:  make(map[string]Summary, len(agg))}
+	for name, s := range agg {
+		cell.Metrics[name] = summarize(s)
+	}
+	out.Cells = append(out.Cells, cell)
+	return out, nil
+}
+
 // Sweep runs one protocol across the factor grid of cfg, replicating every
 // grid point with distinct seeds in parallel, and aggregates the metrics
 // per cell. It stops at the first error — including ctx cancellation, which
-// every underlying run honours promptly.
+// every underlying run honours promptly. With WarmStart set, the sweep
+// instead resumes a shared prefix snapshot per replication (see
+// SweepConfig.WarmStart).
 func Sweep(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
-	}
-	p, err := Lookup(cfg.Protocol)
-	if err != nil {
-		return nil, err
 	}
 	reps := cfg.Reps
 	if reps <= 0 {
@@ -169,6 +231,13 @@ func Sweep(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
 	if metricFn == nil {
 		metricFn = StandardMetrics
 		order = []string{"duration", "eps_time", "consensus_time", "plurality_won"}
+	}
+	if cfg.WarmStart != nil {
+		return sweepWarmStart(ctx, cfg, metricFn, order, reps)
+	}
+	p, err := Lookup(cfg.Protocol)
+	if err != nil {
+		return nil, err
 	}
 	ns := cfg.Ns
 	if len(ns) == 0 {
