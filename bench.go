@@ -15,8 +15,10 @@ import (
 // (rounds × n) for round-based ones, so events/sec is comparable across a
 // protocol's own history but not across protocol families.
 type BenchReport struct {
-	// Protocol, N, K, Alpha and Seed identify the benchmarked instance.
+	// Protocol, Topology, N, K, Alpha and Seed identify the benchmarked
+	// instance.
 	Protocol string  `json:"protocol"`
+	Topology string  `json:"topology"`
 	N        int     `json:"n"`
 	K        int     `json:"k"`
 	Alpha    float64 `json:"alpha"`
@@ -177,6 +179,7 @@ func benchRun(ctx context.Context, name string, spec Spec, reps, workers int,
 	}
 	rep := &BenchReport{
 		Protocol:      name,
+		Topology:      spec.Topology.ResolvedLabel(spec.N),
 		N:             spec.N,
 		K:             spec.K,
 		Alpha:         spec.Alpha,

@@ -16,6 +16,8 @@
 //	plurality -protocol leader -n 100000 -checkpoint run.snap -checkpoint-at 8 -checkpoint-halt
 //	plurality -resume run.snap
 //	plurality -resume run.snap -perturb 3 -max-time 500
+//	plurality -bench -bench-protocol sync -n 1000000 -k 4 -alpha 2
+//	plurality -bench -bench-protocol 3-majority -n 100000 -topology torus
 //
 // Protocols: everything listed by plurality.Protocols() — sync, leader,
 // decentralized, and the four baseline dynamics. Topologies: everything
@@ -75,11 +77,12 @@ func main() {
 		quiet       = flag.Bool("q", false, "print only the outcome line")
 		jsonOut     = flag.Bool("json", false, "emit the run as one JSON object on stdout (for analysis scripts); with -stream the object omits the trajectory")
 
-		bench        = flag.Bool("bench", false, "benchmark mode: run with O(1) recording and emit a throughput report (events/sec, allocs, peak heap) as JSON on stdout")
-		benchReps    = flag.Int("bench-reps", 1, "with -bench: replications to run through the parallel batch layer")
-		benchWorkers = flag.Int("bench-workers", 0, "with -bench: worker bound for the batch layer; 0 means GOMAXPROCS")
-		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		bench         = flag.Bool("bench", false, "benchmark mode: run with O(1) recording and emit a throughput report (events/sec, allocs, peak heap) as JSON on stdout")
+		benchProtocol = flag.String("bench-protocol", "", "with -bench: protocol to benchmark, overriding -protocol; every registered protocol (sync, decentralized, the baselines) is benchmarkable")
+		benchReps     = flag.Int("bench-reps", 1, "with -bench: replications to run through the parallel batch layer")
+		benchWorkers  = flag.Int("bench-workers", 0, "with -bench: worker bound for the batch layer; 0 means GOMAXPROCS")
+		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile    = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 
 		checkpointPath = flag.String("checkpoint", "", "write a snapshot blob to this file (plus a .json metadata sidecar); requires -checkpoint-at")
 		checkpointAt   = flag.Float64("checkpoint-at", 0, "virtual time (or round) to capture the snapshot at")
@@ -167,12 +170,16 @@ func main() {
 	topoLabel := spec.Topology.ResolvedLabel(*n)
 
 	if *bench {
+		name := *protocol
+		if *benchProtocol != "" {
+			name = *benchProtocol
+		}
 		var rep *plurality.BenchReport
 		var err error
 		if *benchReps > 1 {
-			rep, err = plurality.BenchBatch(ctx, *protocol, spec, *benchReps, *benchWorkers)
+			rep, err = plurality.BenchBatch(ctx, name, spec, *benchReps, *benchWorkers)
 		} else {
-			rep, err = plurality.Bench(ctx, *protocol, spec)
+			rep, err = plurality.Bench(ctx, name, spec)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

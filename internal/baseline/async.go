@@ -6,6 +6,7 @@ import (
 	"plurality/internal/metrics"
 	"plurality/internal/opinion"
 	"plurality/internal/sim"
+	"plurality/internal/topo"
 	"plurality/internal/xrand"
 )
 
@@ -37,6 +38,8 @@ type poissonState struct {
 	sm       *sim.Simulator
 	clocks   *sim.Clocks
 	tickFn   func(int)
+	bs       topo.BatchSampler // cfg.Topo's bulk path, resolved once
+	scratch  *topo.Scratch     // batch-sampling buffers (per-worker under RunBatch)
 	lat      sim.Latency
 	smp      *xrand.RNG
 	latR     *xrand.RNG
@@ -45,7 +48,7 @@ type poissonState struct {
 	locked    []bool
 	counts    opinion.Counts
 	undecided int
-	scratch   [3]opinion.Opinion // rule.Samples() <= 3 for every built-in rule
+	opBuf     [3]opinion.Opinion // rule.Samples() <= 3 for every built-in rule
 
 	mono   bool
 	monoAt float64
@@ -132,8 +135,13 @@ func (ps *poissonState) tick(v int) {
 	}
 	ps.locked[v] = true
 	var t [3]int32
-	for i := 0; i < ps.nSamples; i++ {
-		t[i] = int32(ps.cfg.Topo.SampleNeighbor(ps.smp, v))
+	if ps.nSamples > 0 {
+		vs, out := ps.scratch.Buffers(ps.nSamples)
+		for i := range vs {
+			vs[i] = int32(v)
+		}
+		ps.bs.SampleNeighbors(ps.smp, vs, out)
+		copy(t[:], out)
 	}
 	d := 0.0
 	for i := 0; i < ps.nSamples; i++ {
@@ -149,9 +157,9 @@ func (ps *poissonState) complete(v int, a, b, c int32) {
 	}
 	t := [3]int32{a, b, c}
 	for i := 0; i < ps.nSamples; i++ {
-		ps.scratch[i] = ps.cols[t[i]]
+		ps.opBuf[i] = ps.cols[t[i]]
 	}
-	ps.setNode(v, ps.rule.Update(ps.cols[v], ps.scratch[:ps.nSamples]))
+	ps.setNode(v, ps.rule.Update(ps.cols[v], ps.opBuf[:ps.nSamples]))
 }
 
 // RunPoisson drives a rule under the paper's asynchronous communication
@@ -184,6 +192,8 @@ func RunPoisson(rule Rule, cfg Config, lat sim.Latency) (*Result, error) {
 		rule:     rule,
 		nSamples: rule.Samples(),
 		sm:       sm,
+		bs:       topo.Batch(cfg.Topo),
+		scratch:  cfg.scratch(),
 		lat:      lat,
 		smp:      root.SplitNamed("sampling"),
 		latR:     root.SplitNamed("latency"),

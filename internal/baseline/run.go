@@ -46,6 +46,19 @@ type Config struct {
 	// time axis of the respective Result. See snap.Checkpoint for the
 	// semantics shared by every engine.
 	Ckpt *snap.Checkpoint
+	// Scratch optionally supplies reusable batch-sampling buffers; nil
+	// allocates run-local ones. The public batch layer passes one per
+	// worker so replications sharing a worker share buffers.
+	Scratch *topo.Scratch
+}
+
+// scratch returns the configured sampling workspace, defaulting a
+// run-local one.
+func (cfg *Config) scratch() *topo.Scratch {
+	if cfg.Scratch == nil {
+		cfg.Scratch = &topo.Scratch{}
+	}
+	return cfg.Scratch
 }
 
 // cancelled reports whether the config's context has been cancelled.
@@ -163,16 +176,40 @@ func RunSync(rule Rule, cfg Config) (*Result, error) {
 		record(0)
 	}
 	captured := false
-	samples := make([]opinion.Opinion, rule.Samples())
+	nSamples := rule.Samples()
+	samples := make([]opinion.Opinion, nSamples)
+	bs := topo.Batch(cfg.Topo)
+	sc := cfg.scratch()
+	// Nodes per batch-draw chunk: all of a chunk's sample draws go through
+	// one SampleNeighbors call, consuming the stream exactly as the
+	// historical per-node scalar loop.
+	chunk := 2048
+	if nSamples > 0 {
+		chunk = 4096 / nSamples
+	}
 	for round := startRound; round <= cfg.MaxRounds; round++ {
 		if cfg.cancelled() {
 			return nil, cfg.Ctx.Err()
 		}
-		for v := 0; v < cfg.N; v++ {
-			for i := range samples {
-				samples[i] = cols[cfg.Topo.SampleNeighbor(stepRNG, v)]
+		for base := 0; base < cfg.N; base += chunk {
+			m := chunk
+			if base+m > cfg.N {
+				m = cfg.N - base
 			}
-			next[v] = rule.Update(cols[v], samples)
+			vs, out := sc.Buffers(m * nSamples)
+			for i := 0; i < m; i++ {
+				for s := 0; s < nSamples; s++ {
+					vs[i*nSamples+s] = int32(base + i)
+				}
+			}
+			bs.SampleNeighbors(stepRNG, vs, out)
+			for i := 0; i < m; i++ {
+				v := base + i
+				for s := 0; s < nSamples; s++ {
+					samples[s] = cols[out[i*nSamples+s]]
+				}
+				next[v] = rule.Update(cols[v], samples)
+			}
 		}
 		cols, next = next, cols
 		res.Rounds = round
@@ -228,15 +265,26 @@ func RunSequential(rule Rule, cfg Config) (*Result, error) {
 		record(0)
 	}
 	captured := false
-	samples := make([]opinion.Opinion, rule.Samples())
+	nSamples := rule.Samples()
+	samples := make([]opinion.Opinion, nSamples)
+	bs := topo.Batch(cfg.Topo)
+	sc := cfg.scratch()
 	maxInteractions := cfg.MaxRounds * cfg.N
 	for it := startIt; it <= maxInteractions; it++ {
 		if it%cfg.N == 0 && cfg.cancelled() {
 			return nil, cfg.Ctx.Err()
 		}
+		// The activated node's draw and its own update feed the next
+		// interaction's reads, so batching stops at the interaction
+		// boundary: one bulk call for the S sample draws.
 		v := stepRNG.Intn(cfg.N)
+		vs, out := sc.Buffers(nSamples)
+		for i := range vs {
+			vs[i] = int32(v)
+		}
+		bs.SampleNeighbors(stepRNG, vs, out)
 		for i := range samples {
-			samples[i] = cols[cfg.Topo.SampleNeighbor(stepRNG, v)]
+			samples[i] = cols[out[i]]
 		}
 		cols[v] = rule.Update(cols[v], samples)
 		done := false

@@ -105,6 +105,10 @@ type Config struct {
 	// DiscardTrajectory leaves Result.Trajectory empty, keeping O(1)
 	// recording memory; the Outcome is evaluated incrementally instead.
 	DiscardTrajectory bool
+	// Scratch optionally supplies reusable batch-sampling buffers; nil
+	// allocates run-local ones. The public batch layer passes one per
+	// worker so replications sharing a worker share buffers.
+	Scratch *topo.Scratch
 }
 
 func (cfg *Config) normalize() error {

@@ -8,6 +8,7 @@ import (
 	"plurality/internal/metrics"
 	"plurality/internal/opinion"
 	"plurality/internal/sim"
+	"plurality/internal/topo"
 	"plurality/internal/xrand"
 )
 
@@ -101,13 +102,15 @@ const (
 
 // runState bundles the mutable simulation state of one run.
 type runState struct {
-	cfg    Config
-	sm     *sim.Simulator
-	clocks *sim.Clocks
-	tickFn func(int) // rs.tick bound once so Fire calls allocate nothing
-	lat    sim.Latency
-	tickR  *xrand.RNG // sampling randomness (targets)
-	latR   *xrand.RNG // latency randomness
+	cfg     Config
+	sm      *sim.Simulator
+	clocks  *sim.Clocks
+	tickFn  func(int)         // rs.tick bound once so Fire calls allocate nothing
+	bs      topo.BatchSampler // cfg.Topo's bulk path, resolved once
+	scratch *topo.Scratch     // batch-sampling buffers (per-worker under RunBatch)
+	lat     sim.Latency
+	tickR   *xrand.RNG // sampling randomness (targets)
+	latR    *xrand.RNG // latency randomness
 
 	cols   []opinion.Opinion
 	gens   []int32
@@ -189,9 +192,15 @@ func Run(cfg Config) (*Result, error) {
 		maxTime = 16*float64(gStar)*perGen + 30*cfg.C1*math.Log2(float64(cfg.N))
 	}
 
+	scratch := cfg.Scratch
+	if scratch == nil {
+		scratch = &topo.Scratch{}
+	}
 	rs := &runState{
 		cfg:        cfg,
 		sm:         sim.New(),
+		bs:         topo.Batch(cfg.Topo),
+		scratch:    scratch,
 		lat:        cfg.Latency,
 		tickR:      root.SplitNamed("ticks"),
 		latR:       root.SplitNamed("latency"),
@@ -366,12 +375,14 @@ func (rs *runState) tick(v int) {
 	}
 	rs.locked[v] = true
 	// Lines 3-4: dial v', v'' in parallel, then the leader. Targets are
-	// chosen now; states are read when all channels are up.
-	a := rs.cfg.Topo.SampleNeighbor(rs.tickR, v)
-	b := rs.cfg.Topo.SampleNeighbor(rs.tickR, v)
+	// chosen now through the topology's bulk path (draw-for-draw identical
+	// to two scalar samples); states are read when all channels are up.
+	vs, out := rs.scratch.Buffers(2)
+	vs[0], vs[1] = int32(v), int32(v)
+	rs.bs.SampleNeighbors(rs.tickR, vs, out)
 	d := math.Max(rs.lat.Sample(rs.latR), rs.lat.Sample(rs.latR)) +
 		rs.lat.Sample(rs.latR)
-	rs.sm.ScheduleAfter(d, sim.Event{Kind: evComplete, Node: int32(v), A: int32(a), B: int32(b)})
+	rs.sm.ScheduleAfter(d, sim.Event{Kind: evComplete, Node: int32(v), A: out[0], B: out[1]})
 }
 
 // complete handles the established channels of node v (Algorithm 2 lines

@@ -86,6 +86,10 @@ type Config struct {
 	// clustering, so a restored run skips formation entirely. See
 	// snap.Checkpoint for the semantics shared by every engine.
 	Ckpt *snap.Checkpoint
+	// Scratch optionally supplies reusable batch-sampling buffers; nil
+	// allocates run-local ones. The public batch layer passes one per
+	// worker so replications sharing a worker share buffers.
+	Scratch *topo.Scratch
 }
 
 func (cfg *Config) normalize() error {

@@ -10,6 +10,7 @@ import (
 	"plurality/internal/opinion"
 	"plurality/internal/sim"
 	"plurality/internal/snap"
+	"plurality/internal/topo"
 	"plurality/internal/xrand"
 )
 
@@ -151,10 +152,16 @@ func Run(cfg Config) (*Result, error) {
 		maxTime = 6*float64(gStar)*perGen + 20*cfg.C1*math.Log2(float64(cfg.N))
 	}
 
+	scratch := cfg.Scratch
+	if scratch == nil {
+		scratch = &topo.Scratch{}
+	}
 	rs := &consensusState{
 		cfg:       cfg,
 		cl:        cl,
 		sm:        sim.New(),
+		bs:        topo.Batch(cfg.Topo),
+		scratch:   scratch,
 		smp:       root.SplitNamed("sampling"),
 		latR:      root.SplitNamed("latency"),
 		cols:      cols,

@@ -7,6 +7,7 @@ import (
 	"plurality/internal/metrics"
 	"plurality/internal/opinion"
 	"plurality/internal/sim"
+	"plurality/internal/topo"
 	"plurality/internal/xrand"
 )
 
@@ -35,13 +36,15 @@ const (
 // participating leader, addressed through leaderIdx — so the hot signal
 // path is pure slice arithmetic with no map lookups or pointer chasing.
 type consensusState struct {
-	cfg    Config
-	cl     *cluster.Clustering
-	sm     *sim.Simulator
-	clocks *sim.Clocks
-	tickFn func(int) // rs.tick bound once so Fire calls allocate nothing
-	smp    *xrand.RNG
-	latR   *xrand.RNG
+	cfg     Config
+	cl      *cluster.Clustering
+	sm      *sim.Simulator
+	clocks  *sim.Clocks
+	tickFn  func(int)         // rs.tick bound once so Fire calls allocate nothing
+	bs      topo.BatchSampler // cfg.Topo's bulk path, resolved once
+	scratch *topo.Scratch     // batch-sampling buffers (per-worker under RunBatch)
+	smp     *xrand.RNG
+	latR    *xrand.RNG
 
 	cols     []opinion.Opinion
 	gens     []int32
@@ -292,17 +295,19 @@ func (rs *consensusState) tick(v int) {
 	}
 	rs.locked[v] = true
 
-	// Sample v1, v2, v3 now; their states are read at channel completion.
-	v1 := rs.cfg.Topo.SampleNeighbor(rs.smp, v)
-	v2 := rs.cfg.Topo.SampleNeighbor(rs.smp, v)
-	v3 := rs.cfg.Topo.SampleNeighbor(rs.smp, v)
+	// Sample v1, v2, v3 now through the topology's bulk path (draw-for-draw
+	// identical to three scalar samples); their states are read at channel
+	// completion.
+	vs, out := rs.scratch.Buffers(3)
+	vs[0], vs[1], vs[2] = int32(v), int32(v), int32(v)
+	rs.bs.SampleNeighbors(rs.smp, vs, out)
 	// Accumulated latency: three contacts in parallel, then own leader and
 	// v3's leader in parallel (§4.3).
 	lat := rs.cfg.Latency
 	three := math.Max(lat.Sample(rs.latR), math.Max(lat.Sample(rs.latR), lat.Sample(rs.latR)))
 	two := math.Max(lat.Sample(rs.latR), lat.Sample(rs.latR))
 	rs.sm.ScheduleAfter(three+two,
-		sim.Event{Kind: evComplete, Node: int32(v), A: int32(v1), B: int32(v2), C: int32(v3)})
+		sim.Event{Kind: evComplete, Node: int32(v), A: out[0], B: out[1], C: out[2]})
 }
 
 // complete handles node v's established channels (Algorithm 4 lines 5-21).

@@ -63,6 +63,10 @@ type Config struct {
 	// and/or resumes from one; nil disables checkpointing. See
 	// snap.Checkpoint for the semantics shared by every engine.
 	Ckpt *snap.Checkpoint
+	// Scratch optionally supplies reusable batch-sampling buffers; nil
+	// allocates run-local ones. The public batch layer passes one per
+	// worker so replications sharing a worker share buffers.
+	Scratch *topo.Scratch
 }
 
 // GenEvent records the birth and establishment of one generation, the raw
@@ -177,7 +181,8 @@ func Run(cfg Config) (*Result, error) {
 		eps = 1 / (l2 * l2)
 	}
 
-	st := newState(cols, cfg.K, gStar)
+	st := newState(cols, cfg.K, gStar, cfg.Scratch)
+	bs := topo.Batch(cfg.Topo)
 	res := &Result{InitialPlurality: opinion.Opinion(plurality)}
 	rec := metrics.NewRecorder(eps, cfg.DiscardTrajectory, cfg.Observe)
 	record := func(step int) {
@@ -224,7 +229,7 @@ func Run(cfg Config) (*Result, error) {
 		if twoChoices {
 			res.TwoChoicesSteps = append(res.TwoChoicesSteps, step)
 		}
-		st.step(stepRNG, cfg.Topo, twoChoices)
+		st.step(stepRNG, bs, twoChoices)
 		st.noteGenerations(step, cfg.Gamma, res)
 		done := st.monochromatic()
 		if step%cfg.RecordEvery == 0 || done {

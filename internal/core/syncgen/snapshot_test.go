@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"plurality/internal/snap"
+	"plurality/internal/topo"
 )
 
 // TestCheckpointRoundtrip pins the synchronous engine's checkpoint
@@ -79,5 +80,56 @@ func TestCheckpointTheoreticalSchedule(t *testing.T) {
 	}
 	if !reflect.DeepEqual(res, plain) {
 		t.Error("resumed theoretical-schedule run differs from uninterrupted run")
+	}
+}
+
+// TestCheckpointScratchIndependence pins that the batch-sampling scratch
+// buffers are pure workspace, not run state: a snapshot captured mid-run
+// between step batches resumes bit-identically no matter which Scratch the
+// resuming run is handed — a fresh one, a shared per-worker one that other
+// replications have already dirtied, or none at all. This is the invariant
+// that lets harness.RunBatch thread one Scratch per worker without
+// serializing it into checkpoint blobs.
+func TestCheckpointScratchIndependence(t *testing.T) {
+	shared := &topo.Scratch{}
+	base := Config{N: 500, K: 4, Alpha: 2, Seed: 99, Scratch: shared}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var blob []byte
+	ckpt := base
+	ckpt.Ckpt = &snap.Checkpoint{
+		At:   float64(plain.Steps) / 2,
+		Halt: true,
+		Sink: func(state []byte, _ float64, _ uint64) { blob = append([]byte(nil), state...) },
+	}
+	if _, err := Run(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if blob == nil {
+		t.Fatal("no snapshot captured")
+	}
+
+	// Dirty the shared scratch the way a sibling replication on the same
+	// worker would, then resume with it, with a fresh one, and with none.
+	vs, out := shared.Buffers(4 * stepChunk)
+	for i := range vs {
+		vs[i], out[i] = int32(i), int32(^i)
+	}
+	for name, sc := range map[string]*topo.Scratch{
+		"dirty-shared": shared, "fresh": new(topo.Scratch), "nil": nil,
+	} {
+		resumed := base
+		resumed.Scratch = sc
+		resumed.Ckpt = &snap.Checkpoint{Restore: blob}
+		res, err := Run(resumed)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(res, plain) {
+			t.Errorf("%s: resumed result differs from uninterrupted run", name)
+		}
 	}
 }

@@ -8,6 +8,12 @@ import (
 	"plurality/internal/xrand"
 )
 
+// stepChunk is the number of nodes whose partner pairs are batch-drawn at
+// a time: 2·stepChunk draws per SampleNeighbors call, sized so the (vs,
+// out) scratch stays cache-resident (32 KiB) while the per-call dispatch
+// cost is fully amortized.
+const stepChunk = 2048
+
 // state holds the full synchronous configuration plus incremental
 // per-generation color tallies, so per-step bookkeeping stays O(n) and
 // generation statistics are O(1) to read.
@@ -21,10 +27,14 @@ type state struct {
 	genCol  [][]int // genCol[g][c]: nodes of generation g with color c
 	genSize []int
 	maxGen  int
+	scratch *topo.Scratch // batch-sampling buffers (per-worker under RunBatch)
 }
 
-func newState(cols []opinion.Opinion, k, gStar int) *state {
+func newState(cols []opinion.Opinion, k, gStar int, scratch *topo.Scratch) *state {
 	n := len(cols)
+	if scratch == nil {
+		scratch = &topo.Scratch{}
+	}
 	st := &state{
 		n:       n,
 		k:       k,
@@ -35,6 +45,7 @@ func newState(cols []opinion.Opinion, k, gStar int) *state {
 		nextG:   make([]int32, n),
 		genCol:  make([][]int, gStar+1),
 		genSize: make([]int, gStar+1),
+		scratch: scratch,
 	}
 	for g := range st.genCol {
 		st.genCol[g] = make([]int, k)
@@ -46,52 +57,68 @@ func newState(cols []opinion.Opinion, k, gStar int) *state {
 	return st
 }
 
-// step executes one synchronous round of Algorithm 1: every node samples two
-// neighbors in tp from the *previous* configuration and applies the
-// two-choices rule (when enabled) or the propagation rule.
-func (st *state) step(r *xrand.RNG, tp topo.Sampler, twoChoices bool) {
+// step executes one synchronous round of Algorithm 1 as a staged pipeline:
+// all partner pairs of a chunk of nodes are batch-drawn first (consuming
+// the RNG stream exactly as the historical per-node scalar draws — a, b
+// for node 0, then node 1, … — so golden digests are unaffected), then the
+// two-choices/propagation rules are applied against the *previous*
+// configuration with per-generation tally deltas instead of a full
+// retally.
+func (st *state) step(r *xrand.RNG, tp topo.BatchSampler, twoChoices bool) {
 	n := st.n
-	for v := 0; v < n; v++ {
-		a := tp.SampleNeighbor(r, v)
-		b := tp.SampleNeighbor(r, v)
-		// wlog gen(a) >= gen(b) (Algorithm 1 line 2).
-		if st.gens[a] < st.gens[b] {
-			a, b = b, a
+	for base := 0; base < n; base += stepChunk {
+		m := stepChunk
+		if base+m > n {
+			m = n - base
 		}
-		col, gen := st.cols[v], st.gens[v]
-		switch {
-		case twoChoices &&
-			st.gens[a] == st.gens[b] && gen <= st.gens[a] &&
-			int(st.gens[a]) < st.gCap &&
-			st.cols[a] == st.cols[b]:
-			// Two-choices promotion (line 3-5).
-			gen = st.gens[a] + 1
-			col = st.cols[a]
-		case st.gens[a] > gen:
-			// Propagation (line 6-8).
-			gen = st.gens[a]
-			col = st.cols[a]
+		vs, out := st.scratch.Buffers(2 * m)
+		for i := 0; i < m; i++ {
+			v := int32(base + i)
+			vs[2*i] = v
+			vs[2*i+1] = v
 		}
-		st.next[v] = col
-		st.nextG[v] = gen
+		tp.SampleNeighbors(r, vs, out)
+		for i := 0; i < m; i++ {
+			v := base + i
+			a, b := int(out[2*i]), int(out[2*i+1])
+			// wlog gen(a) >= gen(b) (Algorithm 1 line 2).
+			if st.gens[a] < st.gens[b] {
+				a, b = b, a
+			}
+			col, gen := st.cols[v], st.gens[v]
+			switch {
+			case twoChoices &&
+				st.gens[a] == st.gens[b] && gen <= st.gens[a] &&
+				int(st.gens[a]) < st.gCap &&
+				st.cols[a] == st.cols[b]:
+				// Two-choices promotion (line 3-5).
+				gen = st.gens[a] + 1
+				col = st.cols[a]
+			case st.gens[a] > gen:
+				// Propagation (line 6-8).
+				gen = st.gens[a]
+				col = st.cols[a]
+			}
+			st.next[v] = col
+			st.nextG[v] = gen
+		}
 	}
-	// Commit and retally.
+	// Commit, folding the change of every node into the generation tallies.
+	// Node generations are monotone under both rules, so maxGen only moves
+	// up and the deltas replace the historical full zero-and-recount pass.
 	st.cols, st.next = st.next, st.cols
 	st.gens, st.nextG = st.nextG, st.gens
-	for g := range st.genCol {
-		st.genSize[g] = 0
-		row := st.genCol[g]
-		for c := range row {
-			row[c] = 0
-		}
-	}
-	st.maxGen = 0
 	for v := 0; v < n; v++ {
-		g := int(st.gens[v])
-		st.genCol[g][st.cols[v]]++
-		st.genSize[g]++
-		if g > st.maxGen {
-			st.maxGen = g
+		oc, og := st.next[v], st.nextG[v] // previous configuration after swap
+		c, g := st.cols[v], st.gens[v]
+		if c != oc || g != og {
+			st.genCol[og][oc]--
+			st.genSize[og]--
+			st.genCol[g][c]++
+			st.genSize[g]++
+			if int(g) > st.maxGen {
+				st.maxGen = int(g)
+			}
 		}
 	}
 }

@@ -287,14 +287,57 @@ func TestScheduleKindString(t *testing.T) {
 	}
 }
 
+// BenchmarkStep measures the staged step pipeline (batch partner draws +
+// delta tallies); CI's bench-smoke job asserts 0 B/op on it under the name
+// BenchmarkSyncStep below.
 func BenchmarkStep(b *testing.B) {
 	r := xrand.New(1)
 	cols := opinion.PlantedBias(10000, 8, 2, r)
-	st := newState(cols, 8, 5)
+	st := newState(cols, 8, 5, nil)
 	tp := topo.NewComplete(len(cols))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st.step(r, tp, i%10 == 0)
+	}
+}
+
+// BenchmarkSyncStep pins the batched synchronous hot loop on every
+// reference topology kind: one full n-node step per iteration, zero
+// allocations after the state warms up (asserted by CI).
+func BenchmarkSyncStep(b *testing.B) {
+	const n = 10000 // 100x100: factorable for the torus
+	mk := func(b *testing.B) map[string]topo.Sampler {
+		b.Helper()
+		ring, err := topo.NewRing(n, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		torus, err := topo.NewTorus(100, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reg, err := topo.NewRandomRegular(n, 8, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return map[string]topo.Sampler{
+			"complete": topo.NewComplete(n), "ring": ring,
+			"torus": torus, "random-regular": reg,
+		}
+	}
+	for kind, tp := range mk(b) {
+		b.Run(kind, func(b *testing.B) {
+			r := xrand.New(1)
+			cols := opinion.PlantedBias(n, 8, 2, r)
+			st := newState(cols, 8, 6, nil)
+			bs := topo.Batch(tp)
+			st.step(r, bs, false) // warm the scratch buffers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.step(r, bs, i%10 == 0)
+			}
+		})
 	}
 }
 

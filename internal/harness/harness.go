@@ -55,6 +55,19 @@ func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) err
 // its full simulator state). Results are index-addressed by the caller, so
 // the outcome is identical for every worker count.
 func ForEachWorkers(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	return ForEachWorkersScratch(ctx, n, workers, nil,
+		func(ctx context.Context, i int, _ any) error { return fn(ctx, i) })
+}
+
+// ForEachWorkersScratch is ForEachWorkers with a per-worker scratch value:
+// newScratch (nil means no scratch) runs once per worker goroutine and its
+// value is handed to every job that worker executes. Jobs on the same
+// worker run sequentially, so they may freely reuse the scratch's buffers;
+// the worker-count-invariance contract still holds as long as scratch
+// contents never influence results — which is exactly how the batch layer
+// uses it, threading reusable sampling buffers (topo.Scratch) through the
+// engines.
+func ForEachWorkersScratch(ctx context.Context, n, workers int, newScratch func() any, fn func(ctx context.Context, i int, scratch any) error) error {
 	if n <= 0 {
 		panic(fmt.Sprintf("harness: ForEach with n=%d", n))
 	}
@@ -83,8 +96,12 @@ func ForEachWorkers(ctx context.Context, n, workers int, fn func(ctx context.Con
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var scratch any
+			if newScratch != nil {
+				scratch = newScratch()
+			}
 			for i := range jobs {
-				if err := fn(ctx, i); err != nil {
+				if err := fn(ctx, i, scratch); err != nil {
 					fail(err)
 					return
 				}

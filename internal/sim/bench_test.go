@@ -30,8 +30,10 @@ func BenchmarkEventScheduling(b *testing.B) {
 	for i := 0; i < pending; i++ {
 		s.ScheduleAfter(h.rng.Exp(1), Event{Kind: 0, Node: int32(i)})
 	}
-	// Warm up so the heap slice reaches its stable capacity.
-	for i := 0; i < 4*pending; i++ {
+	// Warm up until the ladder's bucket arrays reach their stable
+	// high-water capacities (the maximum over slots drifts for a while, so
+	// this is deliberately generous).
+	for i := 0; i < 64*pending; i++ {
 		s.Step()
 	}
 	b.ReportAllocs()
@@ -74,6 +76,11 @@ func BenchmarkClocksTick(b *testing.B) {
 	s.Reserve(n + 16)
 	clocks = NewClocks(s, xrand.New(3), n, 1, 0)
 	clocks.StartAll()
+	// Warm up past the first window rebuilds so the ladder reaches its
+	// stable capacities before measurement.
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

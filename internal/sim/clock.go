@@ -48,17 +48,22 @@ func NewClocks(s *Simulator, parent *xrand.RNG, n int, rate float64, kind int32)
 	return c
 }
 
-// StartAll schedules the first tick of every clock in node order. Calling
-// it twice panics: doubled clocks silently double the tick rate,
-// corrupting the model.
+// StartAll schedules the first tick of every clock in node order, through
+// the kernel's bulk entry point (draw order and execution order are
+// identical to n sequential ScheduleAfter calls; with the event ladder
+// each insert is an O(1) bucket append, so the bulk form is a seam for
+// future batching rather than a distinct fast path). Calling it twice
+// panics: doubled clocks silently double the tick rate, corrupting the
+// model.
 func (c *Clocks) StartAll() {
 	if c.started {
 		panic("sim: clocks started twice")
 	}
 	c.started = true
-	for v := range c.rngs {
-		c.sim.ScheduleAfter(c.rngs[v].Exp(c.rate), Event{Kind: c.kind, Node: int32(v)})
-	}
+	now := c.sim.Now()
+	c.sim.ScheduleBatch(len(c.rngs), func(v int) (float64, Event) {
+		return now + c.rngs[v].Exp(c.rate), Event{Kind: c.kind, Node: int32(v)}
+	})
 }
 
 // Fire handles one popped tick event for node v: unless the clock is

@@ -13,24 +13,27 @@
 // # The (time, seq) invariant
 //
 // Every push assigns the next value of a monotone sequence counter, and the
-// heap orders by (at, seq) — a strict total order, because seq is unique.
-// Two properties follow, and everything above the kernel leans on them:
-// ties between equal-time events are broken by scheduling order (never by
-// map iteration, goroutine timing or heap layout), and the pop sequence is
-// independent of the heap's internal array arrangement — any correct binary
-// heap over the same pending set yields the same execution. The first makes
-// asynchronous runs reproducible from a seed; the second is what lets a
-// restored snapshot re-heapify its event array without changing the
-// trajectory, and what let the typed kernel rewrite be pinned byte-exact
-// against its predecessor (TestKernelGolden).
+// scheduler orders by (at, seq) — a strict total order, because seq is
+// unique. Two properties follow, and everything above the kernel leans on
+// them: ties between equal-time events are broken by scheduling order
+// (never by map iteration, goroutine timing or queue layout), and the pop
+// sequence is independent of the queue's internal arrangement — any correct
+// priority queue over the same pending set yields the same execution. The
+// first makes asynchronous runs reproducible from a seed; the second is
+// what lets a restored snapshot rebuild its pending set without changing
+// the trajectory, what let the typed kernel rewrite be pinned byte-exact
+// against its predecessor (TestKernelGolden), and what let the original
+// binary heap be replaced outright by the bucketed event ladder (see
+// Simulator) — a pure performance change.
 //
 // # Event representation
 //
 // The hot path is typed: an Event is a fixed-size record {Kind, Node, A, B,
-// C} stored by value in the scheduling heap and dispatched to the engine's
-// EventHandler, so steady-state scheduling performs zero allocations — the
-// heap slice is the only storage and it reaches a stable capacity after
-// warm-up. Closure events (At/After) remain available for cold paths; their
+// C} stored by value in the ladder's bucket slices and dispatched to the
+// engine's EventHandler, so steady-state scheduling performs zero
+// allocations — the bucket arrays are the only storage and they reach
+// stable high-water capacities after warm-up. Closure events (At/After)
+// remain available for cold paths; their
 // functions live out-of-line in a growable arena with free-list reuse, so a
 // recorder that reschedules the same function value also stops allocating
 // after the first occupancy. Cancellation is lazy: a cancelled closure
@@ -59,6 +62,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/bits"
+	"slices"
 )
 
 // Handler is a scheduled action. It runs at its scheduled virtual time; the
@@ -111,15 +116,58 @@ type Token struct {
 	gen uint32
 }
 
+// Ladder geometry: virtual time is cut into buckets of width 1/1024 (a
+// power of two, so the time→bucket mapping is exact float arithmetic) and
+// the ring covers 1024 of them — a one-time-unit window, one mean latency
+// deep. The window is a memory/scan trade: ring slots retain the capacity
+// of the fullest bucket they ever hosted, so a wider window costs
+// proportionally more steady-state memory, while events beyond the window
+// wait in the overflow list and are rescanned once per window rebuild — a
+// sequential sweep, milliseconds per simulated time unit at million-node
+// scale against seconds of pop work.
+const (
+	ladderBuckets = 1024
+	invLadderW    = 1024.0     // buckets per time unit
+	ladderW       = 1.0 / 1024 // bucket width
+	maxLadderTime = 1 << 52    // beyond this, times collapse into one far bucket
+	farBucket     = int64(1) << 62
+)
+
 // Simulator is a deterministic discrete-event scheduler over continuous
 // virtual time. The zero value is not usable; construct with New.
+//
+// # The event ladder
+//
+// Pending events live in a two-tier calendar ("ladder") rather than an
+// implicit heap: a binary heap over millions of pending events walks
+// log(n) cache-missing levels per operation and was the single largest
+// cost of million-node asynchronous runs. The ladder stores events by
+// time bucket — cur is the current bucket, sorted by (at, seq) and drained
+// sequentially; buckets is a ring of unsorted future buckets the hot path
+// appends to in O(1); overflow catches the far tail beyond the ring's
+// window and is redistributed as the window advances; near is a small
+// binary heap for late arrivals into the bucket currently draining. Because
+// bucket time ranges are disjoint and each bucket is sorted by the strict
+// total order (at, seq) before draining, the pop sequence is exactly the
+// one any correct priority queue produces — the layout is invisible to
+// everything above the kernel (TestKernelGolden, snapshot restore).
 type Simulator struct {
 	now       float64
 	seq       uint64
-	queue     []event // binary min-heap ordered by (at, seq)
 	handler   EventHandler
 	processed uint64
 	stopped   bool
+	pending   int
+
+	cur       []event   // current bucket, sorted ascending by (at, seq)
+	curPos    int       // drain position in cur
+	curIdx    int64     // absolute index of the current bucket
+	winHi     int64     // exclusive upper bucket bound of the ring window
+	near      []event   // binary min-heap: late arrivals into the current bucket
+	buckets   [][]event // ring of unsorted future buckets; absolute bucket j lives in slot j%ladderBuckets
+	inBuckets int       // events across all ring buckets
+	overflow  []event   // events at or beyond winHi
+	ovMinJ    int64     // minimum bucket index over overflow (MaxInt64 when empty)
 
 	// Closure arena: out-of-line storage for At/After functions, recycled
 	// through a free list so steady-state closure scheduling reuses slots.
@@ -130,24 +178,61 @@ type Simulator struct {
 
 // New returns an empty simulator positioned at virtual time 0.
 func New() *Simulator {
-	return &Simulator{}
+	return &Simulator{
+		buckets: make([][]event, ladderBuckets),
+		winHi:   ladderBuckets,
+		ovMinJ:  math.MaxInt64,
+	}
 }
 
 // SetHandler installs the typed-event dispatcher. It must be set before the
 // first typed event fires; closure events need no handler.
 func (s *Simulator) SetHandler(h EventHandler) { s.handler = h }
 
-// Reserve pre-sizes the event heap for at least n pending events, avoiding
-// the O(log n) incremental growth reallocations during warm-up. Engines
-// call it with a small multiple of the node count (every node keeps a tick
-// plus a bounded number of in-flight channel events queued).
+// Reserve hints the expected pending-event population. Engines call it with
+// a small multiple of the node count (every node keeps a tick plus a
+// bounded number of in-flight channel events queued); the ladder uses the
+// hint to pre-size its bucket arrays and the overflow tail, so warm-up
+// performs one allocation per tier instead of a doubling cascade. The
+// overflow carries every pending event beyond the one-time-unit ring
+// window — the majority, under mean-1 latencies — which is why it gets the
+// full hint, exactly the single array the pre-ladder binary heap reserved.
 func (s *Simulator) Reserve(n int) {
-	if cap(s.queue) >= n {
+	if cap(s.overflow) < n {
+		ov := make([]event, len(s.overflow), n)
+		copy(ov, s.overflow)
+		s.overflow = ov
+	}
+	// Per-slot occupancy fluctuates around the mean like a Poisson count,
+	// so size each bucket for mean + 4σ: without the headroom the maximum
+	// over a thousand slots keeps drifting past the mean and the ring never
+	// quite stops growing.
+	per := n / ladderBuckets
+	if per < 1 {
 		return
 	}
-	q := make([]event, len(s.queue), n)
-	copy(q, s.queue)
-	s.queue = q
+	per += 4*isqrt(per) + 8
+	for i := range s.buckets {
+		if cap(s.buckets[i]) < per {
+			b := make([]event, len(s.buckets[i]), per)
+			copy(b, s.buckets[i])
+			s.buckets[i] = b
+		}
+	}
+}
+
+// isqrt returns ⌊√n⌋ for small non-negative n (Newton iteration).
+func isqrt(n int) int {
+	if n < 2 {
+		return n
+	}
+	x := n
+	y := (x + 1) / 2
+	for y < x {
+		x = y
+		y = (x + n/x) / 2
+	}
+	return x
 }
 
 // Now returns the current virtual time.
@@ -160,7 +245,7 @@ func (s *Simulator) Processed() uint64 { return s.processed }
 
 // Pending returns the number of events currently scheduled, counting
 // cancelled-but-unpopped tombstones.
-func (s *Simulator) Pending() int { return len(s.queue) }
+func (s *Simulator) Pending() int { return s.pending }
 
 // checkTime panics on causality violations and non-finite times: the model
 // has no time travel, so such a call is always a protocol bug worth failing
@@ -174,13 +259,13 @@ func (s *Simulator) checkTime(t float64) {
 	}
 }
 
-// push appends an event and restores the heap property. This is the single
-// scheduling primitive; it allocates only when the heap slice grows.
+// push assigns the next sequence number and files the event into the
+// ladder. This is the single scheduling primitive; it allocates only when a
+// bucket's array grows past its high-water capacity.
 func (s *Simulator) push(e event) {
 	e.seq = s.seq
 	s.seq++
-	s.queue = append(s.queue, e)
-	s.siftUp(len(s.queue) - 1)
+	s.insert(e)
 }
 
 // Schedule enqueues a typed event at absolute virtual time t.
@@ -198,6 +283,18 @@ func (s *Simulator) ScheduleAfter(d float64, ev Event) {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	s.Schedule(s.now+d, ev)
+}
+
+// ScheduleBatch enqueues n typed events produced by next(0) … next(n-1) —
+// the bulk form engines use to arm a million per-node clocks at startup.
+// Sequence numbers are assigned in call order, so the execution order is
+// exactly what n sequential Schedule calls would produce (the (at, seq)
+// key is a total order; the ladder's internal layout is irrelevant).
+func (s *Simulator) ScheduleBatch(n int, next func(i int) (float64, Event)) {
+	for i := 0; i < n; i++ {
+		t, ev := next(i)
+		s.Schedule(t, ev)
+	}
 }
 
 // grabSlot stores fn in the arena and returns its slot index.
@@ -271,10 +368,10 @@ func (s *Simulator) Cancel(tok Token) bool {
 // queue is empty or the simulator has been stopped).
 func (s *Simulator) Step() bool {
 	for {
-		if s.stopped || len(s.queue) == 0 {
+		if s.stopped || !s.ensure() {
 			return false
 		}
-		e := s.pop()
+		e := s.popMin()
 		if e.kind == kindFunc {
 			fn := s.fns[e.a]
 			s.freeSlot(e.a)
@@ -331,7 +428,11 @@ func (s *Simulator) RunUntil(t float64) bool {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", t, s.now))
 	}
-	for !s.stopped && len(s.queue) > 0 && s.queue[0].at <= t {
+	for !s.stopped {
+		at, ok := s.peekAt()
+		if !ok || at > t {
+			break
+		}
 		s.Step()
 	}
 	if !s.stopped && s.now < t {
@@ -348,68 +449,274 @@ func (s *Simulator) Stop() { s.stopped = true }
 // Stopped reports whether Stop has been called.
 func (s *Simulator) Stopped() bool { return s.stopped }
 
-// --- heap primitives ---
+// --- ladder primitives ---
 //
-// A hand-rolled binary min-heap over the value-typed event slice. The
-// (at, seq) key is a strict total order — seq is unique — so the pop
-// sequence is implementation-independent: any correct heap yields the same
-// execution order, which is what the golden kernel-equivalence tests pin.
+// The (at, seq) key is a strict total order — seq is unique — so the pop
+// sequence is implementation-independent: any correct priority queue over
+// the same pending set yields the same execution order, which is what the
+// golden kernel-equivalence tests pin. The ladder exploits that freedom
+// for cache locality: scheduling is an O(1) append to one bucket tail,
+// popping is a sequential read of the sorted current bucket, and the only
+// logarithmic work left is one in-cache sort per bucket as it becomes
+// current — versus the log(pending) cache-missing level walks of an
+// implicit heap over a hundred-MB event array.
 
-// less orders events by (at, seq).
-func (s *Simulator) less(i, j int) bool {
-	if s.queue[i].at != s.queue[j].at {
-		return s.queue[i].at < s.queue[j].at
-	}
-	return s.queue[i].seq < s.queue[j].seq
+// eventLess orders events by the (at, seq) key.
+func eventLess(a, b event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
-func (s *Simulator) siftUp(i int) {
-	q := s.queue
-	e := q[i]
+// bucketOf maps a virtual time to its absolute ladder bucket. The width is
+// a power of two, so the mapping is exact float arithmetic: every t lands
+// in exactly the bucket whose [j·w, (j+1)·w) range contains it, which is
+// what makes per-bucket sorting equivalent to a global sort. Times past
+// maxLadderTime collapse into one far bucket — they still sort correctly
+// against each other when that bucket is reached (in practice: never;
+// horizons are many orders of magnitude smaller).
+func bucketOf(t float64) int64 {
+	if t >= maxLadderTime {
+		return farBucket
+	}
+	return int64(t * invLadderW)
+}
+
+// insert files an already-sequenced event into the ladder tier its time
+// belongs to: the near heap for the bucket currently draining, a ring
+// bucket inside the window, or the overflow tail.
+func (s *Simulator) insert(e event) {
+	s.pending++
+	j := bucketOf(e.at)
+	switch {
+	case j <= s.curIdx:
+		s.nearPush(e)
+	case j < s.winHi:
+		slot := int(j & (ladderBuckets - 1))
+		s.buckets[slot] = append(s.buckets[slot], e)
+		s.inBuckets++
+	default:
+		s.overflow = append(s.overflow, e)
+		if j < s.ovMinJ {
+			s.ovMinJ = j
+		}
+	}
+}
+
+// ensure advances the ladder until the earliest pending event is reachable
+// through cur or near. It reports false when no event is pending.
+//
+// The ring is swept bucket by bucket; the overflow list is consulted only
+// when the ring runs dry, which rebuilds the window over the earliest
+// overflow bucket. Because winHi never decreases and a rebuild absorbs
+// everything below the new bound, overflow events can never be overtaken
+// by ring events — the invariant overflow ⊆ [winHi, ∞) holds between
+// rebuilds.
+func (s *Simulator) ensure() bool {
+	for s.curPos >= len(s.cur) && len(s.near) == 0 {
+		if s.inBuckets == 0 {
+			if len(s.overflow) == 0 {
+				return false
+			}
+			// Window exhausted: jump it to the earliest overflow event and
+			// refile everything that now fits (one sequential sweep).
+			s.curIdx = s.ovMinJ - 1
+			s.rebuildWindow()
+			continue
+		}
+		s.curIdx++
+		slot := int(s.curIdx & (ladderBuckets - 1))
+		b := s.buckets[slot]
+		if len(b) == 0 {
+			continue
+		}
+		s.inBuckets -= len(b)
+		s.buckets[slot] = s.cur[:0] // recycle the drained array as a future bucket
+		sortEvents(b)
+		s.cur = b
+		s.curPos = 0
+	}
+	return true
+}
+
+// popMin removes and returns the earliest pending event. ensure must have
+// reported true.
+func (s *Simulator) popMin() event {
+	s.pending--
+	if len(s.near) > 0 {
+		if s.curPos >= len(s.cur) || eventLess(s.near[0], s.cur[s.curPos]) {
+			return s.nearPop()
+		}
+	}
+	e := s.cur[s.curPos]
+	s.curPos++
+	return e
+}
+
+// peekAt returns the time of the earliest pending event.
+func (s *Simulator) peekAt() (float64, bool) {
+	if !s.ensure() {
+		return 0, false
+	}
+	at := math.Inf(1)
+	if s.curPos < len(s.cur) {
+		at = s.cur[s.curPos].at
+	}
+	if len(s.near) > 0 && s.near[0].at < at {
+		at = s.near[0].at
+	}
+	return at, true
+}
+
+// rebuildWindow re-anchors the ring window right above curIdx and refiles
+// every overflow event that fits. One sequential sweep per window
+// revolution — tens of milliseconds per simulated window at million-node
+// scale, against seconds of pop work.
+func (s *Simulator) rebuildWindow() {
+	s.winHi = s.curIdx + 1 + ladderBuckets
+	kept := s.overflow[:0]
+	s.ovMinJ = math.MaxInt64
+	for _, e := range s.overflow {
+		j := bucketOf(e.at)
+		if j < s.winHi {
+			slot := int(j & (ladderBuckets - 1))
+			s.buckets[slot] = append(s.buckets[slot], e)
+			s.inBuckets++
+			continue
+		}
+		kept = append(kept, e)
+		if j < s.ovMinJ {
+			s.ovMinJ = j
+		}
+	}
+	s.overflow = kept
+}
+
+// sortEvents sorts one bucket ascending by (at, seq) before it drains —
+// the only super-constant work per event left in the scheduler. It is a
+// hand-rolled introsort so the comparator inlines (the generic library
+// sort pays an indirect call per comparison, which at millions of sorted
+// events per second was the scheduler's largest remaining cost); keys are
+// strictly distinct (seq is unique), which keeps the Hoare partition
+// simple. A depth limit delegates pathological inputs to the library sort.
+func sortEvents(b []event) {
+	if len(b) < 2 {
+		return
+	}
+	depth := 2 * bits.Len(uint(len(b)))
+	qsortEvents(b, depth)
+}
+
+func qsortEvents(b []event, depth int) {
+	for len(b) > 24 {
+		if depth == 0 {
+			slices.SortFunc(b, func(x, y event) int {
+				if eventLess(x, y) {
+					return -1
+				}
+				return 1
+			})
+			return
+		}
+		depth--
+		p := partitionEvents(b)
+		// Recurse into the smaller half, loop on the larger: O(log n) stack.
+		if p < len(b)-p-1 {
+			qsortEvents(b[:p+1], depth)
+			b = b[p+1:]
+		} else {
+			qsortEvents(b[p+1:], depth)
+			b = b[:p+1]
+		}
+	}
+	insertionSortEvents(b)
+}
+
+// partitionEvents performs a Hoare partition around a median-of-three
+// pivot and returns the split index j: everything in b[:j+1] precedes
+// everything in b[j+1:].
+func partitionEvents(b []event) int {
+	n := len(b)
+	m := n / 2
+	if eventLess(b[m], b[0]) {
+		b[m], b[0] = b[0], b[m]
+	}
+	if eventLess(b[n-1], b[0]) {
+		b[n-1], b[0] = b[0], b[n-1]
+	}
+	if eventLess(b[n-1], b[m]) {
+		b[n-1], b[m] = b[m], b[n-1]
+	}
+	pivot := b[m]
+	i, j := 0, n-1
+	for {
+		for eventLess(b[i], pivot) {
+			i++
+		}
+		for eventLess(pivot, b[j]) {
+			j--
+		}
+		if i >= j {
+			return j
+		}
+		b[i], b[j] = b[j], b[i]
+		i++
+		j--
+	}
+}
+
+func insertionSortEvents(b []event) {
+	for i := 1; i < len(b); i++ {
+		e := b[i]
+		j := i - 1
+		for j >= 0 && eventLess(e, b[j]) {
+			b[j+1] = b[j]
+			j--
+		}
+		b[j+1] = e
+	}
+}
+
+// nearPush adds a late arrival to the small binary heap merged against the
+// draining bucket.
+func (s *Simulator) nearPush(e event) {
+	q := append(s.near, e)
+	i := len(q) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		p := q[parent]
-		if e.at > p.at || (e.at == p.at && e.seq > p.seq) {
+		if !eventLess(e, q[parent]) {
 			break
 		}
-		q[i] = p
+		q[i] = q[parent]
 		i = parent
 	}
 	q[i] = e
+	s.near = q
 }
 
-func (s *Simulator) siftDown(i int) {
-	q := s.queue
-	n := len(q)
-	e := q[i]
-	for {
-		child := 2*i + 1
-		if child >= n {
-			break
+// nearPop removes the minimum of the near heap.
+func (s *Simulator) nearPop() event {
+	q := s.near
+	top := q[0]
+	n := len(q) - 1
+	e := q[n]
+	s.near = q[:n]
+	if n > 0 {
+		q = q[:n]
+		i := 0
+		for {
+			child := 2*i + 1
+			if child >= n {
+				break
+			}
+			if r := child + 1; r < n && eventLess(q[r], q[child]) {
+				child = r
+			}
+			if eventLess(e, q[child]) {
+				break
+			}
+			q[i] = q[child]
+			i = child
 		}
-		if r := child + 1; r < n && s.less(r, child) {
-			child = r
-		}
-		c := q[child]
-		if e.at < c.at || (e.at == c.at && e.seq < c.seq) {
-			break
-		}
-		q[i] = c
-		i = child
+		q[i] = e
 	}
-	q[i] = e
-}
-
-// pop removes and returns the minimum event.
-func (s *Simulator) pop() event {
-	q := s.queue
-	n := len(q)
-	e := q[0]
-	q[0] = q[n-1]
-	q[n-1] = event{}
-	s.queue = q[:n-1]
-	if n > 1 {
-		s.siftDown(0)
-	}
-	return e
+	return top
 }

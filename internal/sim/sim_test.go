@@ -424,3 +424,42 @@ func TestCancelAfterFire(t *testing.T) {
 		t.Fatal("recycled-slot event did not run")
 	}
 }
+
+// TestScheduleBatchEquivalence pins that the bulk scheduling path yields
+// exactly the execution a loop of Schedule calls would: same pop order,
+// same sequence numbers, interleaved correctly with events that were
+// already pending and events scheduled afterwards.
+func TestScheduleBatchEquivalence(t *testing.T) {
+	r := xrand.New(17)
+	times := make([]float64, 500)
+	for i := range times {
+		times[i] = r.Float64() * 10
+	}
+	run := func(batch bool) []Event {
+		s := New()
+		var got []Event
+		s.SetHandler(handlerFunc(func(ev Event) { got = append(got, ev) }))
+		s.Schedule(5, Event{Kind: 2, Node: -1}) // pre-existing pending event
+		if batch {
+			s.ScheduleBatch(len(times), func(i int) (float64, Event) {
+				return times[i], Event{Kind: 1, Node: int32(i)}
+			})
+		} else {
+			for i, at := range times {
+				s.Schedule(at, Event{Kind: 1, Node: int32(i)})
+			}
+		}
+		s.Schedule(times[0], Event{Kind: 3, Node: -2}) // equal-time tie after the batch
+		s.Run()
+		return got
+	}
+	a, b := run(false), run(true)
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pop %d differs: scalar %+v, batch %+v", i, a[i], b[i])
+		}
+	}
+}

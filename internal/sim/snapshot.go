@@ -18,30 +18,56 @@ import (
 // popping and skipping them.
 var ErrClosuresPending = errors.New("sim: live closure events pending; only typed-event state is serializable")
 
+// pendingEvents calls f for every queued event (tombstones included) in
+// the ladder's canonical traversal order: the draining current bucket,
+// then the near heap, then the ring slots, then the overflow tail. The
+// order is a pure function of the execution that produced the state, so
+// capturing the same state twice yields identical bytes.
+func (s *Simulator) pendingEvents(f func(e event)) {
+	for _, e := range s.cur[s.curPos:] {
+		f(e)
+	}
+	for _, e := range s.near {
+		f(e)
+	}
+	for _, b := range s.buckets {
+		for _, e := range b {
+			f(e)
+		}
+	}
+	for _, e := range s.overflow {
+		f(e)
+	}
+}
+
 // EncodeState serializes the full scheduler state — virtual clock, sequence
-// and processed counters, and the pending typed-event heap — into w. The
-// encoding is canonical (heap array order), so capturing the same state
-// twice yields identical bytes. It fails with ErrClosuresPending if a live
-// closure event is queued.
+// and processed counters, and the pending typed-event set — into w. The
+// encoding is canonical (ladder traversal order), so capturing the same
+// state twice yields identical bytes. It fails with ErrClosuresPending if a
+// live closure event is queued.
 func (s *Simulator) EncodeState(w *snap.Writer) error {
 	live := 0
-	for _, e := range s.queue {
+	var closures error
+	s.pendingEvents(func(e event) {
 		if e.kind == kindFunc {
 			if s.fns[e.a] != nil {
-				return ErrClosuresPending
+				closures = ErrClosuresPending
 			}
-			continue // cancelled tombstone: dropped, it would be skipped anyway
+			return // cancelled tombstone: dropped, it would be skipped anyway
 		}
 		live++
+	})
+	if closures != nil {
+		return closures
 	}
 	w.F64(s.now)
 	w.U64(s.seq)
 	w.U64(s.processed)
 	w.Bool(s.stopped)
 	w.Len32(live)
-	for _, e := range s.queue {
+	s.pendingEvents(func(e event) {
 		if e.kind == kindFunc {
-			continue
+			return
 		}
 		w.F64(e.at)
 		w.U64(e.seq)
@@ -50,15 +76,16 @@ func (s *Simulator) EncodeState(w *snap.Writer) error {
 		w.I32(e.a)
 		w.I32(e.b)
 		w.I32(e.c)
-	}
+	})
 	return nil
 }
 
 // DecodeState restores scheduler state previously written by EncodeState,
 // discarding whatever was scheduled on s before the call (the closure arena
-// included). The pending events are re-heapified on load; because the
-// (time, seq) key is a strict total order, the rebuilt heap pops in exactly
-// the captured order regardless of its internal array layout.
+// included). The pending events are refiled into the ladder on load;
+// because the (time, seq) key is a strict total order, the rebuilt
+// scheduler pops in exactly the captured order regardless of its internal
+// layout.
 func (s *Simulator) DecodeState(r *snap.Reader) error {
 	now := r.F64()
 	seq := r.U64()
@@ -100,12 +127,26 @@ func (s *Simulator) DecodeState(r *snap.Reader) error {
 	s.seq = seq
 	s.processed = processed
 	s.stopped = stopped
-	s.queue = queue
 	s.fns = nil
 	s.fnGen = nil
 	s.freeFns = nil
-	for i := len(queue)/2 - 1; i >= 0; i-- {
-		s.siftDown(i)
+	// Reset the ladder to the restored clock and refile every event; all
+	// captured times are >= now, so they land at or after the new current
+	// bucket.
+	s.cur = s.cur[:0]
+	s.curPos = 0
+	s.curIdx = bucketOf(now)
+	s.winHi = s.curIdx + 1 + ladderBuckets
+	s.near = s.near[:0]
+	for i := range s.buckets {
+		s.buckets[i] = s.buckets[i][:0]
+	}
+	s.inBuckets = 0
+	s.overflow = s.overflow[:0]
+	s.ovMinJ = math.MaxInt64
+	s.pending = 0
+	for _, e := range queue {
+		s.insert(e)
 	}
 	return nil
 }
@@ -127,7 +168,10 @@ func (s *Simulator) RunContextTo(ctx context.Context, t float64) error {
 			default:
 			}
 		}
-		if s.stopped || len(s.queue) == 0 || s.queue[0].at > t {
+		if s.stopped {
+			return nil
+		}
+		if at, ok := s.peekAt(); !ok || at > t {
 			return nil
 		}
 		s.Step()

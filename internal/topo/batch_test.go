@@ -1,0 +1,199 @@
+package topo
+
+import (
+	"fmt"
+	"testing"
+
+	"plurality/internal/xrand"
+)
+
+// batchTestGraphs builds one instance of every topology kind for a given
+// (n, seed) pair, mirroring the public layer's five TopologySpec kinds.
+func batchTestGraphs(t testing.TB, n int, seed uint64) map[string]Sampler {
+	t.Helper()
+	ring, err := NewRing(n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, cols, ok := NearSquareDims(n)
+	if !ok {
+		t.Fatalf("no torus dims for n=%d", n)
+	}
+	torus, err := NewTorus(rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := NewRandomRegular(n, 4, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, err := NewErdosRenyi(n, 0.05, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Sampler{
+		"complete":       NewComplete(n),
+		"ring":           ring,
+		"torus":          torus,
+		"random-regular": reg,
+		"erdos-renyi":    er,
+	}
+}
+
+// TestSampleNeighborsEquivalence pins the scalar-equivalence invariant for
+// every topology kind across random (n, seed) pairs: the batch path must be
+// draw-for-draw identical to scalar SampleNeighbor calls — same outputs and
+// the same final RNG stream position — including when the batch is consumed
+// in uneven chunks.
+func TestSampleNeighborsEquivalence(t *testing.T) {
+	meta := xrand.New(20260729)
+	for trial := 0; trial < 8; trial++ {
+		n := 120 + meta.Intn(800)
+		if _, _, ok := NearSquareDims(n); !ok {
+			n = 400 + trial // guaranteed torus-factorable fallback stays deterministic
+		}
+		seed := meta.Uint64()
+		for kind, g := range batchTestGraphs(t, n, seed) {
+			t.Run(fmt.Sprintf("%s/n=%d", kind, n), func(t *testing.T) {
+				drawSeed := meta.Uint64()
+				scalarR := xrand.New(drawSeed)
+				batchR := xrand.New(drawSeed)
+				chunkR := xrand.New(drawSeed)
+
+				vs := make([]int32, 3*n)
+				vsR := xrand.New(seed ^ 0x5eed)
+				for i := range vs {
+					vs[i] = int32(vsR.Intn(n))
+				}
+				want := make([]int32, len(vs))
+				for i, v := range vs {
+					want[i] = int32(g.SampleNeighbor(scalarR, int(v)))
+				}
+
+				got := make([]int32, len(vs))
+				SampleNeighbors(g, batchR, vs, got)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("batch[%d] = %d, scalar %d (v=%d)", i, got[i], want[i], vs[i])
+					}
+				}
+				if batchR.State() != scalarR.State() {
+					t.Fatal("batch consumed a different number of draws than the scalar path")
+				}
+
+				// Chunked consumption must splice into the same stream.
+				bs := Batch(g)
+				chunked := make([]int32, len(vs))
+				for lo := 0; lo < len(vs); {
+					hi := lo + 1 + int(vs[lo])%97
+					if hi > len(vs) {
+						hi = len(vs)
+					}
+					bs.SampleNeighbors(chunkR, vs[lo:hi], chunked[lo:hi])
+					lo = hi
+				}
+				for i := range want {
+					if chunked[i] != want[i] {
+						t.Fatalf("chunked[%d] = %d, scalar %d", i, chunked[i], want[i])
+					}
+				}
+				if chunkR.State() != scalarR.State() {
+					t.Fatal("chunked batch consumed a different number of draws")
+				}
+			})
+		}
+	}
+}
+
+// TestBatchFallback pins that a Sampler without a native bulk path still
+// works through Batch / SampleNeighbors, with the definitional scalar
+// semantics.
+func TestBatchFallback(t *testing.T) {
+	g := opaque{NewComplete(50)}
+	if _, ok := Sampler(g).(BatchSampler); ok {
+		t.Fatal("test double unexpectedly implements BatchSampler")
+	}
+	a, b := xrand.New(5), xrand.New(5)
+	vs := []int32{0, 1, 2, 49, 25}
+	out := make([]int32, len(vs))
+	SampleNeighbors(g, a, vs, out)
+	for i, v := range vs {
+		if want := int32(g.SampleNeighbor(b, int(v))); out[i] != want {
+			t.Fatalf("fallback[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+	if Batch(g).Size() != 50 {
+		t.Fatal("Batch wrapper does not forward Sampler methods")
+	}
+}
+
+// TestSampleNeighborsLengthMismatch pins the programming-error panic.
+func TestSampleNeighborsLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched vs/out lengths did not panic")
+		}
+	}()
+	NewComplete(10).SampleNeighbors(xrand.New(1), make([]int32, 3), make([]int32, 4))
+}
+
+// opaque hides the batch capability of an embedded sampler, standing in for
+// a third-party Sampler implementation.
+type opaque struct {
+	inner *Complete
+}
+
+func (o opaque) SampleNeighbor(r *xrand.RNG, v int) int { return o.inner.SampleNeighbor(r, v) }
+func (o opaque) Degree(v int) int                       { return o.inner.Degree(v) }
+func (o opaque) Size() int                              { return o.inner.Size() }
+
+// TestDivMagic checks the magic-number divider against hardware division
+// over the divisors the torus uses plus adversarial values near the
+// uint32 edges (the remainder paths derive mod as a - div(a)·d).
+func TestDivMagic(t *testing.T) {
+	divisors := []uint32{2, 3, 4, 5, 7, 24, 25, 1000, 1 << 16, 1<<31 - 1, ^uint32(0)}
+	values := []uint32{0, 1, 2, 3, 1000, 1 << 20, 1<<31 - 1, 1 << 31, ^uint32(0) - 1, ^uint32(0)}
+	r := xrand.New(3)
+	for i := 0; i < 1000; i++ {
+		values = append(values, uint32(r.Uint64()))
+	}
+	for _, d := range divisors {
+		dm := newDivMagic(d)
+		for _, a := range values {
+			if got, want := dm.div(a), a/d; got != want {
+				t.Fatalf("divMagic(%d).div(%d) = %d, want %d", d, a, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkSampleNeighbors measures the bulk path against the scalar loop
+// for every topology kind; CI asserts the batch rows allocate nothing.
+func BenchmarkSampleNeighbors(b *testing.B) {
+	const n = 9801 // 99x99: factorable for the torus, cheap to build
+	for kind, g := range batchTestGraphs(b, n, 7) {
+		bs := Batch(g)
+		vs := make([]int32, 2048)
+		out := make([]int32, 2048)
+		vr := xrand.New(11)
+		for i := range vs {
+			vs[i] = int32(vr.Intn(n))
+		}
+		b.Run(kind+"/batch", func(b *testing.B) {
+			r := xrand.New(1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bs.SampleNeighbors(r, vs, out)
+			}
+		})
+		b.Run(kind+"/scalar", func(b *testing.B) {
+			r := xrand.New(1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for j, v := range vs {
+					out[j] = int32(g.SampleNeighbor(r, int(v)))
+				}
+			}
+		})
+	}
+}

@@ -15,6 +15,10 @@ type AdjGraph struct {
 	name string
 	off  []int
 	adj  []int32
+	// uniformDeg is the common degree when the graph is regular (0 when
+	// degrees are mixed); the batch sampler uses it to draw all row offsets
+	// in one bounded bulk pass.
+	uniformDeg int32
 }
 
 // SampleNeighbor returns a uniform neighbor of v.
@@ -52,7 +56,18 @@ func newCSR(name string, n int, edges [][2]int32) *AdjGraph {
 		adj[fill[b]] = a
 		fill[b]++
 	}
-	return &AdjGraph{name: name, off: off, adj: adj}
+	g := &AdjGraph{name: name, off: off, adj: adj}
+	if n > 0 {
+		d := g.Degree(0)
+		uniform := d > 0
+		for v := 1; v < n && uniform; v++ {
+			uniform = g.Degree(v) == d
+		}
+		if uniform {
+			g.uniformDeg = int32(d)
+		}
+	}
+	return g
 }
 
 // connected reports whether g is connected, by BFS from node 0.

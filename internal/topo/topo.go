@@ -118,7 +118,9 @@ func NewRing(n, width int) (*Ring, error) {
 	return &Ring{n: n, width: width}, nil
 }
 
-// SampleNeighbor returns a uniform element of {v±1, …, v±width} mod n.
+// SampleNeighbor returns a uniform element of {v±1, …, v±width} mod n. The
+// wraparound is compare-and-adjust, not %: |off| <= width < n, so one
+// conditional correction replaces the integer division.
 func (g *Ring) SampleNeighbor(r *xrand.RNG, v int) int {
 	j := r.Intn(2 * g.width)
 	var off int
@@ -127,7 +129,13 @@ func (g *Ring) SampleNeighbor(r *xrand.RNG, v int) int {
 	} else {
 		off = g.width - 1 - j // -(j - width + 1)
 	}
-	return (v + off + g.n) % g.n
+	x := v + off
+	if x >= g.n {
+		x -= g.n
+	} else if x < 0 {
+		x += g.n
+	}
+	return x
 }
 
 // Degree returns 2·width for every node.
@@ -144,6 +152,7 @@ func (g *Ring) String() string { return fmt.Sprintf("ring(n=%d,width=%d)", g.n, 
 // row v/cols, column v%cols.
 type Torus struct {
 	rows, cols int
+	colsDiv    divMagic // magic-number divider by cols for the row/col split
 }
 
 // NewTorus returns the rows×cols torus. Both dimensions must be >= 3 so the
@@ -153,21 +162,37 @@ func NewTorus(rows, cols int) (*Torus, error) {
 	if rows < 3 || cols < 3 {
 		return nil, fmt.Errorf("topo: torus needs rows, cols >= 3, got %dx%d", rows, cols)
 	}
-	return &Torus{rows: rows, cols: cols}, nil
+	return &Torus{rows: rows, cols: cols, colsDiv: newDivMagic(uint32(cols))}, nil
 }
 
-// SampleNeighbor returns a uniform one of v's four grid neighbors.
+// SampleNeighbor returns a uniform one of v's four grid neighbors. The
+// row/column split goes through the precomputed magic-number divider and the
+// wraparounds are compare-and-adjust, so the sample performs no hardware
+// division.
 func (g *Torus) SampleNeighbor(r *xrand.RNG, v int) int {
-	row, col := v/g.cols, v%g.cols
+	row := int(g.colsDiv.div(uint32(v)))
+	col := v - row*g.cols
 	switch r.Intn(4) {
 	case 0:
-		row = (row + 1) % g.rows
+		row++
+		if row == g.rows {
+			row = 0
+		}
 	case 1:
-		row = (row + g.rows - 1) % g.rows
+		if row == 0 {
+			row = g.rows
+		}
+		row--
 	case 2:
-		col = (col + 1) % g.cols
+		col++
+		if col == g.cols {
+			col = 0
+		}
 	default:
-		col = (col + g.cols - 1) % g.cols
+		if col == 0 {
+			col = g.cols
+		}
+		col--
 	}
 	return row*g.cols + col
 }

@@ -109,8 +109,8 @@ func (syncProtocol) run(ctx context.Context, spec Spec, restore []byte, perturb 
 		N: spec.N, K: spec.K, Alpha: spec.Alpha, Assignment: assign,
 		Gamma: spec.Sync.Gamma, Schedule: sched, MaxSteps: spec.MaxSteps,
 		Seed: spec.Seed, Eps: spec.Eps, RecordEvery: spec.recordEveryRounds(),
-		Topo: tp,
-		Ctx:  ctx, Observe: spec.observe(), DiscardTrajectory: spec.DiscardTrajectory,
+		Topo: tp, Scratch: spec.scratch,
+		Ctx: ctx, Observe: spec.observe(), DiscardTrajectory: spec.DiscardTrajectory,
 		Ckpt: engineCheckpoint("sync", spec, restore, perturb, &captured),
 	})
 	if err != nil {
@@ -167,7 +167,7 @@ func (leaderProtocol) run(ctx context.Context, spec Spec, restore []byte, pertur
 	var captured *Snapshot
 	res, err := leader.Run(leader.Config{
 		N: spec.N, K: spec.K, Alpha: spec.Alpha, Assignment: assign,
-		Latency: lat, Topo: tp, MaxTime: spec.MaxTime, Seed: spec.Seed,
+		Latency: lat, Topo: tp, Scratch: spec.scratch, MaxTime: spec.MaxTime, Seed: spec.Seed,
 		Eps: spec.Eps, RecordEvery: spec.RecordEvery,
 		Ctx: ctx, Observe: spec.observe(), DiscardTrajectory: spec.DiscardTrajectory,
 		Ckpt: engineCheckpoint("leader", spec, restore, perturb, &captured),
@@ -229,7 +229,7 @@ func (decentralizedProtocol) run(ctx context.Context, spec Spec, restore []byte,
 	var captured *Snapshot
 	c := noleader.Config{
 		N: spec.N, K: spec.K, Alpha: spec.Alpha, Assignment: assign,
-		Latency: lat, Topo: tp, MaxTime: spec.MaxTime, Seed: spec.Seed,
+		Latency: lat, Topo: tp, Scratch: spec.scratch, MaxTime: spec.MaxTime, Seed: spec.Seed,
 		Eps: spec.Eps, RecordEvery: spec.RecordEvery,
 		Ctx: ctx, Observe: spec.observe(), DiscardTrajectory: spec.DiscardTrajectory,
 		Ckpt: engineCheckpoint("decentralized", spec, restore, perturb, &captured),
@@ -296,7 +296,7 @@ func (p baselineProtocol) run(ctx context.Context, spec Spec, restore []byte, pe
 	bcfg := baseline.Config{
 		N: spec.N, K: spec.K, Alpha: spec.Alpha, Assignment: assign,
 		MaxRounds: spec.MaxSteps, Seed: spec.Seed, Eps: spec.Eps,
-		RecordEvery: spec.recordEveryRounds(), Topo: tp,
+		RecordEvery: spec.recordEveryRounds(), Topo: tp, Scratch: spec.scratch,
 		Ctx: ctx, Observe: spec.observe(), DiscardTrajectory: spec.DiscardTrajectory,
 		Ckpt: engineCheckpoint(p.rule, spec, restore, perturb, &captured),
 	}

@@ -3,6 +3,8 @@ package plurality
 import (
 	"fmt"
 	"math"
+
+	"plurality/internal/topo"
 )
 
 // MaxNodes is the largest supported N. The event kernel addresses nodes and
@@ -76,6 +78,13 @@ type Spec struct {
 	Async AsyncOptions
 	// Baseline holds the baseline dynamics' knobs.
 	Baseline BaselineOptions
+
+	// scratch carries per-worker reusable sampling buffers into the
+	// engines. Runtime-only and internal: RunBatch and Sweep set it so the
+	// replications a worker executes share batch buffers instead of
+	// reallocating them; buffer contents never influence results, keeping
+	// the batch layer's worker-count invariance intact.
+	scratch *topo.Scratch
 }
 
 // SyncOptions are the knobs specific to the synchronous protocol ("sync").

@@ -6,7 +6,12 @@ import (
 
 	"plurality/internal/harness"
 	"plurality/internal/stats"
+	"plurality/internal/topo"
 )
+
+// newWorkerScratch builds the per-worker sampling workspace RunBatch and
+// Sweep thread through the engines (see Spec.scratch).
+func newWorkerScratch() any { return &topo.Scratch{} }
 
 // RunMany executes reps seeded replications of one protocol in parallel
 // (bounded by GOMAXPROCS) and returns the results in replication order:
@@ -36,16 +41,18 @@ func RunBatch(ctx context.Context, name string, spec Spec, reps, workers int) ([
 		return nil, err
 	}
 	results := make([]*Result, reps)
-	err = harness.ForEachWorkers(ctx, reps, workers, func(ctx context.Context, i int) error {
-		s := spec
-		s.Seed = spec.Seed + uint64(i)
-		res, err := p.Run(ctx, s)
-		if err != nil {
-			return err
-		}
-		results[i] = res
-		return nil
-	})
+	err = harness.ForEachWorkersScratch(ctx, reps, workers, newWorkerScratch,
+		func(ctx context.Context, i int, ws any) error {
+			s := spec
+			s.Seed = spec.Seed + uint64(i)
+			s.scratch = ws.(*topo.Scratch)
+			res, err := p.Run(ctx, s)
+			if err != nil {
+				return err
+			}
+			results[i] = res
+			return nil
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -305,10 +312,11 @@ func Sweep(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
 	// (cell, rep) order, making the output independent of goroutine
 	// interleaving.
 	metrics := make([]map[string]float64, len(cells)*reps)
-	err = harness.ForEachWorkers(ctx, len(metrics), cfg.Workers,
-		func(rctx context.Context, job int) error {
+	err = harness.ForEachWorkersScratch(ctx, len(metrics), cfg.Workers, newWorkerScratch,
+		func(rctx context.Context, job int, ws any) error {
 			s := cells[job/reps].spec
 			s.Seed = cfg.Base.Seed + uint64(job%reps)*1e6 + 1
+			s.scratch = ws.(*topo.Scratch)
 			res, err := p.Run(rctx, s)
 			if err != nil {
 				return err
