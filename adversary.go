@@ -1,0 +1,164 @@
+package plurality
+
+import (
+	"fmt"
+	"math"
+
+	"plurality/internal/adversary"
+	"plurality/internal/xrand"
+)
+
+// The registered adversary kinds, valid values of AdversarySpec.Kind. The
+// paper's theorems cover the honest model only (no failures, benign Poisson
+// scheduling); these adversaries probe how far each protocol degrades when
+// that model breaks.
+const (
+	// AdversaryCrash fail-stops a Fraction of the nodes at time At; with
+	// Rate > 0 the victims churn (crash and recover) instead, with Exp(Rate)
+	// gaps between toggles.
+	AdversaryCrash = "crash"
+	// AdversaryDelay stretches each message delivery with probability
+	// Fraction by Rate× an extra sample of the run's edge-latency
+	// distribution — delays stay bounded by (a multiple of) the latency
+	// model. Only the asynchronous protocols carry messages with latency;
+	// round-based protocols reject this kind.
+	AdversaryDelay = "delay"
+	// AdversaryDrop loses each sampled contact's reply independently with
+	// probability Fraction.
+	AdversaryDrop = "drop"
+	// AdversaryByzantine makes a Fraction of the nodes lie about their
+	// opinion whenever sampled, reporting the initial runner-up opinion.
+	AdversaryByzantine = "byzantine"
+)
+
+// Adversaries returns the supported adversary kinds in documentation order.
+func Adversaries() []string {
+	return []string{AdversaryCrash, AdversaryDelay, AdversaryDrop, AdversaryByzantine}
+}
+
+// AdversarySpec selects the fault model of a run (see the Adversary* kind
+// constants). The zero value disables the adversary and is guaranteed
+// byte-identical to pre-adversary runs for the same seed: adversarial
+// randomness lives in its own generator, never in the engines' streams.
+// Fields not used by the selected Kind are ignored.
+type AdversarySpec struct {
+	// Kind names the fault model; "" means no adversary.
+	Kind string
+	// Fraction is the affected share — of nodes for crash/byzantine, of
+	// messages for delay/drop. 0 means 0.1. Crash requires Fraction < 1
+	// (somebody must survive); the others accept (0, 1].
+	Fraction float64
+	// Rate is kind-specific: the crash adversary's churn rate in toggles
+	// per unit time (0 means one-shot, the legacy semantics), and the delay
+	// adversary's latency multiplier (0 means 1).
+	Rate float64
+	// At is the virtual time (or round) the crash adversary first acts;
+	// 0 means from the start.
+	At float64
+	// Seed seeds the adversary's private generator; 0 derives it from
+	// Spec.Seed through a dedicated substream, so replications with
+	// distinct run seeds face distinct adversarial schedules.
+	Seed uint64
+}
+
+// Enabled reports whether an adversary is configured.
+func (a AdversarySpec) Enabled() bool { return a.Kind != "" }
+
+// Label renders the spec compactly for tables and sweep axes, e.g. "none",
+// "crash(f=0.3)", "crash(f=0.3,r=2)", "delay(f=0.5,x3)", "byzantine(f=0.1)".
+// Knobs still at their zero value are omitted.
+func (a AdversarySpec) Label() string {
+	if !a.Enabled() {
+		return "none"
+	}
+	s := a.Kind
+	if a.Fraction > 0 {
+		s += fmt.Sprintf("(f=%.4g", a.Fraction)
+	} else {
+		s += "(f=0.1"
+	}
+	switch {
+	case a.Kind == AdversaryCrash && a.Rate > 0:
+		s += fmt.Sprintf(",r=%.4g", a.Rate)
+	case a.Kind == AdversaryDelay && a.Rate > 0:
+		s += fmt.Sprintf(",x%.4g", a.Rate)
+	}
+	return s + ")"
+}
+
+// validate checks the spec against the registered kinds and parameter
+// domains; Spec.validate calls it before any replication starts.
+func (a AdversarySpec) validate() error {
+	switch a.Kind {
+	case "":
+		return nil
+	case AdversaryCrash, AdversaryDelay, AdversaryDrop, AdversaryByzantine:
+	default:
+		return fmt.Errorf("plurality: unknown adversary kind %q (have %v)", a.Kind, Adversaries())
+	}
+	if a.Fraction < 0 || a.Fraction > 1 || math.IsNaN(a.Fraction) {
+		return fmt.Errorf("plurality: Adversary.Fraction %v outside [0, 1]", a.Fraction)
+	}
+	if a.Kind == AdversaryCrash && a.Fraction == 1 {
+		return fmt.Errorf("plurality: crash adversary with Fraction 1 leaves no survivors")
+	}
+	if a.Rate < 0 || math.IsNaN(a.Rate) || math.IsInf(a.Rate, 0) {
+		return fmt.Errorf("plurality: invalid Adversary.Rate %v", a.Rate)
+	}
+	if a.At < 0 || math.IsNaN(a.At) || math.IsInf(a.At, 0) {
+		return fmt.Errorf("plurality: invalid Adversary.At %v", a.At)
+	}
+	return nil
+}
+
+// kind maps the public kind string to the internal enum; call only on a
+// validated spec.
+func (a AdversarySpec) kind() adversary.Kind {
+	switch a.Kind {
+	case AdversaryCrash:
+		return adversary.Crash
+	case AdversaryDelay:
+		return adversary.Delay
+	case AdversaryDrop:
+		return adversary.Drop
+	case AdversaryByzantine:
+		return adversary.Byzantine
+	default:
+		return adversary.None
+	}
+}
+
+// resolveFor fills the defaults in and derives the adversary seed from the
+// run seed (mirroring TopologySpec.graphSeed: a dedicated substream, so
+// engine randomness is untouched), returning the internal engine-facing
+// config. A disabled spec resolves to the zero Config.
+func (a AdversarySpec) resolveFor(n int, runSeed uint64) adversary.Config {
+	if !a.Enabled() {
+		return adversary.Config{}
+	}
+	cfg := adversary.Config{Kind: a.kind(), Fraction: a.Fraction, Rate: a.Rate, At: a.At, N: n, Seed: a.Seed}
+	if cfg.Fraction == 0 {
+		cfg.Fraction = 0.1
+	}
+	if cfg.Kind == adversary.Delay && cfg.Rate == 0 {
+		cfg.Rate = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = xrand.New(runSeed).SplitNamed("adversary").Uint64()
+	}
+	return cfg
+}
+
+// advStats appends the adversary's action counters to a protocol's Stats map
+// for adversarial runs; honest runs add nothing, keeping default results
+// byte-identical to pre-adversary code.
+func (a AdversarySpec) advStats(c adversary.Counters, extra map[string]float64) {
+	if !a.Enabled() {
+		return
+	}
+	extra["adv_crashes"] = float64(c.Crashes)
+	extra["adv_recoveries"] = float64(c.Recoveries)
+	extra["adv_drops"] = float64(c.Drops)
+	extra["adv_delayed"] = float64(c.Delayed)
+	extra["adv_lies"] = float64(c.Lies)
+}

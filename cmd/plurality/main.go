@@ -18,11 +18,15 @@
 //	plurality -resume run.snap -perturb 3 -max-time 500
 //	plurality -bench -bench-protocol sync -n 1000000 -k 4 -alpha 2
 //	plurality -bench -bench-protocol 3-majority -n 100000 -topology torus
+//	plurality -protocol leader -n 10000 -adversary crash -adversary-fraction 0.2 -adversary-rate 2
+//	plurality -protocol decentralized -n 5000 -adversary byzantine -adversary-fraction 0.1
 //
 // Protocols: everything listed by plurality.Protocols() — sync, leader,
 // decentralized, and the four baseline dynamics. Topologies: everything
 // listed by plurality.Topologies(); the default complete graph is the
-// paper's model.
+// paper's model. Adversaries: plurality.Adversaries() — crash/churn, message
+// delay/drop, Byzantine opinion-lying; the paper's theorems cover only the
+// honest (empty) setting.
 //
 // Checkpointing: -checkpoint-at T captures the full simulator state the
 // first time virtual time (or the round counter) reaches T; -checkpoint
@@ -90,6 +94,12 @@ func main() {
 		resumePath     = flag.String("resume", "", "resume a run from a snapshot blob written by -checkpoint (protocol and parameters come from the blob)")
 		perturb        = flag.Uint64("perturb", 0, "with -resume: fold this divergence label into every RNG stream (0 = bit-exact continuation)")
 
+		advKind = flag.String("adversary", "", "fault model: crash | delay | drop | byzantine; empty runs honestly (the paper's model)")
+		advFrac = flag.Float64("adversary-fraction", 0, "affected share (nodes for crash/byzantine, messages for delay/drop); 0 means 0.1")
+		advRate = flag.Float64("adversary-rate", 0, "crash churn rate (0 = one-shot) or delay latency multiplier (0 = 1)")
+		advAt   = flag.Float64("adversary-at", 0, "virtual time (or round) the crash adversary first acts")
+		advSeed = flag.Uint64("adversary-seed", 0, "pin the adversary's private generator; 0 derives it from -seed")
+
 		topology  = flag.String("topology", "complete", "interaction graph: complete | ring | torus | random-regular | erdos-renyi")
 		width     = flag.Int("width", 0, "ring half-width (neighbors v±1..v±width); 0 means 1")
 		rows      = flag.Int("rows", 0, "torus rows; 0 infers from n and -cols (near-square when both are 0)")
@@ -118,6 +128,7 @@ func main() {
 			fmt.Printf("%-16s %-12s %-12s %-13s %s\n", info.Name, info.Family, unit, graphs, info.Description)
 		}
 		fmt.Printf("\ntopologies: %v\n", plurality.Topologies())
+		fmt.Printf("adversaries: %v\n", plurality.Adversaries())
 		return
 	}
 
@@ -135,6 +146,9 @@ func main() {
 		Topology: plurality.TopologySpec{
 			Kind: *topology, Width: *width, Rows: *rows, Cols: *cols,
 			Degree: *degree, P: *p, GraphSeed: *graphSeed,
+		},
+		Adversary: plurality.AdversarySpec{
+			Kind: *advKind, Fraction: *advFrac, Rate: *advRate, At: *advAt, Seed: *advSeed,
 		},
 	}
 	// -stream always keeps recording memory O(1); the live snapshot printer
@@ -166,8 +180,10 @@ func main() {
 		exit(1)
 	}
 
-	// Label the interaction graph a run actually uses (defaults resolved).
+	// Label the interaction graph a run actually uses (defaults resolved),
+	// and the fault model it runs under.
 	topoLabel := spec.Topology.ResolvedLabel(*n)
+	advLabel := spec.Adversary.Label()
 
 	if *bench {
 		name := *protocol
@@ -207,6 +223,7 @@ func main() {
 		*protocol = meta.Protocol
 		*n, *k, *alpha, *seed = meta.Spec.N, meta.Spec.K, meta.Spec.Alpha, meta.Spec.Seed
 		topoLabel = meta.Spec.Topology.ResolvedLabel(meta.Spec.N)
+		advLabel = meta.Spec.Adversary.Label()
 		opts := &plurality.ResumeOptions{
 			Observer: spec.Observer,
 			Perturb:  *perturb,
@@ -239,14 +256,18 @@ func main() {
 
 	if *jsonOut {
 		out := struct {
-			Protocol string            `json:"protocol"`
-			N        int               `json:"n"`
-			K        int               `json:"k"`
-			Alpha    float64           `json:"alpha"`
-			Seed     uint64            `json:"seed"`
-			Topology string            `json:"topology"`
-			Result   *plurality.Result `json:"result"`
-		}{*protocol, *n, *k, *alpha, *seed, topoLabel, res}
+			Protocol  string            `json:"protocol"`
+			N         int               `json:"n"`
+			K         int               `json:"k"`
+			Alpha     float64           `json:"alpha"`
+			Seed      uint64            `json:"seed"`
+			Topology  string            `json:"topology"`
+			Adversary string            `json:"adversary,omitempty"`
+			Result    *plurality.Result `json:"result"`
+		}{*protocol, *n, *k, *alpha, *seed, topoLabel, "", res}
+		if advLabel != "none" {
+			out.Adversary = advLabel
+		}
 		enc := json.NewEncoder(os.Stdout)
 		if err := enc.Encode(out); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -259,8 +280,14 @@ func main() {
 	}
 
 	if !*quiet {
-		fmt.Printf("protocol=%s n=%d k=%d alpha=%g seed=%d topology=%s\n",
-			*protocol, *n, *k, *alpha, *seed, topoLabel)
+		// The adversary tag appears only on adversarial runs, keeping honest
+		// output byte-identical to pre-adversary builds.
+		advTag := ""
+		if advLabel != "none" {
+			advTag = " adversary=" + advLabel
+		}
+		fmt.Printf("protocol=%s n=%d k=%d alpha=%g seed=%d topology=%s%s\n",
+			*protocol, *n, *k, *alpha, *seed, topoLabel, advTag)
 		if *trajectory && !*stream {
 			fmt.Printf("%10s  %8s  %8s  %10s  %6s\n", "time", "top", "plural", "bias", "gen")
 			for _, p := range res.Trajectory {

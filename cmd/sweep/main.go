@@ -10,6 +10,7 @@
 //	sweep -protocol 3-majority -n 10000 -k 4 -alpha 2 -csv
 //	sweep -protocol 3-majority -n 1024 -k 2 -alpha 4 -topology complete,torus,ring
 //	sweep -protocol sync -n 10000 -k 4 -topology random-regular -degree 8
+//	sweep -protocol leader -n 10000 -adversaries none,crash,drop -adversary-fraction 0.2
 package main
 
 import (
@@ -41,6 +42,9 @@ func main() {
 		width    = flag.Int("width", 0, "ring half-width for the ring topology; 0 means 1")
 		degree   = flag.Int("degree", 0, "degree for the random-regular topology; 0 means 4")
 		p        = flag.Float64("p", 0, "edge probability for the erdos-renyi topology; 0 means 2·ln(n)/n")
+		advs     = flag.String("adversaries", "", "comma-separated adversary factor (none | crash | delay | drop | byzantine); empty means honest runs only")
+		advFrac  = flag.Float64("adversary-fraction", 0, "affected share for every adversarial cell; 0 means 0.1")
+		advRate  = flag.Float64("adversary-rate", 0, "crash churn rate (0 = one-shot) or delay latency multiplier (0 = 1), applied to every adversarial cell")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -55,6 +59,8 @@ func main() {
 	ok(err)
 	tList, err := parseTopologies(*topos, *width, *degree, *p)
 	ok(err)
+	advList, err := parseAdversaries(*advs, *advFrac, *advRate)
+	ok(err)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -68,12 +74,13 @@ func main() {
 			Seed:    *seed,
 			Latency: plurality.LatencySpec{Mean: *latMean},
 		},
-		Ns:         nList,
-		Ks:         kList,
-		Alphas:     aList,
-		Topologies: tList,
-		Reps:       *reps,
-		Workers:    *workers,
+		Ns:          nList,
+		Ks:          kList,
+		Alphas:      aList,
+		Topologies:  tList,
+		Adversaries: advList,
+		Reps:        *reps,
+		Workers:     *workers,
 	})
 	ok(err)
 	if *csvOut {
@@ -115,6 +122,32 @@ func parseTopologies(s string, width, degree int, p float64) ([]plurality.Topolo
 		out = append(out, plurality.TopologySpec{
 			Kind: kind, Width: width, Degree: degree, P: p,
 		})
+	}
+	return out, nil
+}
+
+// parseAdversaries builds the adversary axis from a comma-separated kind
+// list; "none" marks an honest cell, and the shared fraction/rate knobs apply
+// to every adversarial entry.
+func parseAdversaries(s string, frac, rate float64) ([]plurality.AdversarySpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	known := map[string]bool{}
+	for _, k := range plurality.Adversaries() {
+		known[k] = true
+	}
+	var out []plurality.AdversarySpec
+	for _, part := range strings.Split(s, ",") {
+		kind := strings.TrimSpace(part)
+		if kind == "none" {
+			out = append(out, plurality.AdversarySpec{})
+			continue
+		}
+		if !known[kind] {
+			return nil, fmt.Errorf("sweep: unknown adversary %q (have none and %v)", kind, plurality.Adversaries())
+		}
+		out = append(out, plurality.AdversarySpec{Kind: kind, Fraction: frac, Rate: rate})
 	}
 	return out, nil
 }

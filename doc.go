@@ -56,6 +56,17 @@
 // cover the complete graph only; the sparse kinds open the general-graph
 // regime of the related literature.
 //
+// Orthogonally, Spec.Adversary injects faults (Adversaries() lists the
+// kinds): crash or crash/recovery churn of a node fraction, message delays
+// bounded by the run's edge-latency model, message drops, and a Byzantine
+// minority lying about its opinion. The paper's analysis assumes the honest
+// setting — adversarial runs measure degradation, with actions tallied as
+// adv_* entries in Result.Stats. Adversarial randomness lives in its own
+// generator (AdversarySpec.Seed), so honest runs are byte-identical whether
+// or not the subsystem exists, and adversarial runs snapshot and resume
+// bit-exactly like honest ones. Sweep takes an Adversaries axis; protocols
+// without message latency reject the delay kind at validation.
+//
 // Asynchronous protocols run on a deterministic discrete-event simulation of
 // the paper's communication model: a rate-1 Poisson clock per node and a
 // random latency per opened channel (exponential with rate λ in the paper,

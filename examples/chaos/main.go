@@ -1,0 +1,76 @@
+// Chaos: the same consensus instance under increasingly hostile conditions.
+// The paper's theorems assume an honest world — no failures, benign Poisson
+// scheduling; this example measures what each protocol's speed and accuracy
+// cost when that world breaks. One Sweep per protocol walks the adversary
+// axis from honest through crash-churn (a fifth of the fleet toggling
+// between dead and alive) to message loss, and prints how consensus time
+// degrades and how often the initial plurality still wins. The adversary is
+// one Spec field; nothing else changes — and honest cells are byte-identical
+// to runs without the subsystem.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"plurality"
+)
+
+func main() {
+	const (
+		n     = 2000
+		k     = 3
+		alpha = 2.0
+		reps  = 5
+	)
+	adversaries := []plurality.AdversarySpec{
+		{}, // honest: the paper's model
+		{Kind: plurality.AdversaryCrash, Fraction: 0.2},          // one-shot fail-stop
+		{Kind: plurality.AdversaryCrash, Fraction: 0.2, Rate: 2}, // churn
+		{Kind: plurality.AdversaryDrop, Fraction: 0.2},
+		{Kind: plurality.AdversaryDrop, Fraction: 0.5},
+	}
+	fmt.Printf("chaos: %d nodes, %d opinions, bias %.0f (%d seeds per cell)\n\n",
+		n, k, alpha, reps)
+	fmt.Printf("%-16s  %-18s  %14s  %12s  %10s\n",
+		"protocol", "adversary", "consensus time", "degradation", "won")
+
+	for _, protocol := range []string{"leader", "sync", "3-majority"} {
+		res, err := plurality.Sweep(context.Background(), plurality.SweepConfig{
+			Protocol:    protocol,
+			Base:        plurality.Spec{Seed: 7},
+			Ns:          []int{n},
+			Ks:          []int{k},
+			Alphas:      []float64{alpha},
+			Adversaries: adversaries,
+			Reps:        reps,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		base := 0.0
+		for _, cell := range res.Cells {
+			cons, won := "-", "-"
+			degradation := ""
+			if s, ok := cell.Metrics["consensus_time"]; ok && s.N > 0 {
+				if base == 0 {
+					base = s.Mean
+				} else if base > 0 {
+					degradation = fmt.Sprintf("%.1fx", s.Mean/base)
+				}
+				cons = fmt.Sprintf("%.1f", s.Mean)
+			}
+			if s, ok := cell.Metrics["plurality_won"]; ok && s.N > 0 {
+				won = fmt.Sprintf("%.0f/%d", s.Mean*float64(s.N), s.N)
+			}
+			fmt.Printf("%-16s  %-18s  %14s  %12s  %10s\n",
+				protocol, cell.Adversary, cons, degradation, won)
+		}
+		fmt.Println()
+	}
+	fmt.Println("takeaway: crash-churn stretches consensus (survivors must re-absorb")
+	fmt.Println("recovered nodes) and heavy message loss slows every rule, but the")
+	fmt.Println("plurality usually still prevails — the generation mechanism degrades")
+	fmt.Println("gracefully well outside the regime the theorems cover.")
+}

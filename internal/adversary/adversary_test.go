@@ -1,0 +1,176 @@
+package adversary
+
+import (
+	"testing"
+
+	"plurality/internal/sim"
+	"plurality/internal/snap"
+	"plurality/internal/xrand"
+)
+
+// TestVictimPoolDeterministic pins that the victim pool is a pure function
+// of (Config, construction seed) — the property that lets restore recompute
+// it instead of serializing it.
+func TestVictimPoolDeterministic(t *testing.T) {
+	cfg := Config{Kind: Crash, Fraction: 0.3, N: 50}
+	a, err := New(cfg, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Victims()) != 15 {
+		t.Fatalf("pool size %d, want 15", len(a.Victims()))
+	}
+	for i := range a.Victims() {
+		if a.Victims()[i] != b.Victims()[i] {
+			t.Fatalf("victim %d differs between identically seeded adversaries", i)
+		}
+	}
+	c, err := New(cfg, xrand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Victims() {
+		if a.Victims()[i] != c.Victims()[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds drew the same victim pool")
+	}
+}
+
+// TestNewRejectsBadConfig covers New's structural guards.
+func TestNewRejectsBadConfig(t *testing.T) {
+	rng := func() *xrand.RNG { return xrand.New(1) }
+	for _, cfg := range []Config{
+		{Kind: None, N: 10},
+		{Kind: Crash, N: 1},
+		{Kind: Crash, N: 10, Fraction: -0.5},
+		{Kind: Crash, N: 10, Fraction: 2},
+		{Kind: Crash, N: 10, Fraction: 1}, // no survivors
+		{Kind: Delay, N: 10, Fraction: 0.5, Rate: -1},
+		{Kind: Crash, N: 10, Fraction: 0.5, At: -3},
+	} {
+		if _, err := New(cfg, rng()); err == nil {
+			t.Errorf("New(%+v) succeeded, want error", cfg)
+		}
+	}
+}
+
+// TestChurnSchedule pins the churn walk: round-robin over the pool with
+// strictly increasing toggle times.
+func TestChurnSchedule(t *testing.T) {
+	s, err := New(Config{Kind: Crash, Fraction: 0.2, Rate: 2, At: 1, N: 20}, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Churning() {
+		t.Fatal("Rate > 0 should churn")
+	}
+	if got := s.NextCrashAt(); got != 1 {
+		t.Fatalf("first toggle at %g, want the configured At=1", got)
+	}
+	pool := s.Victims()
+	last := s.NextCrashAt()
+	for i := 0; i < 2*len(pool); i++ {
+		v := s.NextVictim()
+		if v != pool[i%len(pool)] {
+			t.Fatalf("toggle %d hit %d, want round-robin %d", i, v, pool[i%len(pool)])
+		}
+		if next := s.NextCrashAt(); next <= last {
+			t.Fatalf("toggle times not increasing: %g after %g", next, last)
+		} else {
+			last = next
+		}
+	}
+}
+
+// TestLieFiltersVictimsOnly pins the Byzantine read filter and its counter.
+func TestLieFiltersVictimsOnly(t *testing.T) {
+	s, err := New(Config{Kind: Byzantine, Fraction: 0.25, N: 40}, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetLieTarget(2)
+	liar := s.Victims()[0]
+	honest := -1
+	flags := make([]bool, 40)
+	for _, v := range s.Victims() {
+		flags[v] = true
+	}
+	for v, lies := range flags {
+		if !lies {
+			honest = v
+			break
+		}
+	}
+	if got := s.Lie(honest, 0); got != 0 {
+		t.Errorf("honest node's opinion rewritten to %d", got)
+	}
+	if got := s.Lie(liar, 0); got != 2 {
+		t.Errorf("liar reported %d, want the lie target 2", got)
+	}
+	if s.Counters.Lies != 1 {
+		t.Errorf("Lies counter %d, want 1", s.Counters.Lies)
+	}
+}
+
+// TestStateRoundtrip pins that encode → decode restores the generator,
+// cursor, toggle time and counters, so a restored adversary continues the
+// same future. The drop stream doubles as the determinism probe.
+func TestStateRoundtrip(t *testing.T) {
+	mk := func() *State {
+		s, err := New(Config{Kind: Drop, Fraction: 0.5, N: 10}, xrand.New(21))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a := mk()
+	for i := 0; i < 100; i++ {
+		a.DropMessage()
+	}
+	w := &snap.Writer{}
+	a.EncodeState(w)
+
+	b := mk()
+	r := snap.NewReader(w.Bytes())
+	if err := b.DecodeState(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Counters != a.Counters {
+		t.Fatalf("restored counters %+v != captured %+v", b.Counters, a.Counters)
+	}
+	for i := 0; i < 200; i++ {
+		if a.DropMessage() != b.DropMessage() {
+			t.Fatalf("drop stream diverges %d draws after restore", i)
+		}
+	}
+}
+
+// TestDelayBounded pins that delay stays within Rate× the latency model and
+// is counted only when non-zero.
+func TestDelayBounded(t *testing.T) {
+	s, err := New(Config{Kind: Delay, Fraction: 1, Rate: 3, N: 10}, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := sim.ConstLatency{D: 2}
+	for i := 0; i < 50; i++ {
+		if d := s.DelayExtra(lat); d != 6 {
+			t.Fatalf("delay %g under Const(2) with Rate 3, want exactly 6", d)
+		}
+	}
+	if s.Counters.Delayed != 50 {
+		t.Errorf("Delayed counter %d, want 50", s.Counters.Delayed)
+	}
+}

@@ -1,8 +1,10 @@
 package baseline
 
 import (
+	"errors"
 	"math"
 
+	"plurality/internal/adversary"
 	"plurality/internal/metrics"
 	"plurality/internal/opinion"
 	"plurality/internal/sim"
@@ -174,6 +176,9 @@ func (ps *poissonState) complete(v int, a, b, c int32) {
 func RunPoisson(rule Rule, cfg Config, lat sim.Latency) (*Result, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
+	}
+	if cfg.Adv.Kind != adversary.None {
+		return nil, errors.New("baseline: the Poisson runner has no adversary support")
 	}
 	if lat == nil {
 		lat = sim.ExpLatency{Rate: 1}

@@ -2,8 +2,10 @@ package baseline
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
+	"plurality/internal/adversary"
 	"plurality/internal/metrics"
 	"plurality/internal/opinion"
 	"plurality/internal/snap"
@@ -40,6 +42,13 @@ type Config struct {
 	// DiscardTrajectory leaves Result.Trajectory empty, keeping O(1)
 	// recording memory; the Outcome is evaluated incrementally instead.
 	DiscardTrajectory bool
+	// Adv configures the shared adversary layer (crash/churn, drop,
+	// Byzantine lying; see internal/adversary and adversary.go in this
+	// package). The zero value disables it. The delay kind is rejected —
+	// round-based runners have no message latency to stretch — and
+	// RunPoisson does not support adversaries at all. Crash times and churn
+	// gaps are measured in (parallel) rounds.
+	Adv adversary.Config
 	// Ckpt requests a mid-run state capture and/or resumes from one; nil
 	// disables checkpointing. Ckpt.At is measured in (parallel) rounds for
 	// RunSync and RunSequential and in virtual time for RunPoisson — the
@@ -90,6 +99,8 @@ type Result struct {
 	FinalCounts opinion.Counts
 	// InitialPlurality is the opinion that was initially dominant.
 	InitialPlurality opinion.Opinion
+	// AdvCounters tallies the adversary's actions (zero for honest runs).
+	AdvCounters adversary.Counters
 }
 
 func (cfg *Config) normalize() error {
@@ -117,6 +128,12 @@ func (cfg *Config) normalize() error {
 		return fmt.Errorf("baseline: %w", err)
 	}
 	cfg.Topo = tp
+	if cfg.Adv.Kind == adversary.Delay {
+		return errors.New("baseline: the delay adversary needs message latency; round-based runners reject it")
+	}
+	if cfg.Adv.Kind != adversary.None {
+		cfg.Adv.N = cfg.N
+	}
 	return nil
 }
 
@@ -156,6 +173,10 @@ func RunSync(rule Rule, cfg Config) (*Result, error) {
 	}
 	rng := xrand.New(cfg.Seed)
 	cols, plurality := initialState(&cfg, rng)
+	ad, err := newAdversary(&cfg, cols)
+	if err != nil {
+		return nil, err
+	}
 	next := make([]opinion.Opinion, cfg.N)
 	res := &Result{Rule: rule.Name(), InitialPlurality: plurality}
 	rec := metrics.NewRecorder(cfg.Eps, cfg.DiscardTrajectory, cfg.Observe)
@@ -165,7 +186,7 @@ func RunSync(rule Rule, cfg Config) (*Result, error) {
 	stepRNG := rng.SplitNamed("steps")
 	startRound := 1
 	if ck := cfg.Ckpt; ck.Restoring() {
-		st := &roundsState{cols: cols, stepRNG: stepRNG, rule: rule, rec: rec}
+		st := &roundsState{cols: cols, stepRNG: stepRNG, rule: rule, rec: rec, ad: ad}
 		round, rounds, err := restoreRounds(ck.Restore, st, cfg.K, ck.Perturb)
 		if err != nil {
 			return nil, err
@@ -191,6 +212,9 @@ func RunSync(rule Rule, cfg Config) (*Result, error) {
 		if cfg.cancelled() {
 			return nil, cfg.Ctx.Err()
 		}
+		if ad != nil {
+			ad.applyCrash(float64(round))
+		}
 		for base := 0; base < cfg.N; base += chunk {
 			m := chunk
 			if base+m > cfg.N {
@@ -205,6 +229,13 @@ func RunSync(rule Rule, cfg Config) (*Result, error) {
 			bs.SampleNeighbors(stepRNG, vs, out)
 			for i := 0; i < m; i++ {
 				v := base + i
+				if ad != nil {
+					next[v] = cols[v]
+					if ad.observe(cols, v, out[i*nSamples:(i+1)*nSamples], samples) {
+						next[v] = rule.Update(cols[v], samples)
+					}
+					continue
+				}
 				for s := 0; s < nSamples; s++ {
 					samples[s] = cols[out[i*nSamples+s]]
 				}
@@ -213,13 +244,13 @@ func RunSync(rule Rule, cfg Config) (*Result, error) {
 		}
 		cols, next = next, cols
 		res.Rounds = round
-		done := monochromatic(cols, cfg.K)
+		done := ad.done(cols, cfg.K)
 		if round%cfg.RecordEvery == 0 || done {
 			record(round)
 		}
 		if ck := cfg.Ckpt; ck.Capturing() && !captured && !done && float64(round) >= ck.At {
 			st := &roundsState{tick: round, rounds: res.Rounds, cols: cols,
-				stepRNG: stepRNG, rule: rule, rec: rec}
+				stepRNG: stepRNG, rule: rule, rec: rec, ad: ad}
 			ck.Sink(captureRounds(st), float64(round), 0)
 			captured = true
 			if ck.Halt {
@@ -233,6 +264,9 @@ func RunSync(rule Rule, cfg Config) (*Result, error) {
 	res.FinalCounts = opinion.CountOf(cols, cfg.K)
 	res.Trajectory = rec.Trajectory()
 	res.Outcome = rec.Outcome(res.FinalCounts, plurality)
+	if ad != nil {
+		ad.patchOutcome(res, cols, plurality)
+	}
 	return res, nil
 }
 
@@ -246,6 +280,10 @@ func RunSequential(rule Rule, cfg Config) (*Result, error) {
 	}
 	rng := xrand.New(cfg.Seed)
 	cols, plurality := initialState(&cfg, rng)
+	ad, err := newAdversary(&cfg, cols)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{Rule: rule.Name(), InitialPlurality: plurality}
 	rec := metrics.NewRecorder(cfg.Eps, cfg.DiscardTrajectory, cfg.Observe)
 	record := func(round float64) {
@@ -254,7 +292,7 @@ func RunSequential(rule Rule, cfg Config) (*Result, error) {
 	stepRNG := rng.SplitNamed("steps")
 	startIt := 1
 	if ck := cfg.Ckpt; ck.Restoring() {
-		st := &roundsState{cols: cols, stepRNG: stepRNG, rule: rule, rec: rec}
+		st := &roundsState{cols: cols, stepRNG: stepRNG, rule: rule, rec: rec, ad: ad}
 		it, rounds, err := restoreRounds(ck.Restore, st, cfg.K, ck.Perturb)
 		if err != nil {
 			return nil, err
@@ -277,27 +315,36 @@ func RunSequential(rule Rule, cfg Config) (*Result, error) {
 		// The activated node's draw and its own update feed the next
 		// interaction's reads, so batching stops at the interaction
 		// boundary: one bulk call for the S sample draws.
+		if ad != nil {
+			ad.applyCrash(float64(it) / float64(cfg.N))
+		}
 		v := stepRNG.Intn(cfg.N)
 		vs, out := sc.Buffers(nSamples)
 		for i := range vs {
 			vs[i] = int32(v)
 		}
 		bs.SampleNeighbors(stepRNG, vs, out)
-		for i := range samples {
-			samples[i] = cols[out[i]]
+		if ad != nil {
+			if ad.observe(cols, v, out, samples) {
+				cols[v] = rule.Update(cols[v], samples)
+			}
+		} else {
+			for i := range samples {
+				samples[i] = cols[out[i]]
+			}
+			cols[v] = rule.Update(cols[v], samples)
 		}
-		cols[v] = rule.Update(cols[v], samples)
 		done := false
 		if it%(cfg.RecordEvery*cfg.N) == 0 {
 			round := float64(it) / float64(cfg.N)
 			res.Rounds = int(round)
 			record(round)
-			done = monochromatic(cols, cfg.K)
+			done = ad.done(cols, cfg.K)
 		}
 		if ck := cfg.Ckpt; ck.Capturing() && !captured && !done &&
 			float64(it) >= ck.At*float64(cfg.N) {
 			st := &roundsState{tick: it, rounds: res.Rounds, cols: cols,
-				stepRNG: stepRNG, rule: rule, rec: rec}
+				stepRNG: stepRNG, rule: rule, rec: rec, ad: ad}
 			ck.Sink(captureRounds(st), float64(it)/float64(cfg.N), 0)
 			captured = true
 			if ck.Halt {
@@ -311,6 +358,9 @@ func RunSequential(rule Rule, cfg Config) (*Result, error) {
 	res.FinalCounts = opinion.CountOf(cols, cfg.K)
 	res.Trajectory = rec.Trajectory()
 	res.Outcome = rec.Outcome(res.FinalCounts, plurality)
+	if ad != nil {
+		ad.patchOutcome(res, cols, plurality)
+	}
 	return res, nil
 }
 

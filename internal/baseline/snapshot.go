@@ -61,6 +61,7 @@ type roundsState struct {
 	stepRNG *xrand.RNG
 	rule    Rule
 	rec     *metrics.Recorder
+	ad      *advState // nil for honest runs
 }
 
 // captureRounds serializes a round-based run at a scheduler boundary.
@@ -72,6 +73,14 @@ func captureRounds(st *roundsState) []byte {
 	encodeRuleStream(w, st.rule)
 	opinion.EncodeSlice(w, st.cols)
 	metrics.EncodeRecorder(w, st.rec)
+	// Adversarial runs append the crash flags and the adversary state; the
+	// suffix's presence is a pure function of the Config, so capture and
+	// restore agree on it and honest blobs decode unchanged.
+	if st.ad != nil {
+		w.Bools(st.ad.crashed)
+		w.Int(st.ad.aliveN)
+		st.ad.adv.EncodeState(w)
+	}
 	return w.Bytes()
 }
 
@@ -95,6 +104,21 @@ func restoreRounds(state []byte, st *roundsState, k int, perturb uint64) (tick, 
 	if err := metrics.DecodeRecorder(r, st.rec); err != nil {
 		return 0, 0, fmt.Errorf("baseline: recorder: %w", err)
 	}
+	var crashed []bool
+	aliveN := len(st.cols)
+	if st.ad != nil {
+		crashed = r.Bools()
+		aliveN = r.Int()
+		if err := st.ad.adv.DecodeState(r); err != nil {
+			return 0, 0, fmt.Errorf("baseline: adversary state: %w", err)
+		}
+		if len(crashed) != len(st.cols) && r.Err() == nil {
+			return 0, 0, fmt.Errorf("baseline: %w: crash-flag length mismatch", snap.ErrCorrupt)
+		}
+		if aliveN < 0 || aliveN > len(st.cols) {
+			return 0, 0, fmt.Errorf("baseline: %w: alive count %d outside [0, %d]", snap.ErrCorrupt, aliveN, len(st.cols))
+		}
+	}
 	if err := r.Finish(); err != nil {
 		return 0, 0, fmt.Errorf("baseline: state: %w", err)
 	}
@@ -105,10 +129,17 @@ func restoreRounds(state []byte, st *roundsState, k int, perturb uint64) (tick, 
 		return 0, 0, fmt.Errorf("baseline: %w: negative scheduler position", snap.ErrCorrupt)
 	}
 	copy(st.cols, cols)
+	if st.ad != nil {
+		copy(st.ad.crashed, crashed)
+		st.ad.aliveN = aliveN
+	}
 	if perturb != 0 {
 		st.stepRNG.Perturb(perturb)
 		if s := ruleStream(st.rule); s != nil {
 			s.Perturb(perturb)
+		}
+		if st.ad != nil {
+			st.ad.adv.Perturb(perturb)
 		}
 	}
 	return tick, rounds, nil

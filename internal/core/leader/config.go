@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 
+	"plurality/internal/adversary"
 	"plurality/internal/metrics"
 	"plurality/internal/opinion"
 	"plurality/internal/sim"
@@ -88,10 +89,18 @@ type Config struct {
 	// decentralization by resilience but does not model failures). Crashed
 	// nodes stop ticking and become unreadable when sampled. With
 	// CrashFrac > 0, FullConsensus and ConsensusTime in the result refer
-	// to the surviving nodes. Must lie in [0, 1).
+	// to the surviving nodes. Must lie in [0, 1). This is the legacy knob:
+	// it now runs on the shared adversary subsystem (the victim set and its
+	// substream are unchanged, so legacy runs are bit-identical) and is
+	// mutually exclusive with Adv.
 	CrashFrac float64
 	// CrashTime is the virtual time of the crash event (>= 0).
 	CrashTime float64
+	// Adv configures the shared adversary layer (crash/churn, message
+	// delay/drop, Byzantine lying; see internal/adversary). The zero value
+	// disables it; the adversary draws from its own generator, so honest
+	// runs are byte-identical whether or not the field existed.
+	Adv adversary.Config
 	// Ctx cancels or bounds the run; polled every few hundred simulator
 	// events. nil means never cancelled.
 	Ctx context.Context
@@ -156,6 +165,12 @@ func (cfg *Config) normalize() error {
 	}
 	if cfg.CrashTime < 0 {
 		return fmt.Errorf("leader: negative CrashTime %v", cfg.CrashTime)
+	}
+	if cfg.Adv.Kind != adversary.None {
+		if cfg.CrashFrac > 0 {
+			return fmt.Errorf("leader: legacy CrashFrac and Adv are mutually exclusive")
+		}
+		cfg.Adv.N = cfg.N
 	}
 	return nil
 }

@@ -1,0 +1,58 @@
+package leader
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// legacyCrashDigest is the pinned digest of the bespoke CrashFrac/CrashTime
+// configuration recorded before the crash path was re-expressed on top of
+// internal/adversary. The refactor must keep this configuration bit-exact:
+// same victim set (root "crash" substream), same event ordering, same
+// survivor-consensus detection.
+const legacyCrashDigest = "b8907c0ef533319fa36a6a8b3c93b1d0c96db940923004392ac5af27c9b6c5f2"
+
+// digestCrashResult renders every digest-relevant field of a crash run in
+// hex-float precision and hashes it, mirroring the public kernel-golden
+// digest convention.
+func digestCrashResult(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "outcome=%v|%v|%v|%x|%x|%x|%d\n", res.Outcome.FullConsensus,
+		res.Outcome.PluralityWon, res.Outcome.EpsReached,
+		res.Outcome.ConsensusTime, res.Outcome.EpsTime, res.Outcome.Eps,
+		res.Outcome.Winner)
+	fmt.Fprintf(&b, "end=%x events=%d timedout=%v\n", res.EndTime, res.Events, res.TimedOut)
+	fmt.Fprintf(&b, "msgs=%d peak=%x\n", res.TotalLeaderMessages, res.PeakLeaderLoad)
+	fmt.Fprintf(&b, "counts=%v initial=%d gstar=%d\n", res.FinalCounts, res.InitialPlurality, res.GStar)
+	for _, p := range res.Trajectory {
+		fmt.Fprintf(&b, "t=%x top=%x pl=%x bias=%x maxgen=%d frac=%x\n",
+			p.Time, p.TopFrac, p.PluralityFrac, p.Bias, p.MaxGen, p.MaxGenFrac)
+	}
+	for _, pe := range res.PhaseLog {
+		fmt.Fprintf(&b, "phase=%x|%d|%d\n", pe.Time, pe.Gen, pe.Phase)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestLegacyCrashDigest pins the exact behavior of the legacy crash-injection
+// configuration across the adversary refactor (ISSUE 6 satellite: digest
+// equivalence for the legacy configuration).
+func TestLegacyCrashDigest(t *testing.T) {
+	res, err := Run(Config{N: 1000, K: 3, Alpha: 3, Seed: 25, CrashFrac: 0.3, CrashTime: 20})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	got := digestCrashResult(res)
+	if os.Getenv("PLURALITY_GOLDEN_RECORD") != "" {
+		t.Logf("legacy crash digest: %s", got)
+		return
+	}
+	if got != legacyCrashDigest {
+		t.Fatalf("legacy crash digest drifted:\n got %s\nwant %s", got, legacyCrashDigest)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"plurality/internal/adversary"
 	"plurality/internal/core/syncgen"
 	"plurality/internal/metrics"
 	"plurality/internal/opinion"
@@ -74,6 +75,8 @@ type Result struct {
 	// that motivates the decentralized protocol.
 	TotalLeaderMessages uint64
 	PeakLeaderLoad      float64
+	// AdvCounters tallies the adversary's actions (zero for honest runs).
+	AdvCounters adversary.Counters
 }
 
 // Typed event kinds of the single-leader engine (see HandleEvent). All
@@ -96,8 +99,13 @@ const (
 	// evDeadline is the hard MaxTime watchdog, independent of the recorder
 	// cadence.
 	evDeadline
-	// evCrash fail-stops the precomputed victim set (CrashFrac extension).
+	// evCrash is one crash-adversary action: a one-shot fail-stop of the
+	// victim pool, or one churn toggle (see internal/adversary). The legacy
+	// CrashFrac knob schedules the same event, keeping its value stable.
 	evCrash
+	// evAdvDeliver delivers a message the delay adversary held back: A is
+	// the payload-arena slot holding the original event.
+	evAdvDeliver
 )
 
 // runState bundles the mutable simulation state of one run.
@@ -147,12 +155,17 @@ type runState struct {
 	monoAt     float64
 	totalTicks uint64
 
-	// crashed marks fail-stopped nodes (CrashFrac extension); aliveN is the
-	// survivor count against which consensus is detected. crashVictims is
-	// the deterministic victim set applied by evCrash.
-	crashed      []bool
-	aliveN       int
-	crashVictims []int
+	// crashed marks fail-stopped nodes; aliveN is the survivor count
+	// against which consensus is detected. The engine owns both — the
+	// adversary only decides which node toggles when (see advCrash).
+	crashed []bool
+	aliveN  int
+
+	// adv is the run's adversary (nil for honest runs — the nil check is
+	// the only cost the hot path pays) and payload the side-arena delayed
+	// messages park their original event in.
+	adv     *adversary.State
+	payload *sim.PayloadArena
 
 	// maxTime is the effective abort horizon and rec the trajectory
 	// recorder; both live on the state so the evRecord/evDeadline handlers
@@ -231,12 +244,36 @@ func Run(cfg Config) (*Result, error) {
 		PhaseEvent{Time: 0, Gen: 1, Phase: PhaseTwoChoices})
 	restoring := cfg.Ckpt.Restoring()
 	if cfg.CrashFrac > 0 {
-		// The victim set is a deterministic function of the seed, so a
-		// restored run recomputes it instead of carrying it in the blob.
-		m := int(cfg.CrashFrac * float64(cfg.N))
-		rs.crashVictims = root.SplitNamed("crash").Perm(cfg.N)[:m]
-		if !restoring {
-			rs.sm.Schedule(cfg.CrashTime, sim.Event{Kind: evCrash})
+		// Legacy crash knob, re-expressed on the shared adversary: the
+		// construction generator is the same root substream at the same
+		// position and the victim pool the same Perm prefix, so legacy runs
+		// stay bit-identical (pinned by TestLegacyCrashDigest). The pool is
+		// a deterministic function of the seed, so a restored run recomputes
+		// it instead of carrying it in the blob.
+		adv, err := adversary.New(adversary.Config{
+			Kind: adversary.Crash, Fraction: cfg.CrashFrac,
+			At: cfg.CrashTime, N: cfg.N,
+		}, root.SplitNamed("crash"))
+		if err != nil {
+			return nil, fmt.Errorf("leader: %w", err)
+		}
+		rs.adv = adv
+	} else if cfg.Adv.Kind != adversary.None {
+		// Standalone adversary: a private generator seeded independently of
+		// the root stream, so the honest engine streams are untouched.
+		adv, err := adversary.New(cfg.Adv, xrand.New(cfg.Adv.Seed))
+		if err != nil {
+			return nil, fmt.Errorf("leader: %w", err)
+		}
+		rs.adv = adv
+		if _, second := initCounts.TopTwo(); second >= 0 {
+			adv.SetLieTarget(int32(second))
+		}
+	}
+	if rs.adv != nil {
+		rs.payload = &sim.PayloadArena{}
+		if at := rs.adv.NextCrashAt(); at >= 0 && !restoring {
+			rs.sm.Schedule(at, sim.Event{Kind: evCrash})
 		}
 	}
 
@@ -271,6 +308,9 @@ func Run(cfg Config) (*Result, error) {
 
 	rs.res.EndTime = rs.sm.Now()
 	rs.res.Events = rs.sm.Processed()
+	if rs.adv != nil {
+		rs.res.AdvCounters = rs.adv.Counters
+	}
 	if rs.loadCount > rs.peakLoad {
 		rs.peakLoad = rs.loadCount
 	}
@@ -327,7 +367,9 @@ func (rs *runState) HandleEvent(ev sim.Event) {
 			rs.sm.Stop()
 		}
 	case evCrash:
-		rs.crash()
+		rs.advCrash()
+	case evAdvDeliver:
+		rs.HandleEvent(rs.payload.Take(ev.A))
 	}
 }
 
@@ -339,15 +381,22 @@ func (rs *runState) record() {
 	rs.rec.Append(p)
 }
 
-// crash fail-stops the precomputed victim set (CrashFrac extension).
-func (rs *runState) crash() {
-	for _, v := range rs.crashVictims {
+// advCrash applies one crash-adversary action: the one-shot fail-stop of the
+// whole victim pool, or — under churn — one crash/recover toggle followed by
+// scheduling the next one.
+func (rs *runState) advCrash() {
+	if rs.adv.Churning() {
+		v := rs.adv.NextVictim()
 		if rs.crashed[v] {
-			continue
+			rs.recoverNode(v)
+		} else {
+			rs.crashNode(v)
 		}
-		rs.crashed[v] = true
-		rs.aliveN--
-		rs.colorCount[rs.cols[v]]--
+		rs.sm.Schedule(rs.adv.NextCrashAt(), sim.Event{Kind: evCrash})
+	} else {
+		for _, v := range rs.adv.Victims() {
+			rs.crashNode(v)
+		}
 	}
 	// Survivors may already be unanimous.
 	for _, cnt := range rs.colorCount {
@@ -356,6 +405,40 @@ func (rs *runState) crash() {
 			rs.monoAt = rs.sm.Now()
 		}
 	}
+}
+
+// crashNode fail-stops node v: it stops acting on ticks and becomes
+// unreadable when sampled, and leaves the survivor tallies.
+func (rs *runState) crashNode(v int) {
+	if rs.crashed[v] {
+		return
+	}
+	rs.crashed[v] = true
+	rs.aliveN--
+	rs.colorCount[rs.cols[v]]--
+	rs.adv.NoteCrash()
+}
+
+// recoverNode rejoins a crashed node with the state it crashed with.
+func (rs *runState) recoverNode(v int) {
+	rs.crashed[v] = false
+	rs.aliveN++
+	rs.colorCount[rs.cols[v]]++
+	rs.adv.NoteRecovery()
+}
+
+// sendMsg schedules a protocol message, giving the delay adversary a chance
+// to stretch the delivery: a delayed message parks the original event in the
+// payload arena and is re-dispatched by evAdvDeliver. Honest runs take the
+// plain path (one nil check, no extra draws).
+func (rs *runState) sendMsg(d float64, ev sim.Event) {
+	if rs.adv != nil {
+		if extra := rs.adv.DelayExtra(rs.lat); extra > 0 {
+			rs.sm.ScheduleAfter(d+extra, sim.Event{Kind: evAdvDeliver, A: rs.payload.Put(ev)})
+			return
+		}
+	}
+	rs.sm.ScheduleAfter(d, ev)
 }
 
 // tick handles one Poisson tick of node v (Algorithm 2 lines 1-3).
@@ -367,7 +450,7 @@ func (rs *runState) tick(v int) {
 	// Line 1: 0-signal to the leader; fire-and-forget with latency.
 	// SignalLoss (an extension; 0 in the paper's model) may drop it.
 	if rs.cfg.SignalLoss == 0 || !rs.latR.Bernoulli(rs.cfg.SignalLoss) {
-		rs.sm.ScheduleAfter(rs.lat.Sample(rs.latR), sim.Event{Kind: evSignal})
+		rs.sendMsg(rs.lat.Sample(rs.latR), sim.Event{Kind: evSignal})
 	}
 	// Line 2: locked nodes do nothing else.
 	if rs.locked[v] {
@@ -382,7 +465,7 @@ func (rs *runState) tick(v int) {
 	rs.bs.SampleNeighbors(rs.tickR, vs, out)
 	d := math.Max(rs.lat.Sample(rs.latR), rs.lat.Sample(rs.latR)) +
 		rs.lat.Sample(rs.latR)
-	rs.sm.ScheduleAfter(d, sim.Event{Kind: evComplete, Node: int32(v), A: out[0], B: out[1]})
+	rs.sendMsg(d, sim.Event{Kind: evComplete, Node: int32(v), A: out[0], B: out[1]})
 }
 
 // complete handles the established channels of node v (Algorithm 2 lines
@@ -397,8 +480,17 @@ func (rs *runState) complete(v, a, b int) {
 	// Reading (gen, prop) is one more request the leader serves.
 	rs.leaderMessage()
 	// Crashed samples never answer: the affected branch simply sees no
-	// usable state from them.
+	// usable state from them. The drop adversary loses replies the same
+	// way, and Byzantine liars answer with the lie target instead of their
+	// true opinion.
 	aUp, bUp := !rs.crashed[a], !rs.crashed[b]
+	colA, colB := rs.cols[a], rs.cols[b]
+	if rs.adv != nil {
+		aUp = aUp && !rs.adv.DropMessage()
+		bUp = bUp && !rs.adv.DropMessage()
+		colA = opinion.Opinion(rs.adv.Lie(a, int32(colA)))
+		colB = opinion.Opinion(rs.adv.Lie(b, int32(colB)))
+	}
 	lGen, lProp := rs.leaderGen, rs.leaderProp
 	if int(rs.seenG[v]) != lGen || rs.seenP[v] != lProp {
 		// Line 13-14: out of sync; refresh the stored leader state only.
@@ -408,29 +500,35 @@ func (rs *runState) complete(v, a, b int) {
 	}
 	ga, gb := rs.gens[a], rs.gens[b]
 	if aUp && bUp &&
-		!lProp && ga == gb && int(ga) == lGen-1 && rs.cols[a] == rs.cols[b] {
+		!lProp && ga == gb && int(ga) == lGen-1 && colA == colB {
 		// Lines 6-8: two-choices promotion into generation lGen.
 		if rs.cfg.CheckInvariants && rs.propSeen[lGen] {
 			panic(fmt.Sprintf("leader: two-choices into gen %d after its propagation phase", lGen))
 		}
-		rs.setNode(v, rs.cols[a], int32(lGen))
+		rs.setNode(v, colA, int32(lGen))
 		return
 	}
 	// Lines 9-11: propagation from the best qualifying sample.
 	pick := -1
 	var pickGen int32 = -1
-	for _, x := range [2]int{a, b} {
-		if rs.crashed[x] {
+	var pickCol opinion.Opinion
+	for i, x := range [2]int{a, b} {
+		up, col := aUp, colA
+		if i == 1 {
+			up, col = bUp, colB
+		}
+		if !up {
 			continue
 		}
 		gx := rs.gens[x]
 		if gx > rs.gens[v] && (int(gx) < lGen || lProp) && gx > pickGen {
 			pick = x
 			pickGen = gx
+			pickCol = col
 		}
 	}
 	if pick >= 0 {
-		rs.setNode(v, rs.cols[pick], rs.gens[pick])
+		rs.setNode(v, pickCol, rs.gens[pick])
 	}
 }
 
@@ -461,7 +559,7 @@ func (rs *runState) setNode(v int, col opinion.Opinion, gen int32) {
 		}
 		if gen > oldGen {
 			if rs.cfg.SignalLoss == 0 || !rs.latR.Bernoulli(rs.cfg.SignalLoss) {
-				rs.sm.ScheduleAfter(rs.lat.Sample(rs.latR),
+				rs.sendMsg(rs.lat.Sample(rs.latR),
 					sim.Event{Kind: evSignal, A: int32(gen)})
 			}
 		}

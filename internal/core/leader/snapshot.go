@@ -65,6 +65,14 @@ func (rs *runState) capture() ([]byte, error) {
 		w.Int(int(pe.Phase))
 	}
 	metrics.EncodeRecorder(w, rs.rec)
+	// Adversarial runs append the adversary generator/counters and the
+	// payload arena; the suffix's presence is a pure function of the Config,
+	// so capture and restore agree on it and honest (pre-adversary) blobs
+	// decode unchanged.
+	if rs.adv != nil {
+		rs.adv.EncodeState(w)
+		rs.payload.EncodeState(w)
+	}
 	return w.Bytes(), nil
 }
 
@@ -126,6 +134,14 @@ func (rs *runState) restore(state []byte, perturb uint64) error {
 	if err := metrics.DecodeRecorder(r, rs.rec); err != nil {
 		return fmt.Errorf("leader: recorder: %w", err)
 	}
+	if rs.adv != nil {
+		if err := rs.adv.DecodeState(r); err != nil {
+			return fmt.Errorf("leader: adversary state: %w", err)
+		}
+		if err := rs.payload.DecodeState(r); err != nil {
+			return fmt.Errorf("leader: payload arena: %w", err)
+		}
+	}
 	if err := r.Finish(); err != nil {
 		return fmt.Errorf("leader: state: %w", err)
 	}
@@ -168,6 +184,9 @@ func (rs *runState) restore(state []byte, perturb uint64) error {
 		rs.tickR.Perturb(perturb)
 		rs.latR.Perturb(perturb)
 		rs.clocks.Perturb(perturb)
+		if rs.adv != nil {
+			rs.adv.Perturb(perturb)
+		}
 	}
 	return nil
 }

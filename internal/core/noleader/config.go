@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 
+	"plurality/internal/adversary"
 	"plurality/internal/cluster"
 	"plurality/internal/metrics"
 	"plurality/internal/opinion"
@@ -80,6 +81,12 @@ type Config struct {
 	// DiscardTrajectory leaves Result.Trajectory empty, keeping O(1)
 	// recording memory; the Outcome is evaluated incrementally instead.
 	DiscardTrajectory bool
+	// Adv configures the shared adversary layer (crash/churn, message
+	// delay/drop, Byzantine lying; see internal/adversary). The zero value
+	// disables it; it draws from its own generator, so honest runs stay
+	// byte-identical. Adversary actions apply to the consensus phase only —
+	// the clustering phase runs before the adversary wakes up.
+	Adv adversary.Config
 	// Ckpt requests a mid-run state capture and/or resumes from one; nil
 	// disables checkpointing. Ckpt.At refers to consensus-phase virtual
 	// time (the time axis of the Result); the snapshot embeds the finished
@@ -138,6 +145,9 @@ func (cfg *Config) normalize() error {
 	if cfg.Eps <= 0 {
 		l := math.Log2(float64(cfg.N))
 		cfg.Eps = 1 / (l * l)
+	}
+	if cfg.Adv.Kind != adversary.None {
+		cfg.Adv.N = cfg.N
 	}
 	return nil
 }

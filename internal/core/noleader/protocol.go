@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"plurality/internal/adversary"
 	"plurality/internal/cluster"
 	"plurality/internal/core/syncgen"
 	"plurality/internal/metrics"
@@ -88,6 +89,8 @@ type Result struct {
 	// stays polylog(n) where the single leader's is Θ(n).
 	TotalLeaderMessages uint64
 	PeakLeaderLoad      float64
+	// AdvCounters tallies the adversary's actions (zero for honest runs).
+	AdvCounters adversary.Counters
 }
 
 // Run forms clusters and then executes Algorithms 4 and 5 under cfg.
@@ -171,6 +174,8 @@ func Run(cfg Config) (*Result, error) {
 		tmpGen:    make([]int32, cfg.N),
 		tmpState:  make([]int8, cfg.N),
 		counts:    initCounts,
+		crashed:   make([]bool, cfg.N),
+		aliveN:    cfg.N,
 		leaderIdx: make([]int32, cfg.N),
 		gStar:     gStar,
 		plurality: opinion.Opinion(pl),
@@ -211,6 +216,23 @@ func Run(cfg Config) (*Result, error) {
 			metrics.Snapshot(0, cols, cfg.K, rs.plurality)},
 			initCounts, rs.plurality, cfg.Eps)
 		return rs.res, nil
+	}
+
+	if cfg.Adv.Kind != adversary.None {
+		// The adversary draws from a private generator seeded independently
+		// of the root stream, so the honest engine streams are untouched.
+		adv, err := adversary.New(cfg.Adv, xrand.New(cfg.Adv.Seed))
+		if err != nil {
+			return nil, fmt.Errorf("noleader: %w", err)
+		}
+		rs.adv = adv
+		rs.payload = &sim.PayloadArena{}
+		if _, second := initCounts.TopTwo(); second >= 0 {
+			adv.SetLieTarget(int32(second))
+		}
+		if at := adv.NextCrashAt(); at >= 0 && restoreR == nil {
+			rs.sm.Schedule(at, sim.Event{Kind: evCrash})
+		}
 	}
 
 	rs.maxTime = maxTime
@@ -254,9 +276,24 @@ func Run(cfg Config) (*Result, error) {
 	}
 	rs.res.Trajectory = rs.rec.Trajectory()
 	rs.res.Outcome = rs.rec.Outcome(rs.res.FinalCounts, rs.plurality)
+	if rs.adv != nil {
+		rs.res.AdvCounters = rs.adv.Counters
+	}
 	if rs.mono {
 		rs.res.Outcome.FullConsensus = true
 		rs.res.Outcome.ConsensusTime = rs.monoAt
+		if rs.aliveN < cfg.N && rs.aliveN > 0 {
+			// Survivor consensus: crashed nodes hold stale colors, so the
+			// count-based Outcome cannot see the winner; read it off the
+			// first survivor instead.
+			for v := 0; v < cfg.N; v++ {
+				if !rs.crashed[v] {
+					rs.res.Outcome.Winner = rs.cols[v]
+					break
+				}
+			}
+			rs.res.Outcome.PluralityWon = rs.res.Outcome.Winner == rs.plurality
+		}
 	}
 	// Flatten the phase map into ordered spans.
 	for g := 1; g <= gStar+1; g++ {

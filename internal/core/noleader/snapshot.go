@@ -79,6 +79,16 @@ func (rs *consensusState) capture() ([]byte, error) {
 	w.U64(rs.res.TotalLeaderMessages)
 	w.Bool(rs.res.TimedOut)
 	metrics.EncodeRecorder(w, rs.rec)
+	// Adversarial runs append the crash flags, the adversary state and the
+	// delayed-message arena; the suffix's presence is a pure function of
+	// the Config, so capture and restore agree on it and honest blobs
+	// decode unchanged.
+	if rs.adv != nil {
+		w.Bools(rs.crashed)
+		w.Int(rs.aliveN)
+		rs.adv.EncodeState(w)
+		rs.payload.EncodeState(w)
+	}
 	return w.Bytes(), nil
 }
 
@@ -149,6 +159,24 @@ func (rs *consensusState) restore(r *snap.Reader, perturb uint64) error {
 	if err := metrics.DecodeRecorder(r, rs.rec); err != nil {
 		return fmt.Errorf("noleader: recorder: %w", err)
 	}
+	var crashed []bool
+	aliveN := rs.cfg.N
+	if rs.adv != nil {
+		crashed = r.Bools()
+		aliveN = r.Int()
+		if err := rs.adv.DecodeState(r); err != nil {
+			return fmt.Errorf("noleader: adversary state: %w", err)
+		}
+		if err := rs.payload.DecodeState(r); err != nil {
+			return fmt.Errorf("noleader: delayed messages: %w", err)
+		}
+		if len(crashed) != rs.cfg.N && r.Err() == nil {
+			return fmt.Errorf("noleader: %w: crash-flag length mismatch", snap.ErrCorrupt)
+		}
+		if aliveN < 0 || aliveN > rs.cfg.N {
+			return fmt.Errorf("noleader: %w: alive count %d outside [0, %d]", snap.ErrCorrupt, aliveN, rs.cfg.N)
+		}
+	}
 	if err := r.Finish(); err != nil {
 		return fmt.Errorf("noleader: state: %w", err)
 	}
@@ -182,10 +210,17 @@ func (rs *consensusState) restore(r *snap.Reader, perturb uint64) error {
 	rs.phase = phase
 	rs.res.TotalLeaderMessages = leaderMsgs
 	rs.res.TimedOut = timedOut
+	if rs.adv != nil {
+		copy(rs.crashed, crashed)
+		rs.aliveN = aliveN
+	}
 	if perturb != 0 {
 		rs.smp.Perturb(perturb)
 		rs.latR.Perturb(perturb)
 		rs.clocks.Perturb(perturb)
+		if rs.adv != nil {
+			rs.adv.Perturb(perturb)
+		}
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package noleader
 import (
 	"math"
 
+	"plurality/internal/adversary"
 	"plurality/internal/cluster"
 	"plurality/internal/metrics"
 	"plurality/internal/opinion"
@@ -29,6 +30,12 @@ const (
 	evRecord
 	// evDeadline is the hard MaxTime watchdog.
 	evDeadline
+	// evCrash is one crash-adversary action: a one-shot fail-stop of the
+	// victim pool, or one churn toggle (see internal/adversary).
+	evCrash
+	// evAdvDeliver delivers a message the delay adversary held back: A is
+	// the payload-arena slot holding the original event.
+	evAdvDeliver
 )
 
 // consensusState bundles the mutable state of the consensus phase. The
@@ -81,6 +88,19 @@ type consensusState struct {
 	mono      bool
 	monoAt    float64
 
+	// crashed marks fail-stopped nodes; aliveN is the survivor count
+	// against which consensus is detected. The engine owns both — the
+	// adversary only decides which node toggles when (see advCrash).
+	// Honest runs keep every flag false and aliveN == N.
+	crashed []bool
+	aliveN  int
+
+	// adv is the run's adversary (nil for honest runs — the nil check is
+	// the only cost the hot path pays) and payload the side-arena delayed
+	// messages park their original event in.
+	adv     *adversary.State
+	payload *sim.PayloadArena
+
 	phase map[int]*GenPhases
 	res   *Result
 
@@ -131,7 +151,72 @@ func (rs *consensusState) HandleEvent(ev sim.Event) {
 			rs.res.TimedOut = true
 			rs.sm.Stop()
 		}
+	case evCrash:
+		rs.advCrash()
+	case evAdvDeliver:
+		rs.HandleEvent(rs.payload.Take(ev.A))
 	}
+}
+
+// advCrash applies one crash-adversary action: the one-shot fail-stop of the
+// whole victim pool, or — under churn — one crash/recover toggle followed by
+// scheduling the next one.
+func (rs *consensusState) advCrash() {
+	if rs.adv.Churning() {
+		v := rs.adv.NextVictim()
+		if rs.crashed[v] {
+			rs.recoverNode(v)
+		} else {
+			rs.crashNode(v)
+		}
+		rs.sm.Schedule(rs.adv.NextCrashAt(), sim.Event{Kind: evCrash})
+	} else {
+		for _, v := range rs.adv.Victims() {
+			rs.crashNode(v)
+		}
+	}
+	// Survivors may already be unanimous.
+	for _, cnt := range rs.counts {
+		if cnt == rs.aliveN && rs.aliveN > 0 && !rs.mono {
+			rs.mono = true
+			rs.monoAt = rs.sm.Now()
+		}
+	}
+}
+
+// crashNode fail-stops node v: it stops acting on ticks, becomes unreadable
+// when sampled and — if it is a cluster leader — stops serving signals; its
+// color leaves the survivor tally.
+func (rs *consensusState) crashNode(v int) {
+	if rs.crashed[v] {
+		return
+	}
+	rs.crashed[v] = true
+	rs.aliveN--
+	rs.counts[rs.cols[v]]--
+	rs.adv.NoteCrash()
+}
+
+// recoverNode rejoins a crashed node with the state it crashed with.
+func (rs *consensusState) recoverNode(v int) {
+	rs.crashed[v] = false
+	rs.aliveN++
+	rs.counts[rs.cols[v]]++
+	rs.adv.NoteRecovery()
+}
+
+// sendMsg schedules a protocol message, giving the delay adversary a chance
+// to stretch the delivery: a delayed message parks the original event in the
+// payload arena and is re-dispatched by evAdvDeliver. Honest runs take the
+// plain path (one nil check, no extra draws).
+func (rs *consensusState) sendMsg(d float64, ev sim.Event) {
+	if rs.adv != nil {
+		if extra := rs.adv.DelayExtra(rs.cfg.Latency); extra > 0 {
+			rs.sm.ScheduleAfter(d+extra, sim.Event{Kind: evAdvDeliver, A: rs.payload.Put(ev)})
+			return
+		}
+	}
+	rs.sm.ScheduleAfter(d, ev)
 }
 
 // record appends one trajectory snapshot at the current virtual time.
@@ -199,8 +284,8 @@ func (rs *consensusState) leaderMessage(li int32) {
 // (Algorithm 5).
 func (rs *consensusState) signal(l int, i int, s LeaderStateKind, hasChanged bool) {
 	li := rs.leaderIdx[l]
-	if li < 0 {
-		return
+	if li < 0 || rs.crashed[l] {
+		return // crashed leaders serve nothing until they recover
 	}
 	rs.leaderMessage(li)
 	if rs.mono {
@@ -256,7 +341,7 @@ func (rs *consensusState) sendSignal(l int, i int, s LeaderStateKind, hasChanged
 	if hasChanged {
 		hc = 1
 	}
-	rs.sm.ScheduleAfter(rs.cfg.Latency.Sample(rs.latR),
+	rs.sendMsg(rs.cfg.Latency.Sample(rs.latR),
 		sim.Event{Kind: evSignal, Node: int32(l), A: int32(i), B: int32(s), C: hc})
 }
 
@@ -271,7 +356,10 @@ func (rs *consensusState) setNode(v int, col opinion.Opinion, gen int32) {
 	if old != col {
 		rs.counts[old]--
 		rs.counts[col]++
-		if rs.counts[col] == rs.cfg.N && !rs.mono {
+		// counts tallies survivors only (crashNode removes a victim's
+		// color), so unanimity is detected against aliveN; honest runs
+		// have aliveN == N and behave exactly as before.
+		if rs.counts[col] == rs.aliveN && rs.aliveN > 0 && !rs.mono {
 			rs.mono = true
 			rs.monoAt = rs.sm.Now()
 		}
@@ -280,7 +368,7 @@ func (rs *consensusState) setNode(v int, col opinion.Opinion, gen int32) {
 
 // tick handles one Poisson tick of node v (Algorithm 4).
 func (rs *consensusState) tick(v int) {
-	if rs.mono {
+	if rs.mono || rs.crashed[v] {
 		return
 	}
 	myLeader := int(rs.cl.LeaderOf[v])
@@ -306,7 +394,7 @@ func (rs *consensusState) tick(v int) {
 	lat := rs.cfg.Latency
 	three := math.Max(lat.Sample(rs.latR), math.Max(lat.Sample(rs.latR), lat.Sample(rs.latR)))
 	two := math.Max(lat.Sample(rs.latR), lat.Sample(rs.latR))
-	rs.sm.ScheduleAfter(three+two,
+	rs.sendMsg(three+two,
 		sim.Event{Kind: evComplete, Node: int32(v), A: out[0], B: out[1], C: out[2]})
 }
 
@@ -315,21 +403,55 @@ func (rs *consensusState) complete(v, v1, v2, v3, myLeader int, participates boo
 	// The event runs atomically, so the lock can drop on entry: it only
 	// gates future tick events.
 	rs.locked[v] = false
-	if rs.mono {
+	if rs.mono || rs.crashed[v] {
 		return
 	}
-	// Line 5: a finished node pushes its final opinion.
+	// Adversary view of the three sampled partners: a crashed or dropped
+	// partner is unreachable this round, and Byzantine liars misreport
+	// their color (generations stay truthful — lying about freshness is a
+	// different adversary). Honest runs see every partner up with its true
+	// color.
+	u1Up, u2Up, u3Up := !rs.crashed[v1], !rs.crashed[v2], !rs.crashed[v3]
+	col1, col2, col3 := rs.cols[v1], rs.cols[v2], rs.cols[v3]
+	if rs.adv != nil {
+		u1Up = u1Up && !rs.adv.DropMessage()
+		u2Up = u2Up && !rs.adv.DropMessage()
+		u3Up = u3Up && !rs.adv.DropMessage()
+		col1 = opinion.Opinion(rs.adv.Lie(v1, int32(col1)))
+		col2 = opinion.Opinion(rs.adv.Lie(v2, int32(col2)))
+		col3 = opinion.Opinion(rs.adv.Lie(v3, int32(col3)))
+	}
+	// Line 5: a finished node pushes its final opinion (to the reachable
+	// partners; a push onto a crashed node would corrupt the survivor
+	// tally).
 	if rs.finished[v] {
-		for _, u := range [3]int{v1, v2, v3} {
+		for i, u := range [3]int{v1, v2, v3} {
+			up := u1Up
+			switch i {
+			case 1:
+				up = u2Up
+			case 2:
+				up = u3Up
+			}
+			if !up {
+				continue
+			}
 			rs.setNode(u, rs.cols[v], rs.gens[u])
 			rs.finished[u] = true
 		}
 		return
 	}
-	// Line 6-7: adopt a finished sample.
-	for _, u := range [3]int{v1, v2, v3} {
-		if rs.finished[u] {
-			rs.setNode(v, rs.cols[u], rs.gens[v])
+	// Line 6-7: adopt a finished sample (at the color it reported).
+	for i, u := range [3]int{v1, v2, v3} {
+		up, cu := u1Up, col1
+		switch i {
+		case 1:
+			up, cu = u2Up, col2
+		case 2:
+			up, cu = u3Up, col3
+		}
+		if up && rs.finished[u] {
+			rs.setNode(v, cu, rs.gens[v])
 			rs.finished[v] = true
 			return
 		}
@@ -339,10 +461,14 @@ func (rs *consensusState) complete(v, v1, v2, v3, myLeader int, participates boo
 		// finished-flag endgame (Theorem 27's "taken care of at the end").
 		return
 	}
-	// Line 8: the sampled third node's leader must be active.
+	// Line 8: the sampled third node's leader must be active (and, under a
+	// crash adversary, both v3's channel and the leader itself alive).
+	if !u3Up {
+		return
+	}
 	l := int(rs.cl.LeaderOf[v3])
 	var li int32 = -1
-	if l >= 0 {
+	if l >= 0 && !rs.crashed[l] {
 		li = rs.leaderIdx[l]
 	}
 	if li < 0 {
@@ -357,11 +483,11 @@ func (rs *consensusState) complete(v, v1, v2, v3, myLeader int, participates boo
 		g1, g2 := rs.gens[v1], rs.gens[v2]
 		gv := rs.gens[v]
 		switch {
-		case lState == StateTwoChoices &&
+		case lState == StateTwoChoices && u1Up && u2Up &&
 			g1 == g2 && int(g1) == lGen-1 && gv <= g1 &&
-			rs.cols[v1] == rs.cols[v2]:
+			col1 == col2:
 			// Line 13-16: two-choices promotion into generation lGen.
-			rs.setNode(v, rs.cols[v1], int32(lGen))
+			rs.setNode(v, col1, int32(lGen))
 			rs.sendSignal(myLeader, lGen, StateTwoChoices, true)
 			promoted = true
 		default:
@@ -371,17 +497,26 @@ func (rs *consensusState) complete(v, v1, v2, v3, myLeader int, participates boo
 			// (gen(v̄) < gen is always safe), which we follow.
 			pick := -1
 			var pickGen int32 = -1
-			for _, x := range [2]int{v1, v2} {
+			var pickCol opinion.Opinion
+			for i, x := range [2]int{v1, v2} {
+				up, cx := u1Up, col1
+				if i == 1 {
+					up, cx = u2Up, col2
+				}
+				if !up {
+					continue
+				}
 				gx := rs.gens[x]
 				if gx > gv && (int(gx) < lGen ||
 					(int(gx) == lGen && lState == StatePropagation)) && gx > pickGen {
 					pick = x
 					pickGen = gx
+					pickCol = cx
 				}
 			}
 			if pick >= 0 {
-				rs.setNode(v, rs.cols[pick], rs.gens[pick])
-				rs.sendSignal(myLeader, int(rs.gens[pick]), StatePropagation, true)
+				rs.setNode(v, pickCol, pickGen)
+				rs.sendSignal(myLeader, int(pickGen), StatePropagation, true)
 				promoted = true
 			}
 		}
@@ -392,7 +527,7 @@ func (rs *consensusState) complete(v, v1, v2, v3, myLeader int, participates boo
 		rs.sendSignal(myLeader, lGen, lState, false)
 	}
 	// Line 19: refresh the stored leader view from the own leader.
-	if ownLi := rs.leaderIdx[myLeader]; ownLi >= 0 {
+	if ownLi := rs.leaderIdx[myLeader]; ownLi >= 0 && !rs.crashed[myLeader] {
 		rs.leaderMessage(ownLi)
 		rs.tmpGen[v] = rs.lGen[ownLi]
 		rs.tmpState[v] = rs.lState[ownLi]

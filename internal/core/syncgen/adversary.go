@@ -1,0 +1,155 @@
+package syncgen
+
+import (
+	"plurality/internal/adversary"
+	"plurality/internal/opinion"
+	"plurality/internal/topo"
+	"plurality/internal/xrand"
+)
+
+// This file is the synchronous engine's adversary support. The honest step
+// loop (state.step) is byte-untouched: adversarial runs execute the separate
+// stepAdversarial variant below, so the honest RNG draw order and branch
+// structure never change. Crash state (crashed flags, alive count) belongs
+// to the engine; the adversary only decides which node toggles when.
+
+// attachAdversary wires a constructed adversary into the state.
+func (st *state) attachAdversary(adv *adversary.State) {
+	st.adv = adv
+	st.crashed = make([]bool, st.n)
+	st.aliveN = st.n
+}
+
+// applyCrash runs every crash action due at or before the given step: the
+// one-shot fail-stop of the pool once step reaches At, or all pending churn
+// toggles. Rounds are the synchronous engine's clock, so At/Exp(Rate) gaps
+// are measured in rounds here.
+func (st *state) applyCrash(step int) {
+	adv := st.adv
+	if adv == nil || adv.Kind() != adversary.Crash {
+		return
+	}
+	if !adv.Churning() {
+		if c := adv.Counters; c.Crashes == 0 && float64(step) >= adv.NextCrashAt() {
+			for _, v := range adv.Victims() {
+				st.crashNode(v)
+			}
+		}
+		return
+	}
+	for {
+		at := adv.NextCrashAt()
+		if at < 0 || at > float64(step) {
+			return
+		}
+		v := adv.NextVictim()
+		if st.crashed[v] {
+			st.crashed[v] = false
+			st.aliveN++
+			adv.NoteRecovery()
+		} else {
+			st.crashNode(v)
+		}
+	}
+}
+
+func (st *state) crashNode(v int) {
+	if st.crashed[v] {
+		return
+	}
+	st.crashed[v] = true
+	st.aliveN--
+	st.adv.NoteCrash()
+}
+
+// stepAdversarial is state.step with the adversary consulted at the apply
+// stage: crashed nodes keep their state and are unreadable when sampled, the
+// drop adversary loses sampled replies, and Byzantine liars report the lie
+// target. The partner batch draws are identical to the honest loop — the
+// adversary's own generator carries every extra decision.
+func (st *state) stepAdversarial(r *xrand.RNG, tp topo.BatchSampler, twoChoices bool) {
+	n := st.n
+	adv := st.adv
+	for base := 0; base < n; base += stepChunk {
+		m := stepChunk
+		if base+m > n {
+			m = n - base
+		}
+		vs, out := st.scratch.Buffers(2 * m)
+		for i := 0; i < m; i++ {
+			v := int32(base + i)
+			vs[2*i] = v
+			vs[2*i+1] = v
+		}
+		tp.SampleNeighbors(r, vs, out)
+		for i := 0; i < m; i++ {
+			v := base + i
+			col, gen := st.cols[v], st.gens[v]
+			st.next[v] = col
+			st.nextG[v] = gen
+			if st.crashed[v] {
+				continue
+			}
+			a, b := int(out[2*i]), int(out[2*i+1])
+			aUp := !st.crashed[a] && !adv.DropMessage()
+			bUp := !st.crashed[b] && !adv.DropMessage()
+			ga, gb := st.gens[a], st.gens[b]
+			ca := opinion.Opinion(adv.Lie(a, int32(st.cols[a])))
+			cb := opinion.Opinion(adv.Lie(b, int32(st.cols[b])))
+			// wlog the a-side is the best available sample: swap when a is
+			// unreadable or b is readable with the higher generation.
+			if !aUp || (bUp && ga < gb) {
+				aUp, bUp = bUp, aUp
+				ga, gb = gb, ga
+				ca, cb = cb, ca
+			}
+			if !aUp {
+				continue // no readable sample: keep state
+			}
+			switch {
+			case twoChoices && bUp &&
+				ga == gb && gen <= ga && int(ga) < st.gCap && ca == cb:
+				gen = ga + 1
+				col = ca
+			case ga > gen:
+				gen = ga
+				col = ca
+			}
+			st.next[v] = col
+			st.nextG[v] = gen
+		}
+	}
+	st.cols, st.next = st.next, st.cols
+	st.gens, st.nextG = st.nextG, st.gens
+	for v := 0; v < n; v++ {
+		oc, og := st.next[v], st.nextG[v]
+		c, g := st.cols[v], st.gens[v]
+		if c != oc || g != og {
+			st.genCol[og][oc]--
+			st.genSize[og]--
+			st.genCol[g][c]++
+			st.genSize[g]++
+			if int(g) > st.maxGen {
+				st.maxGen = int(g)
+			}
+		}
+	}
+}
+
+// monochromaticAlive reports whether all non-crashed nodes share one color;
+// with a crash adversary consensus is evaluated over the survivors, exactly
+// like the asynchronous engines.
+func (st *state) monochromaticAlive() bool {
+	var col opinion.Opinion = -1
+	for v := 0; v < st.n; v++ {
+		if st.crashed[v] {
+			continue
+		}
+		if col < 0 {
+			col = st.cols[v]
+		} else if st.cols[v] != col {
+			return false
+		}
+	}
+	return true
+}

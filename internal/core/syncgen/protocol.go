@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"plurality/internal/adversary"
 	"plurality/internal/metrics"
 	"plurality/internal/opinion"
 	"plurality/internal/snap"
@@ -59,6 +60,11 @@ type Config struct {
 	// DiscardTrajectory leaves Result.Trajectory empty, keeping O(1)
 	// recording memory; the Outcome is evaluated incrementally instead.
 	DiscardTrajectory bool
+	// Adv configures the shared adversary layer (crash/churn, drop,
+	// Byzantine lying; see internal/adversary). The zero value disables it.
+	// The delay kind is rejected: a round-based engine has no message
+	// latency to stretch. Crash times and churn gaps are measured in rounds.
+	Adv adversary.Config
 	// Ckpt requests a state capture at the first completed step >= Ckpt.At
 	// and/or resumes from one; nil disables checkpointing. See
 	// snap.Checkpoint for the semantics shared by every engine.
@@ -104,6 +110,8 @@ type Result struct {
 	FinalCounts opinion.Counts
 	// InitialPlurality is the opinion that was initially dominant.
 	InitialPlurality opinion.Opinion
+	// AdvCounters tallies the adversary's actions (zero for honest runs).
+	AdvCounters adversary.Counters
 }
 
 // Run executes Algorithm 1 under cfg and returns the run record. It returns
@@ -182,6 +190,20 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	st := newState(cols, cfg.K, gStar, cfg.Scratch)
+	if cfg.Adv.Kind != adversary.None {
+		if cfg.Adv.Kind == adversary.Delay {
+			return nil, errors.New("syncgen: the delay adversary needs message latency; round-based engines reject it")
+		}
+		cfg.Adv.N = cfg.N
+		adv, err := adversary.New(cfg.Adv, xrand.New(cfg.Adv.Seed))
+		if err != nil {
+			return nil, fmt.Errorf("syncgen: %w", err)
+		}
+		if _, second := initCounts.TopTwo(); second >= 0 {
+			adv.SetLieTarget(int32(second))
+		}
+		st.attachAdversary(adv)
+	}
 	bs := topo.Batch(cfg.Topo)
 	res := &Result{InitialPlurality: opinion.Opinion(plurality)}
 	rec := metrics.NewRecorder(eps, cfg.DiscardTrajectory, cfg.Observe)
@@ -229,9 +251,17 @@ func Run(cfg Config) (*Result, error) {
 		if twoChoices {
 			res.TwoChoicesSteps = append(res.TwoChoicesSteps, step)
 		}
-		st.step(stepRNG, bs, twoChoices)
-		st.noteGenerations(step, cfg.Gamma, res)
-		done := st.monochromatic()
+		var done bool
+		if st.adv != nil {
+			st.applyCrash(step)
+			st.stepAdversarial(stepRNG, bs, twoChoices)
+			st.noteGenerations(step, cfg.Gamma, res)
+			done = st.monochromaticAlive()
+		} else {
+			st.step(stepRNG, bs, twoChoices)
+			st.noteGenerations(step, cfg.Gamma, res)
+			done = st.monochromatic()
+		}
 		if step%cfg.RecordEvery == 0 || done {
 			record(step)
 		}
@@ -251,5 +281,23 @@ func Run(cfg Config) (*Result, error) {
 	res.FinalCounts = opinion.CountOf(st.cols, cfg.K)
 	res.Trajectory = rec.Trajectory()
 	res.Outcome = rec.Outcome(res.FinalCounts, opinion.Opinion(plurality))
+	if st.adv != nil {
+		res.AdvCounters = st.adv.Counters
+		if st.adv.Kind() == adversary.Crash && !res.Outcome.FullConsensus &&
+			st.aliveN > 0 && st.monochromaticAlive() {
+			// Survivor consensus: crashed nodes hold stale colors, so the
+			// count-based outcome cannot see it; patch it here (mirroring
+			// the asynchronous engines' aliveN-based detection).
+			for v := 0; v < st.n; v++ {
+				if !st.crashed[v] {
+					res.Outcome.Winner = st.cols[v]
+					break
+				}
+			}
+			res.Outcome.FullConsensus = true
+			res.Outcome.ConsensusTime = float64(res.Steps)
+			res.Outcome.PluralityWon = res.Outcome.Winner == opinion.Opinion(plurality)
+		}
+	}
 	return res, nil
 }

@@ -41,6 +41,14 @@ func (st *state) capture(step, nextTheoretical int, stepRNG *xrand.RNG,
 		w.F64(g.EstablishedBias)
 	}
 	metrics.EncodeRecorder(w, rec)
+	// Adversarial runs append the crash flags and the adversary state; the
+	// suffix's presence is a pure function of the Config, so capture and
+	// restore agree on it and honest blobs decode unchanged.
+	if st.adv != nil {
+		w.Bools(st.crashed)
+		w.Int(st.aliveN)
+		st.adv.EncodeState(w)
+	}
 	return w.Bytes()
 }
 
@@ -95,6 +103,21 @@ func (st *state) restore(stateBytes []byte, stepRNG *xrand.RNG,
 	if err := metrics.DecodeRecorder(r, rec); err != nil {
 		return 0, 0, fmt.Errorf("syncgen: recorder: %w", err)
 	}
+	var crashed []bool
+	aliveN := st.n
+	if st.adv != nil {
+		crashed = r.Bools()
+		aliveN = r.Int()
+		if err := st.adv.DecodeState(r); err != nil {
+			return 0, 0, fmt.Errorf("syncgen: adversary state: %w", err)
+		}
+		if len(crashed) != st.n && r.Err() == nil {
+			return 0, 0, fmt.Errorf("syncgen: %w: crash-flag length mismatch", snap.ErrCorrupt)
+		}
+		if aliveN < 0 || aliveN > st.n {
+			return 0, 0, fmt.Errorf("syncgen: %w: alive count %d outside [0, %d]", snap.ErrCorrupt, aliveN, st.n)
+		}
+	}
 	if err := r.Finish(); err != nil {
 		return 0, 0, fmt.Errorf("syncgen: state: %w", err)
 	}
@@ -112,11 +135,18 @@ func (st *state) restore(stateBytes []byte, stepRNG *xrand.RNG,
 	}
 	copy(st.genSize, genSize)
 	st.maxGen = maxGen
+	if st.adv != nil {
+		copy(st.crashed, crashed)
+		st.aliveN = aliveN
+	}
 	res.Steps = step
 	res.TwoChoicesSteps = twoChoices
 	res.Generations = gensEvents
 	if perturb != 0 {
 		stepRNG.Perturb(perturb)
+		if st.adv != nil {
+			st.adv.Perturb(perturb)
+		}
 	}
 	return step, nextTheoretical, nil
 }

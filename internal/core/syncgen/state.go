@@ -3,6 +3,7 @@ package syncgen
 import (
 	"math"
 
+	"plurality/internal/adversary"
 	"plurality/internal/opinion"
 	"plurality/internal/topo"
 	"plurality/internal/xrand"
@@ -28,6 +29,11 @@ type state struct {
 	genSize []int
 	maxGen  int
 	scratch *topo.Scratch // batch-sampling buffers (per-worker under RunBatch)
+
+	// Adversary support (nil/empty for honest runs; see adversary.go).
+	adv     *adversary.State
+	crashed []bool
+	aliveN  int
 }
 
 func newState(cols []opinion.Opinion, k, gStar int, scratch *topo.Scratch) *state {

@@ -2,6 +2,7 @@ package plurality
 
 import (
 	"context"
+	"fmt"
 
 	"plurality/internal/baseline"
 	"plurality/internal/core/leader"
@@ -92,6 +93,9 @@ func (p syncProtocol) ResumeRun(ctx context.Context, spec Spec, state []byte, pe
 }
 
 func (syncProtocol) run(ctx context.Context, spec Spec, restore []byte, perturb uint64) (*Result, error) {
+	if spec.Adversary.Kind == AdversaryDelay {
+		return nil, fmt.Errorf("plurality: protocol %q is round-based; the delay adversary needs message latency (try crash, drop or byzantine)", "sync")
+	}
 	assign, err := toInternalAssignment(spec.Assignment, spec.N, spec.K)
 	if err != nil {
 		return nil, err
@@ -110,6 +114,7 @@ func (syncProtocol) run(ctx context.Context, spec Spec, restore []byte, perturb 
 		Gamma: spec.Sync.Gamma, Schedule: sched, MaxSteps: spec.MaxSteps,
 		Seed: spec.Seed, Eps: spec.Eps, RecordEvery: spec.recordEveryRounds(),
 		Topo: tp, Scratch: spec.scratch,
+		Adv: spec.Adversary.resolveFor(spec.N, spec.Seed),
 		Ctx: ctx, Observe: spec.observe(), DiscardTrajectory: spec.DiscardTrajectory,
 		Ckpt: engineCheckpoint("sync", spec, restore, perturb, &captured),
 	})
@@ -121,6 +126,7 @@ func (syncProtocol) run(ctx context.Context, spec Spec, restore []byte, perturb 
 		"two_choices_steps": float64(len(res.TwoChoicesSteps)),
 	}
 	spec.Topology.topoStats(tp, extra)
+	spec.Adversary.advStats(res.AdvCounters, extra)
 	out := convertResult(res.Outcome, res.Trajectory, res.FinalCounts,
 		float64(res.Steps), !res.Outcome.FullConsensus, extra)
 	out.Snapshot = captured
@@ -169,6 +175,7 @@ func (leaderProtocol) run(ctx context.Context, spec Spec, restore []byte, pertur
 		N: spec.N, K: spec.K, Alpha: spec.Alpha, Assignment: assign,
 		Latency: lat, Topo: tp, Scratch: spec.scratch, MaxTime: spec.MaxTime, Seed: spec.Seed,
 		Eps: spec.Eps, RecordEvery: spec.RecordEvery,
+		Adv: spec.Adversary.resolveFor(spec.N, spec.Seed),
 		Ctx: ctx, Observe: spec.observe(), DiscardTrajectory: spec.DiscardTrajectory,
 		Ckpt: engineCheckpoint("leader", spec, restore, perturb, &captured),
 	})
@@ -182,6 +189,7 @@ func (leaderProtocol) run(ctx context.Context, spec Spec, restore []byte, pertur
 		"phases": float64(len(res.PhaseLog)),
 	}
 	spec.Topology.topoStats(tp, extra)
+	spec.Adversary.advStats(res.AdvCounters, extra)
 	out := convertResult(res.Outcome, res.Trajectory, res.FinalCounts,
 		res.EndTime, res.TimedOut, extra)
 	out.Snapshot = captured
@@ -231,6 +239,7 @@ func (decentralizedProtocol) run(ctx context.Context, spec Spec, restore []byte,
 		N: spec.N, K: spec.K, Alpha: spec.Alpha, Assignment: assign,
 		Latency: lat, Topo: tp, Scratch: spec.scratch, MaxTime: spec.MaxTime, Seed: spec.Seed,
 		Eps: spec.Eps, RecordEvery: spec.RecordEvery,
+		Adv: spec.Adversary.resolveFor(spec.N, spec.Seed),
 		Ctx: ctx, Observe: spec.observe(), DiscardTrajectory: spec.DiscardTrajectory,
 		Ckpt: engineCheckpoint("decentralized", spec, restore, perturb, &captured),
 	}
@@ -248,6 +257,7 @@ func (decentralizedProtocol) run(ctx context.Context, spec Spec, restore []byte,
 		"leaders":            float64(len(res.Clustering.ParticipatingLeaders())),
 	}
 	spec.Topology.topoStats(tp, extra)
+	spec.Adversary.advStats(res.AdvCounters, extra)
 	out := convertResult(res.Outcome, res.Trajectory, res.FinalCounts,
 		res.EndTime, res.TimedOut, extra)
 	out.Snapshot = captured
@@ -280,6 +290,9 @@ func (p baselineProtocol) ResumeRun(ctx context.Context, spec Spec, state []byte
 }
 
 func (p baselineProtocol) run(ctx context.Context, spec Spec, restore []byte, perturb uint64) (*Result, error) {
+	if spec.Adversary.Kind == AdversaryDelay {
+		return nil, fmt.Errorf("plurality: protocol %q is round-based; the delay adversary needs message latency (try crash, drop or byzantine)", p.rule)
+	}
 	assign, err := toInternalAssignment(spec.Assignment, spec.N, spec.K)
 	if err != nil {
 		return nil, err
@@ -297,6 +310,7 @@ func (p baselineProtocol) run(ctx context.Context, spec Spec, restore []byte, pe
 		N: spec.N, K: spec.K, Alpha: spec.Alpha, Assignment: assign,
 		MaxRounds: spec.MaxSteps, Seed: spec.Seed, Eps: spec.Eps,
 		RecordEvery: spec.recordEveryRounds(), Topo: tp, Scratch: spec.scratch,
+		Adv: spec.Adversary.resolveFor(spec.N, spec.Seed),
 		Ctx: ctx, Observe: spec.observe(), DiscardTrajectory: spec.DiscardTrajectory,
 		Ckpt: engineCheckpoint(p.rule, spec, restore, perturb, &captured),
 	}
@@ -311,6 +325,7 @@ func (p baselineProtocol) run(ctx context.Context, spec Spec, restore []byte, pe
 	}
 	extra := map[string]float64{"rounds": float64(res.Rounds)}
 	spec.Topology.topoStats(tp, extra)
+	spec.Adversary.advStats(res.AdvCounters, extra)
 	out := convertResult(res.Outcome, res.Trajectory, res.FinalCounts,
 		float64(res.Rounds), !res.Outcome.FullConsensus, extra)
 	out.Snapshot = captured

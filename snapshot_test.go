@@ -320,6 +320,26 @@ func FuzzDecodeSnapshot(f *testing.F) {
 			f.Add(blob[:11])
 		}
 	}
+	// An adversarial blob seeds the corpus too: its payload carries the
+	// crash flags, adversary RNG and parked-message suffix the honest blob
+	// lacks, so mutations exercise those decode paths.
+	aspec := spec
+	aspec.Adversary = AdversarySpec{Kind: AdversaryCrash, Fraction: 0.3, Rate: 2}
+	aplain, err := Run(ctx, "two-choices", aspec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	aspec.Checkpoint = CheckpointSpec{SnapshotAt: aplain.Duration / 2, Halt: true}
+	ahalf, err := Run(ctx, "two-choices", aspec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if ahalf.Snapshot != nil {
+		if blob, err := ahalf.Snapshot.Encode(); err == nil {
+			f.Add(blob)
+			f.Add(blob[:len(blob)-3])
+		}
+	}
 	f.Add([]byte(snapshotMagic))
 	f.Add([]byte("PLURSNAPxxxxxxxxxxxx"))
 	f.Add([]byte{})

@@ -56,6 +56,12 @@ type Spec struct {
 	// guaranteed to reproduce pre-topology results byte-identically for
 	// the same seed. See TopologySpec for the other kinds.
 	Topology TopologySpec
+	// Adversary selects the fault model the run faces. The zero value is
+	// the honest model — the only one the paper's theorems cover — and is
+	// guaranteed to reproduce pre-adversary results byte-identically for
+	// the same seed. See AdversarySpec for the kinds; the round-based
+	// protocols reject the delay kind (no message latency to stretch).
+	Adversary AdversarySpec
 	// Observer, when non-nil, receives every trajectory snapshot as it is
 	// recorded — the streaming alternative to Result.Trajectory. Under
 	// RunMany or Sweep the same Observer serves concurrent runs and must
@@ -171,6 +177,9 @@ func (s *Spec) validate() error {
 	// adapters will; the random kinds are cheap enough (O(N + edges)) that
 	// failing here, before any replication starts, is worth the rebuild.
 	if _, err := s.Topology.build(s.N, s.Seed); err != nil {
+		return err
+	}
+	if err := s.Adversary.validate(); err != nil {
 		return err
 	}
 	if at := s.Checkpoint.SnapshotAt; at < 0 || math.IsNaN(at) || math.IsInf(at, 0) {

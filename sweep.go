@@ -91,6 +91,12 @@ type SweepConfig struct {
 	// single Base.Topology. With entries, every grid point runs once per
 	// topology and the result table gains a "topology" label column.
 	Topologies []TopologySpec
+	// Adversaries is the fault-model axis; an empty axis means the single
+	// Base.Adversary. With entries, every grid point runs once per
+	// adversary and the result table gains an "adversary" label column
+	// (AdversarySpec.Label form, e.g. "none" or "crash(f=0.3)"). Like every
+	// axis, the aggregated results are worker-count-invariant.
+	Adversaries []AdversarySpec
 	// Reps is the number of seeded replications per grid point; default 5.
 	Reps int
 	// Workers bounds the shared worker pool the whole grid is executed on
@@ -124,6 +130,9 @@ type SweepCell struct {
 	// Topology is the interaction graph of the cell (TopologySpec.Label
 	// form, e.g. "complete" or "torus(32x32)").
 	Topology string
+	// Adversary is the fault model of the cell (AdversarySpec.Label form,
+	// e.g. "none" or "crash(f=0.3)").
+	Adversary string
 	// Metrics holds the aggregated measurements of the cell.
 	Metrics map[string]Summary
 }
@@ -134,7 +143,7 @@ type SweepResult struct {
 	// Protocol is the protocol that ran.
 	Protocol string
 	// Cells holds one entry per grid point, in grid order (n-major, then
-	// k, then alpha, then topology).
+	// k, then alpha, then topology, then adversary).
 	Cells []SweepCell
 
 	table *harness.Table
@@ -169,8 +178,8 @@ func StandardMetrics(res *Result) map[string]float64 {
 // snapshot's structural parameters, whose replications resume the shared
 // prefix with distinct divergence labels instead of running from scratch.
 func sweepWarmStart(ctx context.Context, cfg SweepConfig, metricFn func(*Result) map[string]float64, order []string, reps int) (*SweepResult, error) {
-	if len(cfg.Ns)+len(cfg.Ks)+len(cfg.Alphas)+len(cfg.Topologies) > 0 {
-		return nil, fmt.Errorf("plurality: warm-start sweeps cannot vary Ns/Ks/Alphas/Topologies — the snapshot freezes them; vary only Reps")
+	if len(cfg.Ns)+len(cfg.Ks)+len(cfg.Alphas)+len(cfg.Topologies)+len(cfg.Adversaries) > 0 {
+		return nil, fmt.Errorf("plurality: warm-start sweeps cannot vary Ns/Ks/Alphas/Topologies/Adversaries — the snapshot freezes them; vary only Reps")
 	}
 	meta := cfg.WarmStart.Meta()
 	if cfg.Protocol != "" && cfg.Protocol != meta.Protocol {
@@ -210,8 +219,9 @@ func sweepWarmStart(ctx context.Context, cfg SweepConfig, metricFn func(*Result)
 		"n": float64(spec.N), "k": float64(spec.K), "alpha": spec.Alpha,
 	}, agg)
 	cell := SweepCell{N: spec.N, K: spec.K, Alpha: spec.Alpha,
-		Topology: spec.Topology.ResolvedLabel(spec.N),
-		Metrics:  make(map[string]Summary, len(agg))}
+		Topology:  spec.Topology.ResolvedLabel(spec.N),
+		Adversary: spec.Adversary.Label(),
+		Metrics:   make(map[string]Summary, len(agg))}
 	for name, s := range agg {
 		cell.Metrics[name] = summarize(s)
 	}
@@ -262,6 +272,10 @@ func Sweep(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
 	if len(topos) == 0 {
 		topos = []TopologySpec{cfg.Base.Topology}
 	}
+	advs := cfg.Adversaries
+	if len(advs) == 0 {
+		advs = []AdversarySpec{cfg.Base.Adversary}
+	}
 
 	out := &SweepResult{
 		Protocol: cfg.Protocol,
@@ -269,38 +283,46 @@ func Sweep(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
 			[]string{"n", "k", "alpha"}, order),
 	}
 	if len(cfg.Topologies) > 0 {
-		out.table.LabelOrder = []string{"topology"}
+		out.table.LabelOrder = append(out.table.LabelOrder, "topology")
+	}
+	if len(cfg.Adversaries) > 0 {
+		out.table.LabelOrder = append(out.table.LabelOrder, "adversary")
 	}
 
 	// Pass 1: enumerate and validate every grid cell up front, so a bad
 	// cell fails the sweep before any replication burns CPU.
 	type cellSpec struct {
-		n, k  int
-		alpha float64
-		label string
-		spec  Spec
+		n, k     int
+		alpha    float64
+		label    string
+		advLabel string
+		spec     Spec
 	}
 	var cells []cellSpec
 	for _, n := range ns {
 		for _, k := range ks {
 			for _, a := range alphas {
 				for _, tp := range topos {
-					spec := cfg.Base
-					spec.N, spec.K, spec.Alpha, spec.Topology = n, k, a, tp
-					// Validate with replication 0's actual seed so the
-					// random-graph connectivity check inspects a graph the
-					// cell really runs on (replications with GraphSeed 0
-					// derive their graphs from the run seed).
-					spec.Seed = cfg.Base.Seed + 1
-					if err := spec.validate(); err != nil {
-						return nil, err
+					for _, adv := range advs {
+						spec := cfg.Base
+						spec.N, spec.K, spec.Alpha, spec.Topology = n, k, a, tp
+						spec.Adversary = adv
+						// Validate with replication 0's actual seed so the
+						// random-graph connectivity check inspects a graph the
+						// cell really runs on (replications with GraphSeed 0
+						// derive their graphs from the run seed).
+						spec.Seed = cfg.Base.Seed + 1
+						if err := spec.validate(); err != nil {
+							return nil, err
+						}
+						// Label the graph the cell actually runs on — defaults
+						// resolved per n, so two cells sharing {Kind: "torus"}
+						// still distinguish their 30x30 from their 32x32.
+						cells = append(cells, cellSpec{
+							n: n, k: k, alpha: a, label: tp.ResolvedLabel(n),
+							advLabel: adv.Label(), spec: spec,
+						})
 					}
-					// Label the graph the cell actually runs on — defaults
-					// resolved per n, so two cells sharing {Kind: "torus"}
-					// still distinguish their 30x30 from their 32x32.
-					cells = append(cells, cellSpec{
-						n: n, k: k, alpha: a, label: tp.ResolvedLabel(n), spec: spec,
-					})
 				}
 			}
 		}
@@ -342,14 +364,21 @@ func Sweep(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
 			}
 		}
 		var labels map[string]string
-		if len(cfg.Topologies) > 0 {
-			labels = map[string]string{"topology": c.label}
+		if len(cfg.Topologies) > 0 || len(cfg.Adversaries) > 0 {
+			labels = map[string]string{}
+			if len(cfg.Topologies) > 0 {
+				labels["topology"] = c.label
+			}
+			if len(cfg.Adversaries) > 0 {
+				labels["adversary"] = c.advLabel
+			}
 		}
 		out.table.AppendLabeled(labels, map[string]float64{
 			"n": float64(c.n), "k": float64(c.k), "alpha": c.alpha,
 		}, agg)
 		cell := SweepCell{N: c.n, K: c.k, Alpha: c.alpha, Topology: c.label,
-			Metrics: make(map[string]Summary, len(agg))}
+			Adversary: c.advLabel,
+			Metrics:   make(map[string]Summary, len(agg))}
 		for name, s := range agg {
 			cell.Metrics[name] = summarize(s)
 		}
