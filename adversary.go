@@ -43,22 +43,22 @@ func Adversaries() []string {
 // Fields not used by the selected Kind are ignored.
 type AdversarySpec struct {
 	// Kind names the fault model; "" means no adversary.
-	Kind string
+	Kind string `json:"kind,omitempty"`
 	// Fraction is the affected share — of nodes for crash/byzantine, of
 	// messages for delay/drop. 0 means 0.1. Crash requires Fraction < 1
 	// (somebody must survive); the others accept (0, 1].
-	Fraction float64
+	Fraction float64 `json:"fraction,omitempty"`
 	// Rate is kind-specific: the crash adversary's churn rate in toggles
 	// per unit time (0 means one-shot, the legacy semantics), and the delay
 	// adversary's latency multiplier (0 means 1).
-	Rate float64
+	Rate float64 `json:"rate,omitempty"`
 	// At is the virtual time (or round) the crash adversary first acts;
 	// 0 means from the start.
-	At float64
+	At float64 `json:"at,omitempty"`
 	// Seed seeds the adversary's private generator; 0 derives it from
 	// Spec.Seed through a dedicated substream, so replications with
 	// distinct run seeds face distinct adversarial schedules.
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 }
 
 // Enabled reports whether an adversary is configured.

@@ -16,8 +16,10 @@ import (
 // blob recorded under any other version fails with ErrSnapshotVersion:
 // engine payloads are positional binary encodings, so cross-version
 // restores would silently misinterpret state rather than degrade
-// gracefully. Bump it whenever any engine's capture layout changes.
-const SnapshotFormatVersion = 1
+// gracefully. Bump it whenever any engine's capture layout changes — or the
+// meta JSON's field names do (version 2 switched SnapshotMeta.Spec to the
+// stable snake_case wire tags the serving layer speaks).
+const SnapshotFormatVersion = 2
 
 // snapshotMagic is the 8-byte blob signature.
 const snapshotMagic = "PLURSNAP"
@@ -53,12 +55,12 @@ type CheckpointSpec struct {
 	// extra event is injected and the trajectory is byte-identical to an
 	// uninterrupted run. If the run terminates earlier, no snapshot is
 	// taken. Must be >= 0; 0 disables capture.
-	SnapshotAt float64
+	SnapshotAt float64 `json:"snapshot_at,omitempty"`
 	// Halt stops the run right after the capture. The returned Result then
 	// reflects the truncated run; the snapshot resumes it. Without Halt
 	// the run continues to its normal end and the snapshot is a pure side
 	// effect.
-	Halt bool
+	Halt bool `json:"halt,omitempty"`
 	// Sink, when non-nil, receives the snapshot the moment it is taken —
 	// the streaming observer of the checkpoint subsystem. The snapshot is
 	// also attached to Result.Snapshot either way. Runtime-only: not

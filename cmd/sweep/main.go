@@ -11,6 +11,15 @@
 //	sweep -protocol 3-majority -n 1024 -k 2 -alpha 4 -topology complete,torus,ring
 //	sweep -protocol sync -n 10000 -k 4 -topology random-regular -degree 8
 //	sweep -protocol leader -n 10000 -adversaries none,crash,drop -adversary-fraction 0.2
+//
+// With -ndjson the sweep is emitted as one JSON cell per line instead of a
+// table — the same encoding a pluralityd stream uses, byte for byte. With
+// -serve-addr the sweep is not run locally at all: it is submitted to a
+// running pluralityd, whose NDJSON cell stream is copied to stdout as it
+// arrives (cached cells arrive instantly):
+//
+//	sweep -protocol sync -n 1000,10000 -k 4 -ndjson
+//	sweep -serve-addr http://localhost:7600 -protocol sync -n 1000,10000 -k 4
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 
 	"plurality"
 	"plurality/internal/prof"
+	"plurality/internal/server"
 )
 
 func main() {
@@ -46,6 +56,9 @@ func main() {
 		advFrac  = flag.Float64("adversary-fraction", 0, "affected share for every adversarial cell; 0 means 0.1")
 		advRate  = flag.Float64("adversary-rate", 0, "crash churn rate (0 = one-shot) or delay latency multiplier (0 = 1), applied to every adversarial cell")
 
+		ndjson    = flag.Bool("ndjson", false, "emit one JSON cell per line (the pluralityd stream encoding) instead of a table")
+		serveAddr = flag.String("serve-addr", "", "submit the sweep to a running pluralityd at this base URL and stream its NDJSON cells to stdout instead of computing locally")
+
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -65,6 +78,25 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *serveAddr != "" {
+		// Thin-client mode: the server computes (or serves from its cache);
+		// this process just relays the NDJSON stream.
+		ok(server.StreamSweep(ctx, *serveAddr, server.SweepRequest{
+			Protocol: *protocol,
+			Base: plurality.Spec{
+				Seed:    *seed,
+				Latency: plurality.LatencySpec{Mean: *latMean},
+			},
+			Ns:          nList,
+			Ks:          kList,
+			Alphas:      aList,
+			Topologies:  tList,
+			Adversaries: advList,
+			Reps:        *reps,
+		}, os.Stdout))
+		return
+	}
+
 	flushProfiles = prof.Start(*cpuProfile, *memProfile)
 	defer flushProfiles()
 
@@ -83,9 +115,19 @@ func main() {
 		Workers:     *workers,
 	})
 	ok(err)
-	if *csvOut {
+	switch {
+	case *ndjson:
+		// One cell per line through the encoder the server streams with, so
+		// local and served output are interchangeable byte-for-byte.
+		for _, c := range res.Cells {
+			line, err := server.EncodeCell(c)
+			ok(err)
+			os.Stdout.Write(line)
+			os.Stdout.Write([]byte("\n"))
+		}
+	case *csvOut:
 		fmt.Print(res.CSV())
-	} else {
+	default:
 		fmt.Print(res.Render())
 	}
 }

@@ -92,6 +92,22 @@
 // asynchronous runs seconds-scale — see Bench and BENCH_PR3.json for the
 // measured trajectory.
 //
+// # Serving and canonical spec identity
+//
+// Spec.CanonicalBytes renders a Spec as a version-tagged canonical byte
+// encoding: defaults the engines are documented to fold are folded, fields
+// with no wire meaning are cleared, and the rest is laid out positionally —
+// so two Specs encode identically exactly when the engine layer treats
+// them identically, and equal encodings imply equal Results. That makes
+// the encoding a correct content-address for simulation work, which is
+// what cmd/pluralityd (internal/server) builds on: an HTTP daemon that
+// accepts runs and sweeps as JSON, executes them on a bounded pool with
+// admission control, streams sweep cells as NDJSON as they complete, caches
+// every finished job under its canonical key, and — given a store
+// directory — checkpoints long jobs so a restart resumes them bit-exactly.
+// The wire forms of Spec, Summary, SweepCell and BenchReport are pinned by
+// stable snake_case JSON tags.
+//
 // See the examples/ directory for complete programs, cmd/experiments for
 // the harness that regenerates the paper's figures and claims,
 // ARCHITECTURE.md for the layer map and the invariants behind these

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"plurality"
+)
+
+// BenchmarkServeCachedCell measures — and asserts — the cache-hit serving
+// path: after warming one small sweep, every resubmission must be served
+// with zero simulation work (no events, no segments, no computed jobs) and
+// a bounded allocation budget per served cell. CI's bench smoke runs this
+// with -benchtime 1x, so the assertions gate merges even when nobody reads
+// the numbers.
+func BenchmarkServeCachedCell(b *testing.B) {
+	srv, err := New(Config{Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.pool.Close()
+
+	req := SweepRequest{
+		Protocol: "sync",
+		Base:     plurality.Spec{N: 100, K: 3, Seed: 21},
+		Ns:       []int{60, 100},
+		Reps:     2,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	serve := func() int {
+		r := httptest.NewRequest(http.MethodPost, "/v1/sweeps", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(w, r)
+		if w.Code != http.StatusOK {
+			b.Fatalf("sweep submit: status %d: %s", w.Code, w.Body)
+		}
+		return w.Body.Len()
+	}
+	serve() // warm: compute every job once
+	warm := srv.Stats()
+	if warm.JobsComputed == 0 {
+		b.Fatal("warm-up did no work")
+	}
+	const cells = 2
+
+	allocs := testing.AllocsPerRun(5, func() { serve() })
+	if perCell := allocs / cells; perCell > 2000 {
+		b.Fatalf("cache-hit path allocates %.0f per served cell, budget 2000", perCell)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serve()
+	}
+	b.StopTimer()
+
+	after := srv.Stats()
+	if after.EventsSimulated != warm.EventsSimulated {
+		b.Fatalf("cache-hit path simulated %d events", after.EventsSimulated-warm.EventsSimulated)
+	}
+	if after.JobsComputed != warm.JobsComputed {
+		b.Fatalf("cache-hit path recomputed %d jobs", after.JobsComputed-warm.JobsComputed)
+	}
+	if after.SegmentsRun != warm.SegmentsRun {
+		b.Fatalf("cache-hit path ran %d segments", after.SegmentsRun-warm.SegmentsRun)
+	}
+}

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// StreamSweep is the thin-client mode of cmd/sweep: submit req to a running
+// pluralityd at baseURL and copy the sweep's NDJSON cell lines to w as they
+// arrive. It returns once the server's completion trailer has been seen, an
+// error line arrives (returned as an error), or ctx is cancelled. Cell
+// lines pass through byte-for-byte — the client adds nothing, so piping to
+// a file yields exactly what a local `sweep -ndjson` run would have
+// written.
+func StreamSweep(ctx context.Context, baseURL string, req SweepRequest, w io.Writer) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("sweep: encoding request: %w", err)
+	}
+	url := strings.TrimSuffix(baseURL, "/") + "/v1/sweeps"
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if resp.StatusCode == http.StatusTooManyRequests {
+			return fmt.Errorf("sweep: server saturated (retry after %ss): %s",
+				resp.Header.Get("Retry-After"), strings.TrimSpace(string(msg)))
+		}
+		return fmt.Errorf("sweep: server returned %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		// Control lines carry "done" or "error" keys; cell lines never do
+		// (cell metrics nest under "metrics").
+		var ctl struct {
+			Done  *bool  `json:"done"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(line, &ctl); err == nil {
+			if ctl.Error != "" {
+				return fmt.Errorf("sweep: server: %s", ctl.Error)
+			}
+			if ctl.Done != nil {
+				return nil
+			}
+		}
+		// Write the newline separately: appending to the scanner's token
+		// would scribble on its internal buffer.
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("sweep: reading stream: %w", err)
+	}
+	return errors.New("sweep: stream ended without a completion trailer")
+}

@@ -1,0 +1,204 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+
+	"plurality"
+	"plurality/internal/harness"
+)
+
+// sweepID derives a sweep's identifier from its content: the protocol,
+// replication count and every job's cache key. Identical submissions —
+// whatever their field order on the wire — therefore share an ID, which is
+// what turns a resubmission into a join rather than a duplicate.
+func sweepID(protocol string, reps int, keys []string) string {
+	h := sha256.New()
+	h.Write([]byte("sweep"))
+	h.Write([]byte(protocol))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(reps))
+	h.Write(b[:])
+	for _, k := range keys {
+		h.Write([]byte(k))
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// sweepState is one sweep's in-memory execution state. Job results arrive
+// in any order from the pool; cells are encoded the moment their last
+// replication lands, in replication order, so the cell bytes are identical
+// for every completion order — the same invariant plurality.Sweep's
+// index-addressed slots provide.
+type sweepState struct {
+	id   string
+	req  SweepRequest
+	plan *plurality.SweepPlan
+	keys []string // job index (cell*reps + rep) → cache key
+
+	mu         sync.Mutex
+	update     chan struct{} // closed and replaced on every state change
+	repMetrics [][]map[string]float64
+	repDone    []int
+	cellLines  [][]byte
+	doneCells  int
+	doneJobs   int
+	cachedJobs int
+	failed     string
+	handles    []*harness.JobHandle
+}
+
+func newSweepState(id string, req SweepRequest, plan *plurality.SweepPlan, keys []string) *sweepState {
+	st := &sweepState{
+		id: id, req: req, plan: plan, keys: keys,
+		update:     make(chan struct{}),
+		repMetrics: make([][]map[string]float64, len(plan.Cells)),
+		repDone:    make([]int, len(plan.Cells)),
+		cellLines:  make([][]byte, len(plan.Cells)),
+	}
+	for i := range st.repMetrics {
+		st.repMetrics[i] = make([]map[string]float64, plan.Reps)
+	}
+	return st
+}
+
+func (st *sweepState) lock()   { st.mu.Lock() }
+func (st *sweepState) unlock() { st.mu.Unlock() }
+
+// broadcast wakes every stream waiting on this sweep; call locked.
+func (st *sweepState) broadcast() {
+	close(st.update)
+	st.update = make(chan struct{})
+}
+
+// jobSpec is the exact Spec job runs — the planned cell spec with the
+// replication seed, trajectory recording off (cell metrics never need it
+// and O(1) recording keeps big cells affordable) and client checkpoint
+// requests stripped (the serving layer owns checkpointing). The cache key
+// is computed over this same spec, so the key names precisely the work
+// performed.
+func (st *sweepState) jobSpec(job int) plurality.Spec {
+	reps := st.plan.Reps
+	s := st.plan.JobSpec(job/reps, job%reps)
+	s.DiscardTrajectory = true
+	s.Observer = nil
+	s.Checkpoint = plurality.CheckpointSpec{}
+	return s
+}
+
+// jobDone records one job's measurements and, when its cell's replication
+// set is complete, aggregates and encodes the cell line. It returns whether
+// the whole sweep just completed. Call unlocked.
+func (st *sweepState) jobDone(job int, m map[string]float64, cached bool) (sweepDone bool) {
+	reps := st.plan.Reps
+	cell, rep := job/reps, job%reps
+	st.lock()
+	defer st.unlock()
+	if st.failed != "" || st.repMetrics[cell][rep] != nil {
+		return false
+	}
+	st.repMetrics[cell][rep] = m
+	st.repDone[cell]++
+	st.doneJobs++
+	if cached {
+		st.cachedJobs++
+	}
+	if st.repDone[cell] == reps {
+		pc := st.plan.Cells[cell]
+		line, err := EncodeCell(plurality.SweepCell{
+			N: pc.N, K: pc.K, Alpha: pc.Alpha,
+			Topology: pc.Topology, Adversary: pc.Adversary,
+			Metrics: plurality.AggregateCellMetrics(st.repMetrics[cell]),
+		})
+		if err != nil {
+			st.failLocked(err.Error())
+			return false
+		}
+		st.cellLines[cell] = line
+		st.doneCells++
+	}
+	st.broadcast()
+	return st.doneJobs == st.plan.Jobs()
+}
+
+// fail marks the sweep failed (first error wins) and cancels its
+// outstanding jobs. Call unlocked.
+func (st *sweepState) fail(msg string) {
+	st.lock()
+	st.failLocked(msg)
+	st.unlock()
+}
+
+func (st *sweepState) failLocked(msg string) {
+	if st.failed != "" {
+		return
+	}
+	st.failed = msg
+	for _, h := range st.handles {
+		h.Cancel()
+	}
+	st.broadcast()
+}
+
+// failedMsg returns the failure message, or "".
+func (st *sweepState) failedMsg() string {
+	st.lock()
+	defer st.unlock()
+	return st.failed
+}
+
+// status snapshots the sweep's progress.
+func (st *sweepState) status() SweepStatus {
+	st.lock()
+	defer st.unlock()
+	s := SweepStatus{
+		ID:         st.id,
+		Protocol:   st.plan.Protocol,
+		Status:     "running",
+		TotalCells: len(st.plan.Cells),
+		DoneCells:  st.doneCells,
+		TotalJobs:  st.plan.Jobs(),
+		DoneJobs:   st.doneJobs,
+		CachedJobs: st.cachedJobs,
+		Error:      st.failed,
+	}
+	switch {
+	case st.failed != "":
+		s.Status = "failed"
+	case st.doneJobs == st.plan.Jobs():
+		s.Status = "done"
+	}
+	return s
+}
+
+// waitCell blocks until cell i's line is available (returned), the sweep
+// has failed (its message returned), or ctx/drain ends the wait (an error
+// message naming the resume path returned). Cell lines are immutable once
+// set, so the returned slice may be written to the wire unlocked.
+func (st *sweepState) waitCell(ctx context.Context, i int, drain <-chan struct{}) (line []byte, errMsg string) {
+	for {
+		st.lock()
+		if st.failed != "" {
+			msg := st.failed
+			st.unlock()
+			return nil, msg
+		}
+		if st.cellLines[i] != nil {
+			line := st.cellLines[i]
+			st.unlock()
+			return line, ""
+		}
+		update := st.update
+		st.unlock()
+		select {
+		case <-update:
+		case <-ctx.Done():
+			return nil, "client went away"
+		case <-drain:
+			return nil, "server draining; reconnect to GET /v1/sweeps/" + st.id + "/stream after restart"
+		}
+	}
+}

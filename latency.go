@@ -14,12 +14,12 @@ type LatencySpec struct {
 	// Kind selects the distribution: "exp" (default), "const", "uniform"
 	// or "erlang". The non-exponential kinds exercise the positive-aging
 	// generalization of the PODC version of the paper.
-	Kind string
+	Kind string `json:"kind,omitempty"`
 	// Mean is the expected latency (> 0); default 1. For "uniform" the
 	// support is [0, 2·Mean); for "erlang" the rate is Shape/Mean.
-	Mean float64
+	Mean float64 `json:"mean,omitempty"`
 	// Shape is the Erlang stage count (>= 1); only used by "erlang".
-	Shape int
+	Shape int `json:"shape,omitempty"`
 }
 
 // build converts the spec into the simulator's latency type.

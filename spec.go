@@ -22,46 +22,46 @@ const MaxNodes = math.MaxInt32 - 1
 type Spec struct {
 	// N is the number of nodes (>= 2, at most MaxNodes; the decentralized
 	// protocol needs >= 8 for its clustering substrate).
-	N int
+	N int `json:"n"`
 	// K is the number of opinions (>= 1).
-	K int
+	K int `json:"k"`
 	// Alpha is the planted initial bias used when Assignment is nil: the
 	// assignment is then PlantedBias(N, K, Alpha, Seed-derived). 0 means
 	// the unbiased worst case (α = 1); values in (0, 1) are invalid.
-	Alpha float64
+	Alpha float64 `json:"alpha,omitempty"`
 	// Assignment optionally fixes the initial opinions (length N, values
 	// in [0, K)). It is not mutated.
-	Assignment []int
+	Assignment []int `json:"assignment,omitempty"`
 	// Seed drives all randomness of the run.
-	Seed uint64
+	Seed uint64 `json:"seed"`
 	// Eps defines ε-convergence reporting; must lie in [0, 1). 0 means
 	// the paper's 1/log² n.
-	Eps float64
+	Eps float64 `json:"eps,omitempty"`
 	// MaxSteps bounds round-based protocols (sync and the baselines) in
 	// synchronous rounds; 0 means an automatic generous horizon.
-	MaxSteps int
+	MaxSteps int `json:"max_steps,omitempty"`
 	// MaxTime bounds the asynchronous protocols in virtual time steps;
 	// 0 means an automatic generous horizon.
-	MaxTime float64
+	MaxTime float64 `json:"max_time,omitempty"`
 	// RecordEvery sets the snapshot interval: rounds for round-based
 	// protocols (rounded to an integer, minimum 1), virtual time steps for
 	// asynchronous ones. 0 means the protocol default (1 round, or one
 	// snapshot per time unit).
-	RecordEvery float64
+	RecordEvery float64 `json:"record_every,omitempty"`
 	// Latency describes the channel-establishment distribution T2 of the
 	// asynchronous protocols. The zero value is the paper's Exp(1).
-	Latency LatencySpec
+	Latency LatencySpec `json:"latency,omitzero"`
 	// Topology selects the interaction graph nodes sample partners from.
 	// The zero value is the complete graph — the paper's model — and is
 	// guaranteed to reproduce pre-topology results byte-identically for
 	// the same seed. See TopologySpec for the other kinds.
-	Topology TopologySpec
+	Topology TopologySpec `json:"topology,omitzero"`
 	// Adversary selects the fault model the run faces. The zero value is
 	// the honest model — the only one the paper's theorems cover — and is
 	// guaranteed to reproduce pre-adversary results byte-identically for
 	// the same seed. See AdversarySpec for the kinds; the round-based
 	// protocols reject the delay kind (no message latency to stretch).
-	Adversary AdversarySpec
+	Adversary AdversarySpec `json:"adversary,omitzero"`
 	// Observer, when non-nil, receives every trajectory snapshot as it is
 	// recorded — the streaming alternative to Result.Trajectory. Under
 	// RunMany or Sweep the same Observer serves concurrent runs and must
@@ -72,18 +72,18 @@ type Spec struct {
 	// O(1) memory instead of O(steps); the outcome (winner, hitting
 	// times) is evaluated incrementally and is unaffected. Combine with
 	// Observer to consume snapshots without accumulating them.
-	DiscardTrajectory bool
+	DiscardTrajectory bool `json:"discard_trajectory,omitempty"`
 	// Checkpoint requests a mid-run state snapshot (see CheckpointSpec);
 	// the zero value disables it. Snapshots capture the complete simulator
 	// state and resume bit-exactly through Resume. Only checkpointable
 	// protocols accept it (ProtocolInfo.Checkpointable; all built-ins are).
-	Checkpoint CheckpointSpec
+	Checkpoint CheckpointSpec `json:"checkpoint,omitzero"`
 	// Sync holds the synchronous protocol's knobs.
-	Sync SyncOptions
+	Sync SyncOptions `json:"sync,omitzero"`
 	// Async holds the asynchronous protocols' knobs.
-	Async AsyncOptions
+	Async AsyncOptions `json:"async,omitzero"`
 	// Baseline holds the baseline dynamics' knobs.
-	Baseline BaselineOptions
+	Baseline BaselineOptions `json:"baseline,omitzero"`
 
 	// scratch carries per-worker reusable sampling buffers into the
 	// engines. Runtime-only and internal: RunBatch and Sweep set it so the
@@ -96,10 +96,10 @@ type Spec struct {
 // SyncOptions are the knobs specific to the synchronous protocol ("sync").
 type SyncOptions struct {
 	// Gamma is the generation-density threshold γ ∈ (0, 1); 0 means 0.5.
-	Gamma float64
+	Gamma float64 `json:"gamma,omitempty"`
 	// TheoreticalSchedule selects the paper's predefined two-choices
 	// times {t_i} instead of the adaptive density trigger.
-	TheoreticalSchedule bool
+	TheoreticalSchedule bool `json:"theoretical_schedule,omitempty"`
 }
 
 // AsyncOptions are the knobs specific to the asynchronous protocols
@@ -107,14 +107,14 @@ type SyncOptions struct {
 type AsyncOptions struct {
 	// ClusterTargetSize overrides the decentralized protocol's cluster
 	// size knob; 0 means automatic. Ignored by "leader".
-	ClusterTargetSize int
+	ClusterTargetSize int `json:"cluster_target_size,omitempty"`
 }
 
 // BaselineOptions are the knobs specific to the baseline dynamics.
 type BaselineOptions struct {
 	// Sequential uses the population-protocol scheduler (one interaction
 	// at a time, time in parallel rounds) instead of synchronous rounds.
-	Sequential bool
+	Sequential bool `json:"sequential,omitempty"`
 }
 
 // Observer consumes trajectory snapshots as a run records them. Observe is

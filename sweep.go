@@ -59,14 +59,17 @@ func RunBatch(ctx context.Context, name string, spec Spec, reps, workers int) ([
 	return results, nil
 }
 
-// Summary aggregates one metric over the replications of a sweep cell.
+// Summary aggregates one metric over the replications of a sweep cell. Its
+// JSON field names are the stable wire format of the serving layer.
 type Summary struct {
 	// N is the number of observations.
-	N int
+	N int `json:"n"`
 	// Mean is the sample mean and SE its standard error.
-	Mean, SE float64
+	Mean float64 `json:"mean"`
+	SE   float64 `json:"se"`
 	// Min and Max bracket the observations.
-	Min, Max float64
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
 }
 
 func summarize(s *stats.Summary) Summary {
@@ -122,19 +125,177 @@ type SweepConfig struct {
 	WarmStart *Snapshot
 }
 
-// SweepCell is one grid point's aggregated outcome.
+// SweepCell is one grid point's aggregated outcome. Its JSON field names
+// are the stable wire format of the serving layer: one marshalled SweepCell
+// is one NDJSON line of a pluralityd sweep stream.
 type SweepCell struct {
+	// N, K and Alpha locate the cell in the grid.
+	N     int     `json:"n"`
+	K     int     `json:"k"`
+	Alpha float64 `json:"alpha"`
+	// Topology is the interaction graph of the cell (TopologySpec.Label
+	// form, e.g. "complete" or "torus(32x32)").
+	Topology string `json:"topology"`
+	// Adversary is the fault model of the cell (AdversarySpec.Label form,
+	// e.g. "none" or "crash(f=0.3)").
+	Adversary string `json:"adversary"`
+	// Metrics holds the aggregated measurements of the cell.
+	Metrics map[string]Summary `json:"metrics"`
+}
+
+// PlannedCell is one grid point of a SweepPlan: its coordinates, the
+// display labels of the graph and fault model it actually runs, and the
+// validated Spec its replications execute (Seed set per replication through
+// SweepPlan.JobSpec).
+type PlannedCell struct {
 	// N, K and Alpha locate the cell in the grid.
 	N, K  int
 	Alpha float64
-	// Topology is the interaction graph of the cell (TopologySpec.Label
-	// form, e.g. "complete" or "torus(32x32)").
-	Topology string
-	// Adversary is the fault model of the cell (AdversarySpec.Label form,
-	// e.g. "none" or "crash(f=0.3)").
-	Adversary string
-	// Metrics holds the aggregated measurements of the cell.
-	Metrics map[string]Summary
+	// Topology and Adversary are the cell's display labels
+	// (TopologySpec.ResolvedLabel / AdversarySpec.Label form), identical to
+	// the ones the aggregated SweepCell will carry.
+	Topology, Adversary string
+	// Spec is the cell's run configuration; its Seed is replication 0's
+	// (the seed the cell was validated under).
+	Spec Spec
+}
+
+// SweepPlan is the deterministic flattened form of a SweepConfig: every
+// grid cell enumerated and validated up front, in grid order (n-major, then
+// k, alpha, topology, adversary). The plan is what both Sweep and the
+// serving layer execute — cell c, replication r runs JobSpec(c, r), and the
+// job list Cells × Reps is worker-count-invariant, so any executor that
+// aggregates replications in order reproduces Sweep's cells exactly.
+type SweepPlan struct {
+	// Protocol is the registered protocol name the plan runs.
+	Protocol string
+	// BaseSeed is the sweep's seed offset (SweepConfig.Base.Seed).
+	BaseSeed uint64
+	// Reps is the number of seeded replications per cell (>= 1).
+	Reps int
+	// Cells holds one entry per grid point, in grid order.
+	Cells []PlannedCell
+}
+
+// Jobs returns the total number of (cell, replication) jobs in the plan.
+func (p *SweepPlan) Jobs() int { return len(p.Cells) * p.Reps }
+
+// JobSpec returns the exact Spec job (cell, rep) runs: the cell's validated
+// Spec with the replication's derived seed. Running it through the plan's
+// protocol reproduces the corresponding Sweep replication bit-exactly.
+func (p *SweepPlan) JobSpec(cell, rep int) Spec {
+	s := p.Cells[cell].Spec
+	s.Seed = RepSeed(p.BaseSeed, rep)
+	return s
+}
+
+// RepSeed returns the run seed of sweep replication rep under base seed
+// base: base + rep·10⁶ + 1. Cells deliberately share replication seeds (the
+// grid axes distinguish them) while replications within a cell never
+// collide for any practical replication count.
+func RepSeed(base uint64, rep int) uint64 {
+	return base + uint64(rep)*1e6 + 1
+}
+
+// Plan enumerates and validates the factor grid of cfg without running
+// anything: the deterministic job list a Sweep would execute, exposed so
+// other executors (the pluralityd serving layer, custom schedulers) can fan
+// the same jobs out and still aggregate cells bit-identically. Warm-start
+// configurations have no flattened grid and are rejected.
+func (cfg SweepConfig) Plan() (*SweepPlan, error) {
+	if cfg.WarmStart != nil {
+		return nil, fmt.Errorf("plurality: warm-start sweeps have no flattened plan; run them through Sweep")
+	}
+	if _, err := Lookup(cfg.Protocol); err != nil {
+		return nil, err
+	}
+	reps := cfg.Reps
+	if reps <= 0 {
+		reps = 5
+	}
+	ns := cfg.Ns
+	if len(ns) == 0 {
+		ns = []int{cfg.Base.N}
+	}
+	ks := cfg.Ks
+	if len(ks) == 0 {
+		ks = []int{cfg.Base.K}
+	}
+	alphas := cfg.Alphas
+	if len(alphas) == 0 {
+		alphas = []float64{cfg.Base.Alpha}
+	}
+	topos := cfg.Topologies
+	if len(topos) == 0 {
+		topos = []TopologySpec{cfg.Base.Topology}
+	}
+	advs := cfg.Adversaries
+	if len(advs) == 0 {
+		advs = []AdversarySpec{cfg.Base.Adversary}
+	}
+	plan := &SweepPlan{Protocol: cfg.Protocol, BaseSeed: cfg.Base.Seed, Reps: reps}
+	for _, n := range ns {
+		for _, k := range ks {
+			for _, a := range alphas {
+				for _, tp := range topos {
+					for _, adv := range advs {
+						spec := cfg.Base
+						spec.N, spec.K, spec.Alpha, spec.Topology = n, k, a, tp
+						spec.Adversary = adv
+						// Validate with replication 0's actual seed so the
+						// random-graph connectivity check inspects a graph the
+						// cell really runs on (replications with GraphSeed 0
+						// derive their graphs from the run seed).
+						spec.Seed = RepSeed(cfg.Base.Seed, 0)
+						if err := spec.validate(); err != nil {
+							return nil, err
+						}
+						// Label the graph the cell actually runs on — defaults
+						// resolved per n, so two cells sharing {Kind: "torus"}
+						// still distinguish their 30x30 from their 32x32.
+						plan.Cells = append(plan.Cells, PlannedCell{
+							N: n, K: k, Alpha: a,
+							Topology:  tp.ResolvedLabel(n),
+							Adversary: adv.Label(),
+							Spec:      spec,
+						})
+					}
+				}
+			}
+		}
+	}
+	return plan, nil
+}
+
+// foldMetrics accumulates per-replication measurement maps (in replication
+// order) into one stats.Summary per metric name.
+func foldMetrics(reps []map[string]float64) map[string]*stats.Summary {
+	agg := make(map[string]*stats.Summary)
+	for _, m := range reps {
+		for name, v := range m {
+			s, ok := agg[name]
+			if !ok {
+				s = &stats.Summary{}
+				agg[name] = s
+			}
+			s.Add(v)
+		}
+	}
+	return agg
+}
+
+// AggregateCellMetrics folds one cell's per-replication measurements (in
+// replication order) into the aggregated Metrics map a SweepCell carries.
+// It is the exact aggregation Sweep applies, exported so an external
+// executor of a SweepPlan — the pluralityd serving layer in particular —
+// produces cells byte-identical to a local Sweep's.
+func AggregateCellMetrics(reps []map[string]float64) map[string]Summary {
+	agg := foldMetrics(reps)
+	out := make(map[string]Summary, len(agg))
+	for name, s := range agg {
+		out[name] = summarize(s)
+	}
+	return out
 }
 
 // SweepResult is the outcome of a Sweep, renderable as an aligned ASCII
@@ -204,17 +365,7 @@ func sweepWarmStart(ctx context.Context, cfg SweepConfig, metricFn func(*Result)
 		table: harness.NewTable(fmt.Sprintf("warm-start sweep: %s from t=%g", meta.Protocol, meta.Time),
 			[]string{"n", "k", "alpha"}, order),
 	}
-	agg := make(map[string]*stats.Summary)
-	for _, m := range measurements {
-		for name, v := range m {
-			s, ok := agg[name]
-			if !ok {
-				s = &stats.Summary{}
-				agg[name] = s
-			}
-			s.Add(v)
-		}
-	}
+	agg := foldMetrics(measurements)
 	out.table.Append(map[string]float64{
 		"n": float64(spec.N), "k": float64(spec.K), "alpha": spec.Alpha,
 	}, agg)
@@ -256,26 +407,6 @@ func Sweep(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	ns := cfg.Ns
-	if len(ns) == 0 {
-		ns = []int{cfg.Base.N}
-	}
-	ks := cfg.Ks
-	if len(ks) == 0 {
-		ks = []int{cfg.Base.K}
-	}
-	alphas := cfg.Alphas
-	if len(alphas) == 0 {
-		alphas = []float64{cfg.Base.Alpha}
-	}
-	topos := cfg.Topologies
-	if len(topos) == 0 {
-		topos = []TopologySpec{cfg.Base.Topology}
-	}
-	advs := cfg.Adversaries
-	if len(advs) == 0 {
-		advs = []AdversarySpec{cfg.Base.Adversary}
-	}
 
 	out := &SweepResult{
 		Protocol: cfg.Protocol,
@@ -291,53 +422,21 @@ func Sweep(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
 
 	// Pass 1: enumerate and validate every grid cell up front, so a bad
 	// cell fails the sweep before any replication burns CPU.
-	type cellSpec struct {
-		n, k     int
-		alpha    float64
-		label    string
-		advLabel string
-		spec     Spec
+	plan, err := cfg.Plan()
+	if err != nil {
+		return nil, err
 	}
-	var cells []cellSpec
-	for _, n := range ns {
-		for _, k := range ks {
-			for _, a := range alphas {
-				for _, tp := range topos {
-					for _, adv := range advs {
-						spec := cfg.Base
-						spec.N, spec.K, spec.Alpha, spec.Topology = n, k, a, tp
-						spec.Adversary = adv
-						// Validate with replication 0's actual seed so the
-						// random-graph connectivity check inspects a graph the
-						// cell really runs on (replications with GraphSeed 0
-						// derive their graphs from the run seed).
-						spec.Seed = cfg.Base.Seed + 1
-						if err := spec.validate(); err != nil {
-							return nil, err
-						}
-						// Label the graph the cell actually runs on — defaults
-						// resolved per n, so two cells sharing {Kind: "torus"}
-						// still distinguish their 30x30 from their 32x32.
-						cells = append(cells, cellSpec{
-							n: n, k: k, alpha: a, label: tp.ResolvedLabel(n),
-							advLabel: adv.Label(), spec: spec,
-						})
-					}
-				}
-			}
-		}
-	}
+	reps = plan.Reps
 
 	// Pass 2: flatten cells × replications into one job list sharded over a
 	// single worker pool, so a slow cell no longer serializes the grid.
 	// Each job writes its own slot; aggregation below walks the slots in
 	// (cell, rep) order, making the output independent of goroutine
 	// interleaving.
-	metrics := make([]map[string]float64, len(cells)*reps)
+	metrics := make([]map[string]float64, plan.Jobs())
 	err = harness.ForEachWorkersScratch(ctx, len(metrics), cfg.Workers, newWorkerScratch,
 		func(rctx context.Context, job int, ws any) error {
-			s := cells[job/reps].spec
-			s.Seed = cfg.Base.Seed + uint64(job%reps)*1e6 + 1
+			s := plan.JobSpec(job/reps, job%reps)
 			s.scratch = ws.(*topo.Scratch)
 			res, err := p.Run(rctx, s)
 			if err != nil {
@@ -351,33 +450,23 @@ func Sweep(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
 	}
 
 	// Pass 3: aggregate per cell, in grid order.
-	for ci, c := range cells {
-		agg := make(map[string]*stats.Summary)
-		for rep := 0; rep < reps; rep++ {
-			for name, v := range metrics[ci*reps+rep] {
-				s, ok := agg[name]
-				if !ok {
-					s = &stats.Summary{}
-					agg[name] = s
-				}
-				s.Add(v)
-			}
-		}
+	for ci, c := range plan.Cells {
+		agg := foldMetrics(metrics[ci*reps : (ci+1)*reps])
 		var labels map[string]string
 		if len(cfg.Topologies) > 0 || len(cfg.Adversaries) > 0 {
 			labels = map[string]string{}
 			if len(cfg.Topologies) > 0 {
-				labels["topology"] = c.label
+				labels["topology"] = c.Topology
 			}
 			if len(cfg.Adversaries) > 0 {
-				labels["adversary"] = c.advLabel
+				labels["adversary"] = c.Adversary
 			}
 		}
 		out.table.AppendLabeled(labels, map[string]float64{
-			"n": float64(c.n), "k": float64(c.k), "alpha": c.alpha,
+			"n": float64(c.N), "k": float64(c.K), "alpha": c.Alpha,
 		}, agg)
-		cell := SweepCell{N: c.n, K: c.k, Alpha: c.alpha, Topology: c.label,
-			Adversary: c.advLabel,
+		cell := SweepCell{N: c.N, K: c.K, Alpha: c.Alpha, Topology: c.Topology,
+			Adversary: c.Adversary,
 			Metrics:   make(map[string]Summary, len(agg))}
 		for name, s := range agg {
 			cell.Metrics[name] = summarize(s)

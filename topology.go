@@ -41,27 +41,28 @@ func Topologies() []string {
 // ignored.
 type TopologySpec struct {
 	// Kind names the graph family; "" means TopologyComplete.
-	Kind string
+	Kind string `json:"kind,omitempty"`
 	// Width is the ring half-width (neighbors v±1 … v±Width); 0 means 1,
 	// the plain cycle. Requires N >= 2·Width+1.
-	Width int
+	Width int `json:"width,omitempty"`
 	// Rows and Cols are the torus dimensions; both 0 means the most
 	// near-square factorization of N with both sides >= 3 (an error if N
 	// has none, e.g. primes), and setting exactly one infers the other
 	// from N. When both are set, Rows·Cols must equal N.
-	Rows, Cols int
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
 	// Degree is the random-regular degree; 0 means 4. N·Degree must be
 	// even and 2 <= Degree < N.
-	Degree int
+	Degree int `json:"degree,omitempty"`
 	// P is the Erdős–Rényi edge probability in (0, 1]; 0 means
 	// min(1, 2·ln(N)/N), comfortably above the ln(N)/N connectivity
 	// threshold. The sampled graph must be connected or the run errors.
-	P float64
+	P float64 `json:"p,omitempty"`
 	// GraphSeed seeds the construction of the random graph kinds; 0
 	// derives the seed from Spec.Seed, so replications with distinct run
 	// seeds draw distinct graphs (annealed averaging). Set it to pin one
 	// graph across replications (quenched).
-	GraphSeed uint64
+	GraphSeed uint64 `json:"graph_seed,omitempty"`
 }
 
 // Label renders the spec compactly for tables and sweep axes, e.g.

@@ -1,0 +1,121 @@
+package plurality
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// This file pins the JSON wire format the serving layer (internal/server,
+// cmd/pluralityd) speaks: stable snake_case field names on Spec and its
+// nested option structs, Summary, SweepCell and BenchReport, and lossless
+// round-trips for every serializable field.
+
+// TestSpecJSONRoundTrip marshals a fully populated Spec and checks the
+// decode reproduces it exactly (runtime-only fields excepted, which must
+// not appear on the wire at all).
+func TestSpecJSONRoundTrip(t *testing.T) {
+	in := Spec{
+		N: 1200, K: 5, Alpha: 2.5, Seed: 99, Eps: 0.01,
+		MaxSteps: 77, MaxTime: 123.5, RecordEvery: 2,
+		Latency:           LatencySpec{Kind: "erlang", Mean: 1.5, Shape: 3},
+		Topology:          TopologySpec{Kind: TopologyTorus, Rows: 30, Cols: 40, GraphSeed: 4},
+		Adversary:         AdversarySpec{Kind: AdversaryCrash, Fraction: 0.2, Rate: 1.5, At: 3, Seed: 8},
+		DiscardTrajectory: true,
+		Checkpoint:        CheckpointSpec{SnapshotAt: 10, Halt: true},
+		Sync:              SyncOptions{Gamma: 0.4, TheoreticalSchedule: true},
+		Async:             AsyncOptions{ClusterTargetSize: 64},
+		Baseline:          BaselineOptions{Sequential: true},
+		Observer:          ObserverFunc(func(TrajectoryPoint) {}), // must not serialize
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"n":`, `"k":`, `"alpha":`, `"seed":`, `"eps":`,
+		`"max_steps":`, `"max_time":`, `"record_every":`, `"latency":`,
+		`"topology":`, `"adversary":`, `"discard_trajectory":`, `"checkpoint":`,
+		`"snapshot_at":`, `"graph_seed":`, `"fraction":`, `"gamma":`,
+		`"theoretical_schedule":`, `"cluster_target_size":`, `"sequential":`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("wire form missing %s: %s", key, b)
+		}
+	}
+	if strings.Contains(string(b), "Observer") || strings.Contains(string(b), "Sink") {
+		t.Fatalf("runtime-only field leaked onto the wire: %s", b)
+	}
+	var out Spec
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	in.Observer = nil // not serializable by design
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip lost data:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+// TestSpecJSONOmitsDefaults checks a zero-knob Spec stays terse on the
+// wire: optional fields are omitted rather than spelled as zeros.
+func TestSpecJSONOmitsDefaults(t *testing.T) {
+	b, err := json.Marshal(Spec{N: 100, K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"n":100,"k":2,"seed":1}`
+	if string(b) != want {
+		t.Fatalf("zero-knob spec marshals as %s, want %s", b, want)
+	}
+}
+
+// TestSummaryAndSweepCellJSONRoundTrip pins the per-cell wire format — the
+// NDJSON lines a pluralityd sweep stream is made of.
+func TestSummaryAndSweepCellJSONRoundTrip(t *testing.T) {
+	in := SweepCell{
+		N: 1000, K: 4, Alpha: 2, Topology: "torus(25x40)", Adversary: "crash(f=0.2)",
+		Metrics: map[string]Summary{
+			"duration": {N: 5, Mean: 12.5, SE: 0.25, Min: 11, Max: 14},
+		},
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"n":`, `"k":`, `"alpha":`, `"topology":`,
+		`"adversary":`, `"metrics":`, `"mean":`, `"se":`, `"min":`, `"max":`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("wire form missing %s: %s", key, b)
+		}
+	}
+	var out SweepCell
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip lost data:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+// TestBenchReportJSONRoundTrip pins the benchmark report wire format.
+func TestBenchReportJSONRoundTrip(t *testing.T) {
+	in := BenchReport{
+		Protocol: "leader", Topology: "complete", N: 1000, K: 4, Alpha: 2, Seed: 1,
+		Events: 123456, WallSeconds: 1.5, EventsPerSec: 82304,
+		AllocBytes: 1 << 20, Allocs: 1000, BytesPerEvent: 8.5, AllocsPerEvent: 0.008,
+		PeakHeapBytes: 1 << 22, GoMaxProcs: 8, Workers: 4, Reps: 3,
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"events_per_sec":`) || !strings.Contains(string(b), `"wall_seconds":`) {
+		t.Fatalf("wire form missing snake_case keys: %s", b)
+	}
+	var out BenchReport
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip lost data:\n in: %+v\nout: %+v", in, out)
+	}
+}
