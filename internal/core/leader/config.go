@@ -116,8 +116,23 @@ type Config struct {
 	DiscardTrajectory bool
 	// Scratch optionally supplies reusable batch-sampling buffers; nil
 	// allocates run-local ones. The public batch layer passes one per
-	// worker so replications sharing a worker share buffers.
+	// worker so replications sharing a worker share buffers. Sharded runs
+	// (Shards > 1) ignore it and use per-shard buffers.
 	Scratch *topo.Scratch
+	// Shards splits the node set across this many event ladders run in
+	// parallel and synchronized at ladder-window barriers (conservative
+	// PDES; see runSharded). 0 or 1 selects the serial kernel, whose
+	// output is byte-identical to every release since the ladder landed.
+	// For fixed Shards > 1 the result is a pure function of (config, seed,
+	// shards) — reproducible, but a different sample path than the serial
+	// kernel's. Sharded runs reject checkpointing and adversaries and skip
+	// CheckInvariants (remote leader-state reads are one window stale, so
+	// the §3.2 assertions do not apply verbatim).
+	Shards int
+	// ShardWorkers bounds the worker pool driving the shards; 0 means
+	// GOMAXPROCS. Any value produces identical results (worker-count
+	// invariance), it only changes how much hardware parallelism is used.
+	ShardWorkers int
 }
 
 func (cfg *Config) normalize() error {
@@ -171,6 +186,20 @@ func (cfg *Config) normalize() error {
 			return fmt.Errorf("leader: legacy CrashFrac and Adv are mutually exclusive")
 		}
 		cfg.Adv.N = cfg.N
+	}
+	if cfg.Shards < 0 {
+		return fmt.Errorf("leader: negative Shards %d", cfg.Shards)
+	}
+	if cfg.Shards > cfg.N {
+		return fmt.Errorf("leader: Shards %d exceeds N %d", cfg.Shards, cfg.N)
+	}
+	if cfg.Shards > 1 {
+		if cfg.CrashFrac > 0 || cfg.Adv.Kind != adversary.None {
+			return fmt.Errorf("leader: sharded execution (Shards=%d) does not support adversaries; run with Shards <= 1", cfg.Shards)
+		}
+		if cfg.Ckpt.Capturing() || cfg.Ckpt.Restoring() {
+			return fmt.Errorf("leader: sharded execution (Shards=%d) does not support checkpointing; run with Shards <= 1", cfg.Shards)
+		}
 	}
 	return nil
 }

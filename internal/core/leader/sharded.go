@@ -1,0 +1,545 @@
+package leader
+
+import (
+	"context"
+	"math"
+
+	"plurality/internal/core/syncgen"
+	"plurality/internal/metrics"
+	"plurality/internal/opinion"
+	"plurality/internal/sim"
+	"plurality/internal/topo"
+	"plurality/internal/xrand"
+)
+
+// Sharded execution: conservative parallel discrete-event simulation over
+// the bucketed event ladder.
+//
+// The node set is partitioned into S shards (topo.Partition — contiguous
+// blocks for topologies whose numbering encodes locality, BFS-greedy over
+// the CSR adjacency otherwise). Each shard owns an event ladder, a Poisson
+// clock slab over its nodes, and private RNG substreams, and processes its
+// own ticks and channel completions. Shards run concurrently inside one
+// ladder-window [t, WindowEnd(t)) and synchronize at the window boundary (a
+// sim.ShardRunner barrier); the 1/1024-unit bucket width is the lookahead.
+//
+// Determinism rests on three ownership rules:
+//
+//  1. Live state is owner-only. cols/gens/locked/seenG/seenP are written
+//     exclusively by the owning shard; a shard reading a *remote* partner
+//     sees the published copy (pubCols/pubGens), frozen at the last
+//     barrier. Remote reads are therefore up to one window (1/1024 time
+//     unit, far below any channel latency) stale — a defined model, not a
+//     race.
+//  2. The leader automaton lives on shard 0. Signals raised on shard 0
+//     schedule directly; signals raised elsewhere accumulate in per-shard
+//     outboxes that the barrier merges into shard 0's ladder in fixed
+//     shard order — sequence numbers are assigned at merge time, so the
+//     signal order is a pure function of the per-shard executions. Remote
+//     shards read the leader's (gen, prop) from a published copy.
+//  3. Global aggregates (color/generation tallies, §4.5 leader load,
+//     monochromaticity, trajectory records) are folded from per-shard
+//     deltas at barriers, giving them window granularity.
+//
+// Under these rules the result is a pure function of (config, seed,
+// shards): worker count, GOMAXPROCS and OS scheduling are invisible
+// (pinned by TestShardedLeaderWorkerInvariance and the shard golden
+// digests). shards=1 does not take this path at all — Run dispatches to
+// the serial kernel, keeping its byte-exact golden contract.
+type shardedRun struct {
+	cfg    Config
+	sims   []*sim.Simulator
+	shards []*shardState
+	runner *sim.ShardRunner
+
+	owner []int32 // node → shard
+	local []int32 // node → index within its shard's slabs
+
+	// Owner-write live state, indexed by global node id.
+	cols   []opinion.Opinion
+	gens   []int32
+	locked []bool
+	seenG  []int32
+	seenP  []bool
+
+	// Published copies, refreshed from per-shard dirty lists at barriers;
+	// the only node state a non-owner shard may read.
+	pubCols []opinion.Opinion
+	pubGens []int32
+
+	// Leader automaton (mutated only by shard 0's goroutine inside a
+	// window, and by the barrier goroutine between windows).
+	leaderGen     int
+	leaderProp    bool
+	leaderT       int
+	leaderSize    int
+	c3Ticks       int
+	genThresh     int
+	gStar         int
+	pubLeaderGen  int32
+	pubLeaderProp bool
+
+	// Barrier-folded aggregates.
+	colorCount []int
+	genCount   []int
+	maxGen     int
+	mono       bool
+	monoAt     float64
+	loadBucket int32
+	loadCount  uint64
+	peakLoad   uint64
+
+	maxTime   float64
+	plurality opinion.Opinion
+	rec       *metrics.Recorder
+	res       *Result
+}
+
+// shardState is the per-shard execution context; every field is touched by
+// exactly one goroutine inside a window.
+type shardState struct {
+	run     *shardedRun
+	id      int32
+	sm      *sim.Simulator
+	clocks  *sim.Clocks
+	tickFn  func(int)
+	bs      topo.BatchSampler
+	scratch topo.Scratch
+	lat     sim.Latency
+	tickR   *xrand.RNG
+	latR    *xrand.RNG
+	nodes   []int32
+
+	// Window-local products, consumed and reset by the barrier merge.
+	dirty      []int32   // nodes written this window (pub refresh list)
+	outAt      []float64 // cross-shard signal delivery times…
+	outGen     []int32   // …and their generation payloads (0 = 0-signal)
+	colorDelta []int
+	genDelta   []int
+	maxGen     int
+	msgs       uint64 // leader-bound messages this window (§4.5)
+}
+
+// runSharded executes Algorithms 2 and 3 on the sharded kernel. cfg has
+// been normalized and cfg.Shards > 1.
+func runSharded(cfg Config) (*Result, error) {
+	root := xrand.New(cfg.Seed)
+
+	cols := make([]opinion.Opinion, cfg.N)
+	if cfg.Assignment != nil {
+		copy(cols, cfg.Assignment)
+	} else {
+		alpha := cfg.Alpha
+		if alpha < 1 {
+			alpha = 1
+		}
+		cols = opinion.PlantedBias(cfg.N, cfg.K, alpha, root.SplitNamed("assignment"))
+	}
+	initCounts := opinion.CountOf(cols, cfg.K)
+	pl, _ := initCounts.TopTwo()
+	alphaHat := initCounts.Bias()
+
+	gStar := cfg.GStar
+	if gStar <= 0 {
+		gStar = syncgen.GenerationBudget(cfg.N, alphaHat) + 2
+	}
+	maxTime := cfg.MaxTime
+	if maxTime <= 0 {
+		perGen := cfg.C3 + cfg.C1*(math.Log(4.5*float64(cfg.K+1))/math.Log(1.4)+2)
+		maxTime = 16*float64(gStar)*perGen + 30*cfg.C1*math.Log2(float64(cfg.N))
+	}
+
+	s := cfg.Shards
+	owner := topo.Partition(cfg.Topo, s)
+	r := &shardedRun{
+		cfg:        cfg,
+		sims:       make([]*sim.Simulator, s),
+		shards:     make([]*shardState, s),
+		owner:      owner,
+		local:      make([]int32, cfg.N),
+		cols:       cols,
+		gens:       make([]int32, cfg.N),
+		locked:     make([]bool, cfg.N),
+		seenG:      make([]int32, cfg.N),
+		seenP:      make([]bool, cfg.N),
+		pubCols:    append([]opinion.Opinion(nil), cols...),
+		pubGens:    make([]int32, cfg.N),
+		leaderGen:  1,
+		c3Ticks:    int(cfg.C3 * float64(cfg.N)),
+		genThresh:  int(math.Ceil(cfg.GenFraction * float64(cfg.N))),
+		gStar:      gStar,
+		colorCount: initCounts,
+		genCount:   make([]int, gStar+1),
+		maxTime:    maxTime,
+		plurality:  opinion.Opinion(pl),
+		res: &Result{
+			InitialPlurality: opinion.Opinion(pl),
+			C1:               cfg.C1,
+			GStar:            gStar,
+		},
+	}
+	r.genCount[0] = cfg.N
+	r.pubLeaderGen = 1
+	r.res.PhaseLog = append(r.res.PhaseLog,
+		PhaseEvent{Time: 0, Gen: 1, Phase: PhaseTwoChoices})
+
+	// Shard node lists in ascending id order — deterministic, and the order
+	// the per-node clock RNGs are split in.
+	nodes := make([][]int32, s)
+	for v := 0; v < cfg.N; v++ {
+		b := owner[v]
+		r.local[v] = int32(len(nodes[b]))
+		nodes[b] = append(nodes[b], int32(v))
+	}
+
+	// Per-shard RNG substreams: one named base per role, split once per
+	// shard in shard order — a pure function of (seed, shards), independent
+	// of workers. (The serial kernel consumes the same named bases without
+	// the extra split, which is one reason shards=1 bypasses this path.)
+	tickBase := root.SplitNamed("ticks")
+	latBase := root.SplitNamed("latency")
+	clockBase := root.SplitNamed("clocks")
+	bs := topo.Batch(cfg.Topo)
+	for b := 0; b < s; b++ {
+		sm := sim.New()
+		sm.Reserve(3*len(nodes[b]) + 64)
+		ss := &shardState{
+			run:        r,
+			id:         int32(b),
+			sm:         sm,
+			bs:         bs,
+			lat:        cfg.Latency,
+			tickR:      tickBase.Split(),
+			latR:       latBase.Split(),
+			nodes:      nodes[b],
+			colorDelta: make([]int, cfg.K+1),
+			genDelta:   make([]int, gStar+1),
+		}
+		ss.tickFn = ss.tick
+		ss.clocks = sim.NewClocksFor(sm, clockBase.Split(), nodes[b], r.local, 1, evTick)
+		sm.SetHandler(ss)
+		r.sims[b] = sm
+		r.shards[b] = ss
+	}
+	r.rec = metrics.NewRecorder(cfg.Eps, cfg.DiscardTrajectory, cfg.Observe)
+	for _, ss := range r.shards {
+		ss.clocks.StartAll()
+	}
+	r.runner = sim.NewShardRunner(r.sims, cfg.ShardWorkers)
+	defer r.runner.Close()
+
+	if err := r.loop(cfg.Ctx); err != nil {
+		return nil, err
+	}
+
+	var events uint64
+	for _, sm := range r.sims {
+		events += sm.Processed()
+	}
+	r.res.Events = events
+	if r.loadCount > r.peakLoad {
+		r.peakLoad = r.loadCount
+	}
+	r.res.PeakLeaderLoad = float64(r.peakLoad)
+	r.res.FinalCounts = opinion.CountOf(r.cols, cfg.K)
+	if last, ok := r.rec.Last(); !ok || last.Time < r.res.EndTime {
+		r.record(r.res.EndTime)
+	}
+	r.res.Trajectory = r.rec.Trajectory()
+	r.res.Outcome = r.rec.Outcome(r.res.FinalCounts, r.plurality)
+	if r.mono {
+		r.res.Outcome.FullConsensus = true
+		r.res.Outcome.ConsensusTime = r.monoAt
+	}
+	return r.res, nil
+}
+
+// loop is the barrier driver: pick the next window boundary (capped by the
+// record cadence and the deadline), advance all shards to it in parallel,
+// merge, repeat. Runs on the caller's goroutine.
+func (r *shardedRun) loop(ctx context.Context) error {
+	t := 0.0
+	r.record(0)
+	nextRec := r.cfg.RecordEvery
+	for i := uint(0); ; i++ {
+		if ctx != nil && i&255 == 0 {
+			select {
+			case <-ctx.Done():
+				r.res.EndTime = t
+				return ctx.Err()
+			default:
+			}
+		}
+		at, ok := r.runner.NextEventAt()
+		if !ok {
+			break // cannot happen while clocks run; defensive
+		}
+		t1 := sim.WindowEnd(at)
+		if t1 > nextRec {
+			t1 = nextRec
+		}
+		if t1 > r.maxTime {
+			t1 = r.maxTime
+		}
+		r.runner.Advance(t1)
+		r.merge(t1)
+		t = t1
+		if r.mono {
+			// Consensus is absorbing (no event can change a unanimous
+			// color), so stop at this barrier instead of simulating dead
+			// ticks until the next record boundary.
+			r.record(t)
+			break
+		}
+		if t == nextRec {
+			r.record(t)
+			nextRec += r.cfg.RecordEvery
+		}
+		if t >= r.maxTime {
+			if last, ok := r.rec.Last(); !ok || last.Time < t {
+				r.record(t)
+			}
+			r.res.TimedOut = true
+			break
+		}
+	}
+	r.res.EndTime = t
+	return nil
+}
+
+// merge is the barrier's serial phase: fold every shard's window products
+// into the global state in fixed shard order. All shard goroutines are
+// parked at the barrier, so plain reads and writes are safe.
+func (r *shardedRun) merge(t1 float64) {
+	for _, ss := range r.shards {
+		for _, v := range ss.dirty {
+			r.pubCols[v] = r.cols[v]
+			r.pubGens[v] = r.gens[v]
+		}
+		ss.dirty = ss.dirty[:0]
+		for k, d := range ss.colorDelta {
+			if d != 0 {
+				r.colorCount[k] += d
+				ss.colorDelta[k] = 0
+			}
+		}
+		for g, d := range ss.genDelta {
+			if d != 0 {
+				r.genCount[g] += d
+				ss.genDelta[g] = 0
+			}
+		}
+		if ss.maxGen > r.maxGen {
+			r.maxGen = ss.maxGen
+		}
+		// Cross-shard signals: deterministic merge into shard 0's ladder.
+		// A delivery time that fell inside the window just executed clamps
+		// to the barrier — conservative lookahead means shard 0 has already
+		// passed it.
+		for i, at := range ss.outAt {
+			if at < t1 {
+				at = t1
+			}
+			r.sims[0].Schedule(at, sim.Event{Kind: evSignal, A: ss.outGen[i]})
+		}
+		ss.outAt = ss.outAt[:0]
+		ss.outGen = ss.outGen[:0]
+		r.leaderLoad(t1, ss.msgs)
+		ss.msgs = 0
+	}
+	r.pubLeaderGen = int32(r.leaderGen)
+	r.pubLeaderProp = r.leaderProp
+	if !r.mono {
+		for _, cnt := range r.colorCount {
+			if cnt == r.cfg.N {
+				r.mono = true
+				r.monoAt = t1
+			}
+		}
+	}
+}
+
+// leaderLoad folds one shard's window message count into the §4.5
+// congestion metric at window granularity (windows are ~C1/1000 wide, so
+// the bucket attribution error is negligible).
+func (r *shardedRun) leaderLoad(t float64, msgs uint64) {
+	if msgs == 0 {
+		return
+	}
+	r.res.TotalLeaderMessages += msgs
+	bucket := int32(t / r.cfg.C1)
+	if bucket != r.loadBucket {
+		if r.loadCount > r.peakLoad {
+			r.peakLoad = r.loadCount
+		}
+		r.loadBucket = bucket
+		r.loadCount = 0
+	}
+	r.loadCount += msgs
+}
+
+// record appends one trajectory snapshot at barrier time t.
+func (r *shardedRun) record(t float64) {
+	p := metrics.Snapshot(t, r.cols, r.cfg.K, r.plurality)
+	p.MaxGen = r.maxGen
+	p.MaxGenFrac = float64(r.genCount[r.maxGen]) / float64(r.cfg.N)
+	r.rec.Append(p)
+}
+
+// HandleEvent dispatches one shard's typed events; it runs on a worker
+// goroutine inside a window and touches only shard-owned and published
+// state.
+func (ss *shardState) HandleEvent(ev sim.Event) {
+	switch ev.Kind {
+	case evTick:
+		ss.clocks.Fire(ev.Node, ss.tickFn)
+	case evSignal:
+		// Routed to shard 0 only (directly or through the outbox merge).
+		ss.run.leaderSignal2(int(ev.A), ss)
+	case evComplete:
+		ss.complete(int(ev.Node), int(ev.A), int(ev.B))
+	}
+}
+
+// signal sends an i-signal to the leader: shard 0 schedules it on its own
+// ladder, every other shard appends it to the window outbox.
+func (ss *shardState) signal(d float64, gen int32) {
+	if ss.id == 0 {
+		ss.sm.ScheduleAfter(d, sim.Event{Kind: evSignal, A: gen})
+		return
+	}
+	ss.outAt = append(ss.outAt, ss.sm.Now()+d)
+	ss.outGen = append(ss.outGen, gen)
+}
+
+// tick is Algorithm 2 lines 1-3 for one owned node.
+func (ss *shardState) tick(v int) {
+	r := ss.run
+	if r.mono {
+		return
+	}
+	loss := r.cfg.SignalLoss
+	if loss == 0 || !ss.latR.Bernoulli(loss) {
+		ss.signal(ss.lat.Sample(ss.latR), 0)
+	}
+	if r.locked[v] {
+		return
+	}
+	r.locked[v] = true
+	vs, out := ss.scratch.Buffers(2)
+	vs[0], vs[1] = int32(v), int32(v)
+	ss.bs.SampleNeighbors(ss.tickR, vs, out)
+	d := math.Max(ss.lat.Sample(ss.latR), ss.lat.Sample(ss.latR)) +
+		ss.lat.Sample(ss.latR)
+	ss.sm.ScheduleAfter(d, sim.Event{Kind: evComplete, Node: int32(v), A: out[0], B: out[1]})
+}
+
+// read returns a partner's (color, generation): live for owned nodes,
+// published (last barrier) for remote ones — ownership rule 1.
+func (ss *shardState) read(x int) (opinion.Opinion, int32) {
+	r := ss.run
+	if r.owner[x] == ss.id {
+		return r.cols[x], r.gens[x]
+	}
+	return r.pubCols[x], r.pubGens[x]
+}
+
+// complete is Algorithm 2 lines 5-15 for one owned node.
+func (ss *shardState) complete(v, a, b int) {
+	r := ss.run
+	r.locked[v] = false
+	if r.mono {
+		return
+	}
+	ss.msgs++ // the leader state read
+	var lGen int
+	var lProp bool
+	if ss.id == 0 {
+		lGen, lProp = r.leaderGen, r.leaderProp
+	} else {
+		lGen, lProp = int(r.pubLeaderGen), r.pubLeaderProp
+	}
+	if int(r.seenG[v]) != lGen || r.seenP[v] != lProp {
+		r.seenG[v] = int32(lGen)
+		r.seenP[v] = lProp
+		return
+	}
+	colA, gA := ss.read(a)
+	colB, gB := ss.read(b)
+	if !lProp && gA == gB && int(gA) == lGen-1 && colA == colB {
+		ss.setNode(v, colA, int32(lGen))
+		return
+	}
+	pick := false
+	var pickGen int32 = -1
+	var pickCol opinion.Opinion
+	gv := r.gens[v]
+	if gA > gv && (int(gA) < lGen || lProp) && gA > pickGen {
+		pick, pickGen, pickCol = true, gA, colA
+	}
+	if gB > gv && (int(gB) < lGen || lProp) && gB > pickGen {
+		pick, pickGen, pickCol = true, gB, colB
+	}
+	if pick {
+		ss.setNode(v, pickCol, pickGen)
+	}
+}
+
+// setNode commits a color/generation update of an owned node, tracks the
+// window deltas, and raises the line 12 gen-signal on increase.
+func (ss *shardState) setNode(v int, col opinion.Opinion, gen int32) {
+	r := ss.run
+	old := r.cols[v]
+	oldGen := r.gens[v]
+	if old == col && oldGen == gen {
+		return
+	}
+	r.cols[v] = col
+	r.gens[v] = gen
+	ss.dirty = append(ss.dirty, int32(v))
+	if old != col {
+		ss.colorDelta[old]--
+		ss.colorDelta[col]++
+	}
+	if gen != oldGen {
+		ss.genDelta[oldGen]--
+		ss.genDelta[gen]++
+		if int(gen) > ss.maxGen {
+			ss.maxGen = int(gen)
+		}
+		if gen > oldGen {
+			loss := r.cfg.SignalLoss
+			if loss == 0 || !ss.latR.Bernoulli(loss) {
+				ss.signal(ss.lat.Sample(ss.latR), gen)
+			}
+		}
+	}
+}
+
+// leaderSignal2 is Algorithm 3 on the sharded kernel; it executes only
+// inside shard 0's window, so the leader automaton has a single writer.
+func (r *shardedRun) leaderSignal2(i int, ss *shardState) {
+	ss.msgs++
+	if r.mono {
+		return
+	}
+	if i == 0 {
+		r.leaderT++
+		if !r.leaderProp && r.leaderT >= r.c3Ticks {
+			r.leaderProp = true
+			r.res.PhaseLog = append(r.res.PhaseLog, PhaseEvent{
+				Time: ss.sm.Now(), Gen: r.leaderGen, Phase: PhasePropagation})
+		}
+	}
+	if i == r.leaderGen {
+		r.leaderSize++
+		if r.leaderSize >= r.genThresh && r.leaderGen < r.gStar {
+			r.leaderGen++
+			r.leaderT = 0
+			r.leaderSize = 0
+			r.leaderProp = false
+			r.res.PhaseLog = append(r.res.PhaseLog, PhaseEvent{
+				Time: ss.sm.Now(), Gen: r.leaderGen, Phase: PhaseTwoChoices})
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package leader
+
+import (
+	"reflect"
+	"testing"
+
+	"plurality/internal/adversary"
+	"plurality/internal/snap"
+	"plurality/internal/topo"
+)
+
+func shardedTestConfig(shards, workers int) Config {
+	return Config{
+		N: 3000, K: 3, Alpha: 2.5, Seed: 11,
+		Shards: shards, ShardWorkers: workers,
+	}
+}
+
+// resultKey projects the fields that must be reproducible; trajectories are
+// compared separately where relevant.
+func resultKey(t *testing.T, res *Result) [2]interface{} {
+	t.Helper()
+	return [2]interface{}{
+		[]interface{}{
+			res.Outcome.Winner, res.Outcome.PluralityWon, res.Outcome.FullConsensus,
+			res.Outcome.ConsensusTime, res.Outcome.EpsReached, res.Outcome.EpsTime,
+			res.EndTime, res.Events, res.TimedOut,
+			res.TotalLeaderMessages, res.PeakLeaderLoad,
+		},
+		[]interface{}{res.FinalCounts, res.PhaseLog},
+	}
+}
+
+// TestShardedLeaderConverges checks the sharded kernel still implements the
+// protocol: on the complete graph (the paper's model) plurality wins with
+// full consensus for every shard count; on the torus — where even the
+// serial engine only reaches plurality dominance within the horizon — the
+// sharded runs must do the same.
+func TestShardedLeaderConverges(t *testing.T) {
+	for _, shards := range []int{2, 3, 8} {
+		for _, tp := range []string{"complete", "torus"} {
+			cfg := shardedTestConfig(shards, 0)
+			if tp == "torus" {
+				g, err := topo.NewTorus(50, 60)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Topo = g
+				cfg.MaxTime = 300 // plurality dominance shows early; don't run the full horizon
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("shards=%d topo=%s: %v", shards, tp, err)
+			}
+			if tp == "complete" && !res.Outcome.FullConsensus {
+				t.Fatalf("shards=%d topo=%s: no full consensus (winner %d, initial %d)",
+					shards, tp, res.Outcome.Winner, res.InitialPlurality)
+			}
+			if !res.Outcome.PluralityWon {
+				t.Fatalf("shards=%d topo=%s: plurality lost (winner %d, initial %d)",
+					shards, tp, res.Outcome.Winner, res.InitialPlurality)
+			}
+			if res.Events == 0 || res.EndTime <= 0 {
+				t.Fatalf("shards=%d topo=%s: empty run: %+v", shards, tp, res)
+			}
+		}
+	}
+}
+
+// TestShardedLeaderWorkerInvariance pins determinism contract #1: for a
+// fixed shard count the full result — outcome, counts, phase log, event
+// totals, trajectory — is invariant to the worker bound.
+func TestShardedLeaderWorkerInvariance(t *testing.T) {
+	ref, err := Run(shardedTestConfig(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refKey := resultKey(t, ref)
+	for _, workers := range []int{2, 3, 4, 9} {
+		res, err := Run(shardedTestConfig(4, workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if key := resultKey(t, res); !reflect.DeepEqual(key, refKey) {
+			t.Fatalf("workers=%d diverged:\n got %+v\nwant %+v", workers, key, refKey)
+		}
+		if !reflect.DeepEqual(res.Trajectory, ref.Trajectory) {
+			t.Fatalf("workers=%d: trajectory diverged", workers)
+		}
+	}
+}
+
+// TestShardedLeaderReproducible pins determinism contract #2: rerunning the
+// same (config, seed, shards) reproduces the result exactly.
+func TestShardedLeaderReproducible(t *testing.T) {
+	a, err := Run(shardedTestConfig(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(shardedTestConfig(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resultKey(t, a), resultKey(t, b)) {
+		t.Fatalf("two identical sharded runs diverged:\n%+v\n%+v", resultKey(t, a), resultKey(t, b))
+	}
+}
+
+// TestShardedLeaderRejectsUnsupported pins the documented gating: sharded
+// runs reject adversaries and checkpoints, and shard counts outside [0, N].
+func TestShardedLeaderRejectsUnsupported(t *testing.T) {
+	base := shardedTestConfig(2, 0)
+
+	cfg := base
+	cfg.CrashFrac = 0.1
+	if _, err := Run(cfg); err == nil {
+		t.Error("sharded run with CrashFrac accepted, want error")
+	}
+	cfg = base
+	cfg.Adv = adversary.Config{Kind: adversary.Crash, Fraction: 0.1}
+	if _, err := Run(cfg); err == nil {
+		t.Error("sharded run with adversary accepted, want error")
+	}
+	cfg = base
+	cfg.Ckpt = &snap.Checkpoint{At: 1, Sink: func([]byte, float64, uint64) {}}
+	if _, err := Run(cfg); err == nil {
+		t.Error("sharded run with checkpoint accepted, want error")
+	}
+	cfg = base
+	cfg.Shards = -1
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative shard count accepted, want error")
+	}
+	cfg = base
+	cfg.Shards = cfg.N + 1
+	if _, err := Run(cfg); err == nil {
+		t.Error("Shards > N accepted, want error")
+	}
+}
+
+// TestShardedLeaderSignalLoss exercises the one robustness knob the sharded
+// path supports: lossy signals stretch phases but must not break
+// convergence.
+func TestShardedLeaderSignalLoss(t *testing.T) {
+	cfg := shardedTestConfig(2, 0)
+	cfg.SignalLoss = 0.2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Outcome.FullConsensus {
+		t.Fatalf("no consensus under 20%% signal loss: %+v", res.Outcome)
+	}
+}

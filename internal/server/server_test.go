@@ -337,3 +337,43 @@ func TestSubmitAllBoundary(t *testing.T) {
 	}
 	close(release)
 }
+
+// TestRunCacheSharedAcrossShardCounts pins the serving-layer consequence of
+// Shards being an execution knob: a leader run computed at one shard count is
+// served from cache for requests at every other shard count (including
+// serial), byte for byte — the shard count names hardware, not an experiment.
+func TestRunCacheSharedAcrossShardCounts(t *testing.T) {
+	// CheckpointEvery matches the pluralityd binary's default mode: sharded
+	// jobs must bypass segmentation (they reject checkpoints) instead of
+	// failing with 400.
+	s := newTestServer(t, Config{Workers: 2, CheckpointEvery: 8, Dir: t.TempDir()})
+
+	first := do(t, s, http.MethodPost, "/v1/runs",
+		`{"protocol":"leader","spec":{"n":300,"k":3,"alpha":2,"seed":5,"shards":2}}`)
+	if first.Code != http.StatusOK {
+		t.Fatalf("sharded run: status %d: %s", first.Code, first.Body)
+	}
+	if got := first.Header().Get("X-Plurality-Cache"); got != "miss" {
+		t.Fatalf("sharded run cache header = %q, want miss", got)
+	}
+	before := s.Stats()
+
+	for _, spec := range []string{
+		`{"protocol":"leader","spec":{"n":300,"k":3,"alpha":2,"seed":5,"shards":4}}`,
+		`{"protocol":"leader","spec":{"n":300,"k":3,"alpha":2,"seed":5}}`,
+	} {
+		w := do(t, s, http.MethodPost, "/v1/runs", spec)
+		if w.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", w.Code, w.Body)
+		}
+		if got := w.Header().Get("X-Plurality-Cache"); got != "hit" {
+			t.Fatalf("spec %s cache header = %q, want hit", spec, got)
+		}
+		if !bytes.Equal(first.Body.Bytes(), w.Body.Bytes()) {
+			t.Fatalf("spec %s served different bytes than the sharded original", spec)
+		}
+	}
+	if after := s.Stats(); after.JobsComputed != before.JobsComputed {
+		t.Fatal("shard-count variants recomputed the job")
+	}
+}

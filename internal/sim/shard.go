@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardRunner advances a fixed set of simulators — one per shard — in
+// lockstep over window barriers, the fork–join core of conservative
+// parallel execution. Each Advance(t) runs every shard's events at or
+// before t concurrently and returns when all shards have reached t; between
+// barriers no two goroutines ever touch the same simulator (work is handed
+// out by an atomic counter, one shard at a time), and the join barrier
+// orders every shard's writes before the caller's merge phase reads them.
+//
+// Determinism is structural: each simulator's pop order depends only on its
+// own pending set (the (at, seq) invariant), shards never share state
+// inside a window, and the caller merges cross-shard traffic serially
+// between barriers — so the execution is a pure function of the per-shard
+// event sets, regardless of worker count or OS scheduling.
+//
+// The runner keeps a persistent worker pool; a barrier round costs two
+// channel operations per worker and no allocations. With one worker (or
+// one shard) Advance runs inline on the calling goroutine.
+type ShardRunner struct {
+	sims    []*Simulator
+	workers int
+
+	target float64       // barrier time for the round in flight
+	next   atomic.Int64  // work-stealing shard index for the round
+	begin  chan struct{} // one token per worker starts a round
+	join   sync.WaitGroup
+	closed bool
+}
+
+// NewShardRunner builds a runner over sims with the given worker bound;
+// workers <= 0 means GOMAXPROCS, and the bound is clamped to len(sims).
+// Close must be called to release the pool.
+func NewShardRunner(sims []*Simulator, workers int) *ShardRunner {
+	if len(sims) == 0 {
+		panic("sim: ShardRunner over zero shards")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sims) {
+		workers = len(sims)
+	}
+	r := &ShardRunner{sims: sims, workers: workers}
+	if workers > 1 {
+		r.begin = make(chan struct{}, workers)
+		for i := 0; i < workers; i++ {
+			go r.work()
+		}
+	}
+	return r
+}
+
+// work is the persistent worker loop: each begin token runs one round of
+// shard-stealing, then joins the barrier.
+func (r *ShardRunner) work() {
+	for range r.begin {
+		for {
+			i := int(r.next.Add(1)) - 1
+			if i >= len(r.sims) {
+				break
+			}
+			r.sims[i].RunUntil(r.target)
+		}
+		r.join.Done()
+	}
+}
+
+// Advance runs every shard's events scheduled at or before t and advances
+// all shard clocks to exactly t. It returns once every shard has reached
+// the barrier, so the caller may freely read and mutate shard state until
+// the next Advance. It reports whether all shards are still live (no shard
+// has been stopped).
+func (r *ShardRunner) Advance(t float64) bool {
+	if r.closed {
+		panic("sim: Advance on closed ShardRunner")
+	}
+	if r.workers <= 1 {
+		for _, s := range r.sims {
+			s.RunUntil(t)
+		}
+	} else {
+		r.target = t
+		r.next.Store(0)
+		r.join.Add(r.workers)
+		for i := 0; i < r.workers; i++ {
+			r.begin <- struct{}{}
+		}
+		r.join.Wait()
+	}
+	for _, s := range r.sims {
+		if s.Stopped() {
+			return false
+		}
+	}
+	return true
+}
+
+// NextEventAt returns the earliest pending event time across all shards,
+// or false when every shard is drained. Callers use it between barriers to
+// pick the next window; it must not race with Advance.
+func (r *ShardRunner) NextEventAt() (float64, bool) {
+	min, ok := 0.0, false
+	for _, s := range r.sims {
+		if at, live := s.NextAt(); live && (!ok || at < min) {
+			min, ok = at, true
+		}
+	}
+	return min, ok
+}
+
+// Workers returns the effective worker bound.
+func (r *ShardRunner) Workers() int { return r.workers }
+
+// Close shuts the worker pool down. The runner must be idle (no Advance in
+// flight); calling Advance after Close panics.
+func (r *ShardRunner) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	if r.begin != nil {
+		close(r.begin)
+	}
+}
+
+// String describes the runner for diagnostics.
+func (r *ShardRunner) String() string {
+	return fmt.Sprintf("ShardRunner{shards: %d, workers: %d}", len(r.sims), r.workers)
+}

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"plurality/internal/xrand"
+)
+
+// popRec is one observed pop: the event's time and its global identity
+// (carried in the payload, since per-simulator seq counters are not
+// comparable across shards).
+type popRec struct {
+	at  float64
+	idx int32
+}
+
+// recorder collects pops for one simulator.
+type recorder struct {
+	s    *Simulator
+	pops []popRec
+	// spawn > 0 makes every popped event schedule one follow-on event
+	// spawn generations deep, exercising dynamically created work.
+	spawn int32
+}
+
+func (r *recorder) HandleEvent(ev Event) {
+	r.pops = append(r.pops, popRec{at: r.s.Now(), idx: ev.A})
+	if ev.B < r.spawn {
+		// Distinct child time derived from the parent: collision-free in
+		// practice, so (at) alone is a total order for the cross-check.
+		at := r.s.Now() + 0.37 + float64(ev.A)*1.9073486328125e-08
+		r.s.Schedule(at, Event{Kind: 0, A: ev.A + 100000, B: ev.B + 1})
+	}
+}
+
+// buildWorkload returns n events with random times in [0, span) and global
+// indices 0..n-1.
+func buildWorkload(seed uint64, n int, span float64) []popRec {
+	rng := xrand.New(seed)
+	evs := make([]popRec, n)
+	for i := range evs {
+		evs[i] = popRec{at: rng.Float64() * span, idx: int32(i)}
+	}
+	return evs
+}
+
+// runSingle replays the workload on one simulator and returns its pop order.
+func runSingle(evs []popRec, spawn int32) []popRec {
+	s := New()
+	r := &recorder{s: s, spawn: spawn}
+	s.SetHandler(r)
+	for _, e := range evs {
+		s.Schedule(e.at, Event{Kind: 0, A: e.idx})
+	}
+	s.Run()
+	return r.pops
+}
+
+// runSharded partitions the workload across shards (round-robin by index),
+// drives them over window barriers with the given worker bound, and merges
+// each window's pops across shards by (at, idx) — the only reordering a
+// deterministic merge layer is allowed to do. If the barrier logic let an
+// event slip into the wrong window, the merged order would diverge from
+// the single-ladder reference.
+func runSharded(t *testing.T, evs []popRec, shards, workers int, spawn int32) []popRec {
+	t.Helper()
+	sims := make([]*Simulator, shards)
+	recs := make([]*recorder, shards)
+	for i := range sims {
+		sims[i] = New()
+		recs[i] = &recorder{s: sims[i], spawn: spawn}
+		sims[i].SetHandler(recs[i])
+	}
+	for _, e := range evs {
+		sims[int(e.idx)%shards].Schedule(e.at, Event{Kind: 0, A: e.idx})
+	}
+	r := NewShardRunner(sims, workers)
+	defer r.Close()
+
+	var merged []popRec
+	taken := make([]int, shards)
+	for {
+		at, ok := r.NextEventAt()
+		if !ok {
+			break
+		}
+		if !r.Advance(WindowEnd(at)) {
+			t.Fatal("shard stopped unexpectedly")
+		}
+		var window []popRec
+		for i, rec := range recs {
+			window = append(window, rec.pops[taken[i]:]...)
+			taken[i] = len(rec.pops)
+		}
+		sort.Slice(window, func(a, b int) bool {
+			if window[a].at != window[b].at {
+				return window[a].at < window[b].at
+			}
+			return window[a].idx < window[b].idx
+		})
+		merged = append(merged, window...)
+	}
+	return merged
+}
+
+// TestShardedPopOrderMatchesSingleLadder is the randomized cross-check the
+// sharded scheduler's determinism contract rests on: for random event
+// workloads (including dynamically spawned follow-ons), the per-window
+// merge of shard pop streams reproduces exactly the single-ladder (at, seq)
+// pop order.
+func TestShardedPopOrderMatchesSingleLadder(t *testing.T) {
+	for _, tc := range []struct {
+		seed   uint64
+		n      int
+		span   float64
+		shards int
+		spawn  int32
+	}{
+		{seed: 1, n: 5000, span: 3, shards: 2, spawn: 0},
+		{seed: 2, n: 5000, span: 0.01, shards: 4, spawn: 0}, // all in one bucket
+		{seed: 3, n: 2000, span: 8, shards: 3, spawn: 2},
+		{seed: 4, n: 1, span: 1, shards: 5, spawn: 4},
+		{seed: 5, n: 7777, span: 600, shards: 8, spawn: 1}, // sparse: many empty windows
+	} {
+		evs := buildWorkload(tc.seed, tc.n, tc.span)
+		want := runSingle(evs, tc.spawn)
+		got := runSharded(t, evs, tc.shards, 4, tc.spawn)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: sharded popped %d events, single ladder %d", tc.seed, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: pop %d diverged: sharded %+v, single %+v", tc.seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestShardRunnerWorkerInvariance pins that the merged execution is a pure
+// function of the per-shard event sets: any worker bound (inline, fewer
+// workers than shards, more than shards requested) yields byte-identical
+// pop streams.
+func TestShardRunnerWorkerInvariance(t *testing.T) {
+	evs := buildWorkload(42, 4000, 5)
+	ref := runSharded(t, evs, 4, 1, 1)
+	for _, workers := range []int{2, 3, 4, 16} {
+		got := runSharded(t, evs, 4, workers, 1)
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: popped %d events, want %d", workers, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: pop %d diverged: %+v != %+v", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestWindowEnd(t *testing.T) {
+	for _, tc := range []struct{ in, want float64 }{
+		{0, ladderW},
+		{0.5 * ladderW, ladderW},
+		{ladderW, 2 * ladderW},
+		{1.75, 1.75 + ladderW}, // 1.75*1024 = 1792 exactly
+		{12345.6789, math.Floor(12345.6789*1024+1) / 1024},
+	} {
+		if got := WindowEnd(tc.in); got != tc.want {
+			t.Errorf("WindowEnd(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+		if got := WindowEnd(tc.in); got <= tc.in {
+			t.Errorf("WindowEnd(%v) = %v does not advance", tc.in, got)
+		}
+	}
+	if got := WindowEnd(maxLadderTime); !math.IsInf(got, 1) {
+		t.Errorf("WindowEnd(maxLadderTime) = %v, want +Inf", got)
+	}
+}
+
+func TestNewClocksFor(t *testing.T) {
+	s := New()
+	n := 10
+	nodes := []int32{1, 3, 5, 7, 9}
+	local := make([]int32, n)
+	for i, v := range nodes {
+		local[v] = int32(i)
+	}
+	parent := xrand.New(7)
+	c := NewClocksFor(s, parent, nodes, local, 1, 0)
+	if c.Len() != len(nodes) {
+		t.Fatalf("Len() = %d, want %d", c.Len(), len(nodes))
+	}
+	fired := make(map[int32]int)
+	h := handlerFunc(func(ev Event) {
+		if ev.Node%2 == 0 {
+			t.Fatalf("tick for unowned node %d", ev.Node)
+		}
+		fired[ev.Node]++
+		if fired[ev.Node] >= 3 {
+			c.Stop(ev.Node)
+		}
+		c.Fire(ev.Node, func(int) {})
+	})
+	s.SetHandler(h)
+	c.StartAll()
+	s.Run()
+	for _, v := range nodes {
+		if fired[v] < 3 {
+			t.Errorf("node %d fired %d times, want >= 3", v, fired[v])
+		}
+	}
+}
+
+// BenchmarkShardRunnerAdvance measures the steady-state cost of one window
+// barrier round with live per-shard work; it must stay allocation-free.
+func BenchmarkShardRunnerAdvance(b *testing.B) {
+	const shards = 4
+	sims := make([]*Simulator, shards)
+	for i := range sims {
+		s := New()
+		// Self-rescheduling handler: every pop schedules the next window's
+		// event, so each barrier round carries live per-shard work.
+		s.SetHandler(handlerFunc(func(ev Event) {
+			s.Schedule(s.Now()+ladderW, ev)
+		}))
+		s.Schedule(0.5*ladderW, Event{Kind: 0, A: int32(i)})
+		sims[i] = s
+	}
+	r := NewShardRunner(sims, 2)
+	defer r.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	t := 0.0
+	for i := 0; i < b.N; i++ {
+		t += ladderW
+		r.Advance(t)
+	}
+}

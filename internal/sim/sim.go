@@ -118,15 +118,19 @@ type Token struct {
 
 // Ladder geometry: virtual time is cut into buckets of width 1/1024 (a
 // power of two, so the time→bucket mapping is exact float arithmetic) and
-// the ring covers 1024 of them — a one-time-unit window, one mean latency
-// deep. The window is a memory/scan trade: ring slots retain the capacity
-// of the fullest bucket they ever hosted, so a wider window costs
-// proportionally more steady-state memory, while events beyond the window
-// wait in the overflow list and are rescanned once per window rebuild — a
-// sequential sweep, milliseconds per simulated time unit at million-node
-// scale against seconds of pop work.
+// the ring covers 256 of them — a quarter-time-unit window. The window is a
+// memory/scan trade: ring slots retain the capacity of the fullest bucket
+// they ever hosted (occupancy-profiled at ~2.5·n/1024 per slot for the
+// leader engine at n=10⁶, independent of ring length), so a wider window
+// costs proportionally more steady-state memory, while events beyond the
+// window wait in the overflow list and are rescanned once per window
+// rebuild — a sequential sweep, milliseconds per simulated time unit at
+// million-node scale against seconds of pop work. Ring occupancy and
+// overflow occupancy are anti-correlated (the overflow peaks exactly when
+// the ring has drained), so shortening the ring cuts the resident second
+// tier without growing the first.
 const (
-	ladderBuckets = 1024
+	ladderBuckets = 256        // ring length in buckets (window = 1/4 time unit)
 	invLadderW    = 1024.0     // buckets per time unit
 	ladderW       = 1.0 / 1024 // bucket width
 	maxLadderTime = 1 << 52    // beyond this, times collapse into one far bucket
@@ -194,30 +198,35 @@ func (s *Simulator) SetHandler(h EventHandler) { s.handler = h }
 // bounded number of in-flight channel events queued); the ladder uses the
 // hint to pre-size its bucket arrays and the overflow tail, so warm-up
 // performs one allocation per tier instead of a doubling cascade. The
-// overflow carries every pending event beyond the one-time-unit ring
-// window — the majority, under mean-1 latencies — which is why it gets the
-// full hint, exactly the single array the pre-ladder binary heap reserved.
+// overflow carries every pending event beyond the ring window — the
+// majority, under mean-1 latencies; just before a window rebuild it holds
+// essentially the whole pending set — which is why it gets the full hint,
+// exactly the single array the pre-ladder binary heap reserved.
 func (s *Simulator) Reserve(n int) {
 	if cap(s.overflow) < n {
 		ov := make([]event, len(s.overflow), n)
 		copy(ov, s.overflow)
 		s.overflow = ov
 	}
-	// Per-slot occupancy fluctuates around the mean like a Poisson count,
-	// so size each bucket for mean + 4σ: without the headroom the maximum
-	// over a thousand slots keeps drifting past the mean and the ring never
-	// quite stops growing.
-	per := n / ladderBuckets
+	// A ring slot holds at most one bucket-width's share of the pending
+	// population, so size per slot from the hint divided by buckets-per-unit
+	// (not ring length). Occupancy fluctuates around that mean like a
+	// Poisson count; mean + 4σ headroom keeps the maximum over the ring from
+	// drifting past the cap. All slots are carved from one slab: one
+	// allocation instead of one per slot, and no doubling cascade.
+	per := n / int(invLadderW)
 	if per < 1 {
 		return
 	}
 	per += 4*isqrt(per) + 8
+	slab := make([]event, 0, ladderBuckets*per)
 	for i := range s.buckets {
-		if cap(s.buckets[i]) < per {
-			b := make([]event, len(s.buckets[i]), per)
-			copy(b, s.buckets[i])
-			s.buckets[i] = b
+		if cap(s.buckets[i]) >= per || len(s.buckets[i]) > per {
+			continue
 		}
+		b := slab[i*per : i*per : (i+1)*per]
+		b = append(b, s.buckets[i]...)
+		s.buckets[i] = b
 	}
 }
 
@@ -439,6 +448,27 @@ func (s *Simulator) RunUntil(t float64) bool {
 		s.now = t
 	}
 	return !s.stopped
+}
+
+// NextAt returns the scheduled time of the earliest pending event, or
+// false when nothing is pending. It does not execute anything, but it may
+// advance the ladder's internal window (a layout change invisible to the
+// (at, seq) pop order). Shard barriers use it to agree on the next window.
+func (s *Simulator) NextAt() (float64, bool) { return s.peekAt() }
+
+// WindowEnd returns the end of the ladder bucket containing t — the
+// smallest bucket boundary strictly greater than t. Conservative parallel
+// execution uses it as the lookahead horizon: events scheduled by a handler
+// running at time u land at or after u, so two shards processing disjoint
+// nodes inside the same bucket window [floor(t·1024)/1024, WindowEnd(t))
+// can only feed each other events for the next window, never the current
+// one, provided cross-shard sends add at least one bucket width of latency.
+// Times past maxLadderTime (never reached by real horizons) return +Inf.
+func WindowEnd(t float64) float64 {
+	if t >= maxLadderTime {
+		return math.Inf(1)
+	}
+	return (math.Floor(t*invLadderW) + 1) * ladderW
 }
 
 // Stop halts the simulation: no further events run. Pending events remain

@@ -1,0 +1,93 @@
+package plurality
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// This file pins the sharded kernel's determinism contract at the public
+// API, mirroring kernel_golden_test.go: for a FIXED shard count the full
+// Result is a pure function of (spec, seed, shards) — invariant to
+// GOMAXPROCS, the worker bound and the machine — and Shards <= 1 is the
+// serial kernel, byte-identical to the pre-sharding goldens.
+//
+// To re-record after an intentional, reviewed behaviour change:
+//
+//	PLURALITY_GOLDEN_RECORD=1 go test -run TestShardedGolden -v .
+
+// shardedGoldenSpec is the golden instance on the sharded path: same shape
+// as kernelGoldenSpec but bigger, so every shard owns enough nodes for all
+// protocol phases to cross shard boundaries.
+func shardedGoldenSpec(shards int, tp TopologySpec) Spec {
+	return Spec{N: 2400, K: 3, Alpha: 2.5, Seed: 7, Shards: shards, Topology: tp}
+}
+
+// shardedGolden maps "leader/S=<shards>/<topology>" to the digest recorded
+// when the sharded kernel landed.
+var shardedGolden = map[string]string{
+	"leader/S=2/complete":     "b0668c90e6ebad1aa615cea93d445457f65df1585a1d4853745ea949fbb7b159",
+	"leader/S=2/torus(48x50)": "ec67dbf96cd3d1aa2d5ca6f91eea6dfa23fe230067253d1d1ab3cd1f98a17dd0",
+	"leader/S=4/complete":     "d55c97df1543abd7e96e9924c46bb16fa6f2e212ba4368f2d88d7e18eb7bed25",
+	"leader/S=4/torus(48x50)": "2fd3c1006dd7943bca70df0e637da4c391da9b0b6b178350b98e3be3b4a56e51",
+}
+
+// TestShardedGolden pins shard-count invariance the way worker-count
+// invariance is pinned for batches: the digest for a fixed S must reproduce
+// everywhere, and must stay stable across refactors of the barrier loop,
+// the exchange buffers or the partitioner.
+func TestShardedGolden(t *testing.T) {
+	record := os.Getenv("PLURALITY_GOLDEN_RECORD") != ""
+	topos := []TopologySpec{{Kind: TopologyComplete}, {Kind: TopologyTorus}}
+	for _, shards := range []int{2, 4} {
+		for _, tp := range topos {
+			spec := shardedGoldenSpec(shards, tp)
+			key := fmt.Sprintf("leader/S=%d/%s", shards, tp.ResolvedLabel(spec.N))
+			t.Run(key, func(t *testing.T) {
+				if testing.Short() && tp.Kind != TopologyComplete && !record {
+					t.Skip("sparse-topology sharded column skipped in -short mode")
+				}
+				res, err := Run(context.Background(), "leader", spec)
+				if err != nil {
+					t.Fatalf("Run(%s): %v", key, err)
+				}
+				got := digestResult(res)
+				if record {
+					fmt.Printf("GOLDEN\t%q: %q,\n", key, got)
+					return
+				}
+				want, ok := shardedGolden[key]
+				if !ok || want == "" {
+					t.Fatalf("no golden digest recorded for %s (got %s)", key, got)
+				}
+				if got != want {
+					t.Errorf("sharded digest changed for %s:\n  got  %s\n  want %s\nfor a fixed shard count the result must be a pure function of (spec, seed, shards)", key, got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestShardsOneIsSerial pins the compatibility half of the contract at the
+// public API: Shards: 1 routes through the serial kernel and reproduces the
+// pre-sharding golden digest byte for byte.
+func TestShardsOneIsSerial(t *testing.T) {
+	for _, tp := range goldenTopologies {
+		spec := kernelGoldenSpec(tp)
+		spec.Shards = 1
+		key := fmt.Sprintf("leader/%s", tp.ResolvedLabel(spec.N))
+		t.Run(key, func(t *testing.T) {
+			if testing.Short() && tp.Kind != TopologyComplete {
+				t.Skip("sparse-topology column skipped in -short mode")
+			}
+			res, err := Run(context.Background(), "leader", spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := digestResult(res); got != kernelGolden[key] {
+				t.Errorf("Shards=1 digest %s != serial golden %s: the serial path is no longer byte-identical", got, kernelGolden[key])
+			}
+		})
+	}
+}
