@@ -76,7 +76,7 @@ func main() {
 		latencyKind = flag.String("latency", "exp", "latency kind: exp | const | uniform | erlang")
 		latencyMean = flag.Float64("latency-mean", 1, "mean channel latency")
 		maxTime     = flag.Float64("max-time", 0, "abort horizon (async protocols)")
-		shards      = flag.Int("shards", 0, "split one run across this many parallel event ladders (leader only); 0/1 = serial kernel, byte-identical output")
+		shards      = flag.Int("shards", 0, "split one run across this many parallel event ladders (asynchronous protocols: leader, decentralized); 0/1 = serial kernel, byte-identical output")
 		sequential  = flag.Bool("sequential", false, "population-protocol scheduler (baselines)")
 		trajectory  = flag.Bool("trajectory", false, "print the full trajectory")
 		stream      = flag.Bool("stream", false, "do not accumulate the trajectory (O(1) memory); without -json, print snapshots live")

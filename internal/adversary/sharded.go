@@ -1,0 +1,174 @@
+// Sharded execution support: node-keyed decision draws.
+//
+// The serial hooks (State.DelayExtra, State.DropMessage) consume the
+// adversary's single generator in event order, which is exactly what a
+// sharded run cannot reproduce — shards interleave events differently at
+// every worker count, so a shared draw-order stream would make adversarial
+// decisions depend on scheduling. The sharded engines instead key every
+// decision by the acting node: a per-node draw counter plus a run-wide key
+// seed define an independent substream per (node, decision index), so the
+// decision sequence each node observes is a pure function of (spec, seed)
+// no matter how shards interleave. Each shard draws through its own
+// ShardView (private scratch generator, private counters), which keeps the
+// hot path free of cross-shard writes: the only shared mutable state is the
+// per-node counter, and node v's messages originate only on v's owner
+// shard, so each counter has exactly one writer.
+package adversary
+
+import (
+	"fmt"
+
+	"plurality/internal/sim"
+	"plurality/internal/snap"
+	"plurality/internal/xrand"
+)
+
+// Add returns the field-wise sum of two counter sets; engines fold their
+// per-shard view counters into the base state's counters with it.
+func (c Counters) Add(d Counters) Counters {
+	c.Crashes += d.Crashes
+	c.Recoveries += d.Recoveries
+	c.Drops += d.Drops
+	c.Delayed += d.Delayed
+	c.Lies += d.Lies
+	return c
+}
+
+// ShardSetup switches the adversary into node-keyed mode: it draws the
+// run-wide key seed from the private generator and allocates the per-node
+// draw counters. Sharded engines call it exactly once, right after New —
+// including on restore, before DecodeState, so the key seed is recomputed
+// from the construction generator rather than serialized (the same
+// recompute-don't-serialize rule the victim pool follows).
+func (s *State) ShardSetup() {
+	s.keySeed = s.rng.Uint64()
+	s.nodeCtr = make([]int32, s.cfg.N)
+}
+
+// View returns a fresh per-shard decision view. Each shard of a sharded run
+// owns one view; views share the node counters (single writer per node, see
+// the package comment above) but keep private scratch generators and
+// private counters, so concurrent shards never write the same memory.
+func (s *State) View() *ShardView {
+	if s.nodeCtr == nil {
+		panic("adversary: View before ShardSetup")
+	}
+	return &ShardView{s: s}
+}
+
+// ShardView is one shard's handle on the adversary: node-keyed variants of
+// the serial decision hooks plus a private counter set the engine folds at
+// the end of the run (Counters.Add is associative, so fold order and shard
+// count do not affect the totals).
+type ShardView struct {
+	s       *State
+	scratch xrand.RNG
+	// Counters tallies the decisions drawn through this view.
+	Counters Counters
+}
+
+// draw reseeds the scratch generator for node's next keyed decision and
+// advances the node's counter. splitmix-style mixing of (keySeed, node,
+// counter) is injective over the realistic ranges, so distinct decisions
+// get distinct, well-separated streams.
+func (v *ShardView) draw(node int) *xrand.RNG {
+	s := v.s
+	ctr := s.nodeCtr[node]
+	s.nodeCtr[node] = ctr + 1
+	v.scratch.Reseed(s.keySeed ^ (uint64(uint32(node))<<32 | uint64(uint32(ctr))))
+	return &v.scratch
+}
+
+// DelayExtra is the node-keyed form of State.DelayExtra: the extra delivery
+// delay for one message originated by node. Non-Delay kinds return 0
+// without drawing (and without advancing node's counter), mirroring the
+// serial hook's short-circuit.
+func (v *ShardView) DelayExtra(node int, lat sim.Latency) float64 {
+	if v.s.cfg.Kind != Delay {
+		return 0
+	}
+	g := v.draw(node)
+	if !g.Bernoulli(v.s.cfg.Fraction) {
+		return 0
+	}
+	d := v.s.cfg.Rate * lat.Sample(g)
+	if d > 0 {
+		v.Counters.Delayed++
+	}
+	return d
+}
+
+// DropMessage is the node-keyed form of State.DropMessage: whether one of
+// node's sampled contact replies is lost. Non-Drop kinds draw nothing.
+func (v *ShardView) DropMessage(node int) bool {
+	if v.s.cfg.Kind != Drop {
+		return false
+	}
+	if !v.draw(node).Bernoulli(v.s.cfg.Fraction) {
+		return false
+	}
+	v.Counters.Drops++
+	return true
+}
+
+// Lie filters one opinion read through this view; the decision itself is
+// the same deterministic pool lookup as State.Lie (no randomness), only the
+// count lands on the view so shards never share a counter word.
+func (v *ShardView) Lie(node int, col int32) int32 {
+	if v.s.cfg.Kind != Byzantine || !v.s.isVictim[node] {
+		return col
+	}
+	v.Counters.Lies++
+	return v.s.lieTarget
+}
+
+// EncodeShardState serializes the sharded adversary's base state: the
+// serial layout (EncodeState) followed by the per-node draw counters. The
+// key seed is recomputed by ShardSetup on restore and deliberately not
+// serialized. Per-view counters are serialized by the engine next to the
+// rest of each shard's section (see ShardView.EncodeState).
+func (s *State) EncodeShardState(w *snap.Writer) {
+	s.EncodeState(w)
+	w.I32s(s.nodeCtr)
+}
+
+// DecodeShardState restores state written by EncodeShardState into an
+// adversary rebuilt with the same Config and seed, after ShardSetup.
+func (s *State) DecodeShardState(r *snap.Reader) error {
+	if err := s.DecodeState(r); err != nil {
+		return err
+	}
+	ctr := r.I32s()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if len(ctr) != s.cfg.N {
+		return r.Fail(fmt.Errorf("%w: adversary node counters for %d nodes, want %d", snap.ErrCorrupt, len(ctr), s.cfg.N))
+	}
+	for i, c := range ctr {
+		if c < 0 {
+			return r.Fail(fmt.Errorf("%w: negative adversary draw counter %d for node %d", snap.ErrCorrupt, c, i))
+		}
+	}
+	s.nodeCtr = ctr
+	return nil
+}
+
+// EncodeState serializes one view's counters into w.
+func (v *ShardView) EncodeState(w *snap.Writer) {
+	w.U64(v.Counters.Crashes)
+	w.U64(v.Counters.Recoveries)
+	w.U64(v.Counters.Drops)
+	w.U64(v.Counters.Delayed)
+	w.U64(v.Counters.Lies)
+}
+
+// DecodeState restores counters written by ShardView.EncodeState.
+func (v *ShardView) DecodeState(r *snap.Reader) error {
+	v.Counters.Crashes = r.U64()
+	v.Counters.Recoveries = r.U64()
+	v.Counters.Drops = r.U64()
+	v.Counters.Delayed = r.U64()
+	v.Counters.Lies = r.U64()
+	return r.Err()
+}

@@ -1,0 +1,141 @@
+package adversary
+
+import (
+	"reflect"
+	"testing"
+
+	"plurality/internal/sim"
+	"plurality/internal/snap"
+	"plurality/internal/xrand"
+)
+
+// drawSequence collects node's first k delay decisions through view v.
+func drawSequence(v *ShardView, node, k int, lat sim.Latency) []float64 {
+	out := make([]float64, k)
+	for i := range out {
+		out[i] = v.DelayExtra(node, lat)
+	}
+	return out
+}
+
+// TestShardViewOrderIndependence pins the tentpole property of the
+// node-keyed API: a node's decision sequence is a pure function of (config,
+// seed, node) — independent of which view draws it, and of how draws for
+// other nodes interleave with it.
+func TestShardViewOrderIndependence(t *testing.T) {
+	cfg := Config{Kind: Delay, Fraction: 0.5, Rate: 2, N: 8}
+	lat := sim.ExpLatency{Rate: 1}
+	build := func() *State {
+		s, err := New(cfg, xrand.New(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.ShardSetup()
+		return s
+	}
+
+	// Reference: one view, nodes drawn strictly in order.
+	ref := build()
+	refView := ref.View()
+	want := make(map[int][]float64)
+	for node := 0; node < cfg.N; node++ {
+		want[node] = drawSequence(refView, node, 6, lat)
+	}
+
+	// Same run, two views, draws interleaved node-by-node in reverse with
+	// the views alternating — a schedule no draw-order stream reproduces.
+	alt := build()
+	va, vb := alt.View(), alt.View()
+	got := make(map[int][]float64)
+	for i := 0; i < 6; i++ {
+		for node := cfg.N - 1; node >= 0; node-- {
+			v := va
+			if (i+node)%2 == 0 {
+				v = vb
+			}
+			got[node] = append(got[node], v.DelayExtra(node, lat))
+		}
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("node-keyed decisions depend on draw interleaving:\n got %v\nwant %v", got, want)
+	}
+	if total := va.Counters.Add(vb.Counters); total != refView.Counters {
+		t.Fatalf("folded view counters %+v != reference %+v", total, refView.Counters)
+	}
+}
+
+// TestShardViewKindShortCircuit pins that non-matching kinds draw nothing:
+// a Drop query must not advance the node counter a Delay adversary would
+// use, mirroring the serial hooks' short-circuits.
+func TestShardViewKindShortCircuit(t *testing.T) {
+	s, err := New(Config{Kind: Delay, Fraction: 0.5, Rate: 1, N: 4}, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ShardSetup()
+	v := s.View()
+	lat := sim.ExpLatency{Rate: 1}
+	first := v.DelayExtra(0, lat)
+
+	s2, err := New(Config{Kind: Delay, Fraction: 0.5, Rate: 1, N: 4}, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.ShardSetup()
+	v2 := s2.View()
+	if v2.DropMessage(0) {
+		t.Fatal("Delay adversary dropped a message")
+	}
+	if v2.Lie(0, 3) != 3 {
+		t.Fatal("Delay adversary lied")
+	}
+	if got := v2.DelayExtra(0, lat); got != first {
+		t.Fatalf("Drop/Lie queries advanced the Delay stream: %v != %v", got, first)
+	}
+}
+
+// TestShardStateRoundtrip pins that EncodeShardState/DecodeShardState plus
+// per-view counters reproduce the decision stream and totals exactly at a
+// mid-run cut.
+func TestShardStateRoundtrip(t *testing.T) {
+	cfg := Config{Kind: Drop, Fraction: 0.4, N: 6}
+	s, err := New(cfg, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ShardSetup()
+	v := s.View()
+	for i := 0; i < 20; i++ {
+		v.DropMessage(i % cfg.N)
+	}
+
+	w := &snap.Writer{}
+	s.EncodeShardState(w)
+	v.EncodeState(w)
+
+	s2, err := New(cfg, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.ShardSetup()
+	r := snap.NewReader(w.Bytes())
+	if err := s2.DecodeShardState(r); err != nil {
+		t.Fatal(err)
+	}
+	v2 := s2.View()
+	if err := v2.DecodeState(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Counters != v.Counters {
+		t.Fatalf("restored counters %+v != captured %+v", v2.Counters, v.Counters)
+	}
+	for i := 20; i < 40; i++ {
+		a, b := v.DropMessage(i%cfg.N), v2.DropMessage(i%cfg.N)
+		if a != b {
+			t.Fatalf("decision %d diverged after restore: %v != %v", i, a, b)
+		}
+	}
+}

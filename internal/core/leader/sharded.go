@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 
+	"plurality/internal/adversary"
 	"plurality/internal/core/syncgen"
 	"plurality/internal/metrics"
 	"plurality/internal/opinion"
@@ -89,6 +90,23 @@ type shardedRun struct {
 	loadCount  uint64
 	peakLoad   uint64
 
+	// Adversary state. crashed/aliveN exist for honest runs too (all-false,
+	// aliveN = N) so the hot-path gates need no nil checks; crash and churn
+	// toggles are applied only at barriers, on the merge goroutine, which
+	// makes remote crashed[] reads inside a window safe — the array is
+	// frozen while shards run. adv is nil for honest runs.
+	crashed []bool
+	aliveN  int
+	adv     *adversary.State
+	advDone bool // one-shot crash pool applied
+
+	// Checkpoint bookkeeping: captures happen at window barriers, the only
+	// globally consistent cut of a sharded run.
+	captured   bool
+	resumed    bool
+	resumedT   float64
+	resumedRec float64
+
 	maxTime   float64
 	plurality opinion.Opinion
 	rec       *metrics.Recorder
@@ -109,6 +127,11 @@ type shardState struct {
 	tickR   *xrand.RNG
 	latR    *xrand.RNG
 	nodes   []int32
+
+	// Adversarial runs only: the shard's node-keyed decision view and the
+	// arena parking this shard's delayed local events (evAdvDeliver).
+	view    *adversary.ShardView
+	payload *sim.PayloadArena
 
 	// Window-local products, consumed and reset by the barrier merge.
 	dirty      []int32   // nodes written this window (pub refresh list)
@@ -170,6 +193,8 @@ func runSharded(cfg Config) (*Result, error) {
 		gStar:      gStar,
 		colorCount: initCounts,
 		genCount:   make([]int, gStar+1),
+		crashed:    make([]bool, cfg.N),
+		aliveN:     cfg.N,
 		maxTime:    maxTime,
 		plurality:  opinion.Opinion(pl),
 		res: &Result{
@@ -177,6 +202,20 @@ func runSharded(cfg Config) (*Result, error) {
 			C1:               cfg.C1,
 			GStar:            gStar,
 		},
+	}
+	if cfg.Adv.Kind != adversary.None {
+		adv, err := adversary.New(cfg.Adv, xrand.New(cfg.Adv.Seed))
+		if err != nil {
+			return nil, err
+		}
+		// Node-keyed mode: ShardSetup runs unconditionally — including on
+		// restore, before the blob overwrites the generator — so the key
+		// seed is recomputed, never serialized.
+		adv.ShardSetup()
+		if _, second := initCounts.TopTwo(); second >= 0 {
+			adv.SetLieTarget(int32(second))
+		}
+		r.adv = adv
 	}
 	r.genCount[0] = cfg.N
 	r.pubLeaderGen = 1
@@ -217,13 +256,23 @@ func runSharded(cfg Config) (*Result, error) {
 		}
 		ss.tickFn = ss.tick
 		ss.clocks = sim.NewClocksFor(sm, clockBase.Split(), nodes[b], r.local, 1, evTick)
+		if r.adv != nil {
+			ss.view = r.adv.View()
+			ss.payload = &sim.PayloadArena{}
+		}
 		sm.SetHandler(ss)
 		r.sims[b] = sm
 		r.shards[b] = ss
 	}
 	r.rec = metrics.NewRecorder(cfg.Eps, cfg.DiscardTrajectory, cfg.Observe)
-	for _, ss := range r.shards {
-		ss.clocks.StartAll()
+	if cfg.Ckpt.Restoring() {
+		if err := r.restore(cfg.Ckpt.Restore, cfg.Ckpt.Perturb); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, ss := range r.shards {
+			ss.clocks.StartAll()
+		}
 	}
 	r.runner = sim.NewShardRunner(r.sims, cfg.ShardWorkers)
 	defer r.runner.Close()
@@ -251,16 +300,32 @@ func runSharded(cfg Config) (*Result, error) {
 		r.res.Outcome.FullConsensus = true
 		r.res.Outcome.ConsensusTime = r.monoAt
 	}
+	if r.adv != nil {
+		c := r.adv.Counters
+		for _, ss := range r.shards {
+			c = c.Add(ss.view.Counters)
+		}
+		r.res.AdvCounters = c
+	}
 	return r.res, nil
 }
 
 // loop is the barrier driver: pick the next window boundary (capped by the
-// record cadence and the deadline), advance all shards to it in parallel,
-// merge, repeat. Runs on the caller's goroutine.
+// record cadence, the deadline, the next crash toggle and a pending
+// checkpoint cut), advance all shards to it in parallel, merge, repeat.
+// Runs on the caller's goroutine. Crash toggles and checkpoint captures
+// happen only here, between windows, where every shard is parked — the only
+// globally consistent cuts of a sharded run.
 func (r *shardedRun) loop(ctx context.Context) error {
 	t := 0.0
-	r.record(0)
 	nextRec := r.cfg.RecordEvery
+	if r.resumed {
+		t, nextRec = r.resumedT, r.resumedRec
+	} else {
+		r.record(0)
+	}
+	ck := r.cfg.Ckpt
+	capturing := ck.Capturing()
 	for i := uint(0); ; i++ {
 		if ctx != nil && i&255 == 0 {
 			select {
@@ -281,9 +346,22 @@ func (r *shardedRun) loop(ctx context.Context) error {
 		if t1 > r.maxTime {
 			t1 = r.maxTime
 		}
+		// Both clamps below are no-ops for honest, uncheckpointed runs, so
+		// their digests are untouched by the adversary/checkpoint layers.
+		if r.adv != nil && !r.advDone {
+			if ca := r.adv.NextCrashAt(); ca > t && ca < t1 {
+				t1 = ca
+			}
+		}
+		if capturing && !r.captured && ck.At > t && ck.At < t1 {
+			t1 = ck.At
+		}
 		r.runner.Advance(t1)
 		r.merge(t1)
 		t = t1
+		if r.adv != nil {
+			r.advCrash(t1)
+		}
 		if r.mono {
 			// Consensus is absorbing (no event can change a unanimous
 			// color), so stop at this barrier instead of simulating dead
@@ -295,6 +373,14 @@ func (r *shardedRun) loop(ctx context.Context) error {
 			r.record(t)
 			nextRec += r.cfg.RecordEvery
 		}
+		if capturing && !r.captured && t >= ck.At {
+			if err := r.capture(t, nextRec); err != nil {
+				return err
+			}
+			if ck.Halt {
+				break
+			}
+		}
 		if t >= r.maxTime {
 			if last, ok := r.rec.Last(); !ok || last.Time < t {
 				r.record(t)
@@ -305,6 +391,69 @@ func (r *shardedRun) loop(ctx context.Context) error {
 	}
 	r.res.EndTime = t
 	return nil
+}
+
+// advCrash applies every crash/churn toggle due by the barrier time. The
+// toggle times and victim order come from the adversary's own generator,
+// consumed only here on the merge goroutine — deterministic at any worker
+// count. A one-shot pool (Rate == 0) fires exactly once.
+func (r *shardedRun) advCrash(t1 float64) {
+	changed := false
+	if r.adv.Churning() {
+		for {
+			ca := r.adv.NextCrashAt()
+			if ca < 0 || ca > t1 {
+				break
+			}
+			v := r.adv.NextVictim()
+			if r.crashed[v] {
+				r.recoverNode(v)
+			} else {
+				r.crashNode(v)
+			}
+			changed = true
+		}
+	} else if !r.advDone {
+		if ca := r.adv.NextCrashAt(); ca >= 0 && ca <= t1 {
+			for _, v := range r.adv.Victims() {
+				r.crashNode(v)
+			}
+			r.advDone = true
+			changed = true
+		}
+	}
+	// A crash can leave the survivors unanimous; detect it here like the
+	// serial engine does after its crash event.
+	if changed && !r.mono {
+		for _, cnt := range r.colorCount {
+			if cnt == r.aliveN && r.aliveN > 0 {
+				r.mono = true
+				r.monoAt = t1
+			}
+		}
+	}
+}
+
+// crashNode and recoverNode adjust the live-population aggregates the same
+// way the serial engine's do; they run only between windows.
+func (r *shardedRun) crashNode(v int) {
+	if r.crashed[v] {
+		return
+	}
+	r.crashed[v] = true
+	r.aliveN--
+	r.colorCount[r.cols[v]]--
+	r.adv.NoteCrash()
+}
+
+func (r *shardedRun) recoverNode(v int) {
+	if !r.crashed[v] {
+		return
+	}
+	r.crashed[v] = false
+	r.aliveN++
+	r.colorCount[r.cols[v]]++
+	r.adv.NoteRecovery()
 }
 
 // merge is the barrier's serial phase: fold every shard's window products
@@ -351,7 +500,7 @@ func (r *shardedRun) merge(t1 float64) {
 	r.pubLeaderProp = r.leaderProp
 	if !r.mono {
 		for _, cnt := range r.colorCount {
-			if cnt == r.cfg.N {
+			if cnt == r.aliveN && r.aliveN > 0 {
 				r.mono = true
 				r.monoAt = t1
 			}
@@ -398,12 +547,22 @@ func (ss *shardState) HandleEvent(ev sim.Event) {
 		ss.run.leaderSignal2(int(ev.A), ss)
 	case evComplete:
 		ss.complete(int(ev.Node), int(ev.A), int(ev.B))
+	case evAdvDeliver:
+		// A delayed local event reaching its stretched delivery time;
+		// unpark and dispatch it.
+		ss.HandleEvent(ss.payload.Take(ev.A))
 	}
 }
 
-// signal sends an i-signal to the leader: shard 0 schedules it on its own
-// ladder, every other shard appends it to the window outbox.
-func (ss *shardState) signal(d float64, gen int32) {
+// signal sends an i-signal from node v to the leader: shard 0 schedules it
+// on its own ladder, every other shard appends it to the window outbox. A
+// delay adversary stretches the delivery time in place rather than parking:
+// the payload is a bare generation number, and a stretched outbox entry
+// redelivers through the same window-barrier merge either way.
+func (ss *shardState) signal(v int, d float64, gen int32) {
+	if ss.view != nil {
+		d += ss.view.DelayExtra(v, ss.lat)
+	}
 	if ss.id == 0 {
 		ss.sm.ScheduleAfter(d, sim.Event{Kind: evSignal, A: gen})
 		return
@@ -412,15 +571,29 @@ func (ss *shardState) signal(d float64, gen int32) {
 	ss.outGen = append(ss.outGen, gen)
 }
 
+// sendMsg schedules a shard-local protocol message, giving the delay
+// adversary a chance to stretch the delivery: a delayed message parks the
+// original event in the shard's payload arena and is re-dispatched by
+// evAdvDeliver. Honest runs take the plain path untouched.
+func (ss *shardState) sendMsg(v int, d float64, ev sim.Event) {
+	if ss.view != nil {
+		if extra := ss.view.DelayExtra(v, ss.lat); extra > 0 {
+			ss.sm.ScheduleAfter(d+extra, sim.Event{Kind: evAdvDeliver, A: ss.payload.Put(ev)})
+			return
+		}
+	}
+	ss.sm.ScheduleAfter(d, ev)
+}
+
 // tick is Algorithm 2 lines 1-3 for one owned node.
 func (ss *shardState) tick(v int) {
 	r := ss.run
-	if r.mono {
+	if r.mono || r.crashed[v] {
 		return
 	}
 	loss := r.cfg.SignalLoss
 	if loss == 0 || !ss.latR.Bernoulli(loss) {
-		ss.signal(ss.lat.Sample(ss.latR), 0)
+		ss.signal(v, ss.lat.Sample(ss.latR), 0)
 	}
 	if r.locked[v] {
 		return
@@ -431,7 +604,7 @@ func (ss *shardState) tick(v int) {
 	ss.bs.SampleNeighbors(ss.tickR, vs, out)
 	d := math.Max(ss.lat.Sample(ss.latR), ss.lat.Sample(ss.latR)) +
 		ss.lat.Sample(ss.latR)
-	ss.sm.ScheduleAfter(d, sim.Event{Kind: evComplete, Node: int32(v), A: out[0], B: out[1]})
+	ss.sendMsg(v, d, sim.Event{Kind: evComplete, Node: int32(v), A: out[0], B: out[1]})
 }
 
 // read returns a partner's (color, generation): live for owned nodes,
@@ -444,11 +617,13 @@ func (ss *shardState) read(x int) (opinion.Opinion, int32) {
 	return r.pubCols[x], r.pubGens[x]
 }
 
-// complete is Algorithm 2 lines 5-15 for one owned node.
+// complete is Algorithm 2 lines 5-15 for one owned node. Remote partners'
+// crashed flags are frozen inside a window (toggles happen only at
+// barriers), so the liveness reads here are safe at any worker count.
 func (ss *shardState) complete(v, a, b int) {
 	r := ss.run
 	r.locked[v] = false
-	if r.mono {
+	if r.mono || r.crashed[v] {
 		return
 	}
 	ss.msgs++ // the leader state read
@@ -464,9 +639,16 @@ func (ss *shardState) complete(v, a, b int) {
 		r.seenP[v] = lProp
 		return
 	}
+	aUp, bUp := !r.crashed[a], !r.crashed[b]
 	colA, gA := ss.read(a)
 	colB, gB := ss.read(b)
-	if !lProp && gA == gB && int(gA) == lGen-1 && colA == colB {
+	if ss.view != nil {
+		aUp = aUp && !ss.view.DropMessage(v)
+		bUp = bUp && !ss.view.DropMessage(v)
+		colA = opinion.Opinion(ss.view.Lie(a, int32(colA)))
+		colB = opinion.Opinion(ss.view.Lie(b, int32(colB)))
+	}
+	if aUp && bUp && !lProp && gA == gB && int(gA) == lGen-1 && colA == colB {
 		ss.setNode(v, colA, int32(lGen))
 		return
 	}
@@ -474,10 +656,10 @@ func (ss *shardState) complete(v, a, b int) {
 	var pickGen int32 = -1
 	var pickCol opinion.Opinion
 	gv := r.gens[v]
-	if gA > gv && (int(gA) < lGen || lProp) && gA > pickGen {
+	if aUp && gA > gv && (int(gA) < lGen || lProp) && gA > pickGen {
 		pick, pickGen, pickCol = true, gA, colA
 	}
-	if gB > gv && (int(gB) < lGen || lProp) && gB > pickGen {
+	if bUp && gB > gv && (int(gB) < lGen || lProp) && gB > pickGen {
 		pick, pickGen, pickCol = true, gB, colB
 	}
 	if pick {
@@ -510,7 +692,7 @@ func (ss *shardState) setNode(v int, col opinion.Opinion, gen int32) {
 		if gen > oldGen {
 			loss := r.cfg.SignalLoss
 			if loss == 0 || !ss.latR.Bernoulli(loss) {
-				ss.signal(ss.lat.Sample(ss.latR), gen)
+				ss.signal(v, ss.lat.Sample(ss.latR), gen)
 			}
 		}
 	}

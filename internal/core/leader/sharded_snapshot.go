@@ -1,0 +1,224 @@
+package leader
+
+import (
+	"fmt"
+
+	"plurality/internal/metrics"
+	"plurality/internal/opinion"
+	"plurality/internal/snap"
+)
+
+// Sharded checkpointing. A capture happens only at a window barrier — the
+// single point where every shard is parked, the outboxes are drained, the
+// window delta lists are empty and the published copies equal the live
+// state — so one serialized pass over the global arrays plus one per-shard
+// section (ladder, clocks, RNG substreams, and for adversarial runs the
+// decision-view counters and the parked-event arena) is a globally
+// consistent cut. The payload leads with the shard count: a blob taken at
+// Shards=S resumes bit-exactly at Shards=S and is rejected with
+// snap.ErrShardCount at any other count.
+
+// capture serializes the sharded run's mutable state at barrier time t and
+// hands it to the checkpoint sink.
+func (r *shardedRun) capture(t, nextRec float64) error {
+	w := &snap.Writer{}
+	w.Int(r.cfg.Shards)
+	w.F64(t)
+	w.F64(nextRec)
+	opinion.EncodeSlice(w, r.cols)
+	w.I32s(r.gens)
+	w.Bools(r.locked)
+	w.I32s(r.seenG)
+	w.Bools(r.seenP)
+	opinion.EncodeCounts(w, r.colorCount)
+	w.Ints(r.genCount)
+	w.Int(r.maxGen)
+	w.Int(r.leaderGen)
+	w.Bool(r.leaderProp)
+	w.Int(r.leaderT)
+	w.Int(r.leaderSize)
+	w.I32(r.loadBucket)
+	w.U64(r.loadCount)
+	w.U64(r.peakLoad)
+	w.Bool(r.mono)
+	w.F64(r.monoAt)
+	w.U64(r.res.TotalLeaderMessages)
+	w.Bool(r.res.TimedOut)
+	w.Len32(len(r.res.PhaseLog))
+	for _, pe := range r.res.PhaseLog {
+		w.F64(pe.Time)
+		w.Int(pe.Gen)
+		w.Int(int(pe.Phase))
+	}
+	metrics.EncodeRecorder(w, r.rec)
+	for _, ss := range r.shards {
+		if err := ss.sm.EncodeState(w); err != nil {
+			return err
+		}
+		ss.clocks.EncodeState(w)
+		w.RNG(ss.tickR)
+		w.RNG(ss.latR)
+	}
+	if r.adv != nil {
+		w.Bools(r.crashed)
+		w.Int(r.aliveN)
+		w.Bool(r.advDone)
+		r.adv.EncodeShardState(w)
+		for _, ss := range r.shards {
+			ss.view.EncodeState(w)
+			ss.payload.EncodeState(w)
+		}
+	}
+	var events uint64
+	for _, sm := range r.sims {
+		events += sm.Processed()
+	}
+	r.cfg.Ckpt.Sink(w.Bytes(), t, events)
+	r.captured = true
+	return nil
+}
+
+// restore overwrites the sharded run's mutable state from a captured
+// payload. It runs after the deterministic setup (which rebuilt the shard
+// layout, the RNG substream tree and the adversary from the same seed) and
+// instead of the initial clock scheduling.
+func (r *shardedRun) restore(state []byte, perturb uint64) error {
+	rd := snap.NewReader(state)
+	shards := rd.Int()
+	if err := rd.Err(); err != nil {
+		return fmt.Errorf("leader: sharded state: %w", err)
+	}
+	if shards != r.cfg.Shards {
+		return fmt.Errorf("leader: %w: blob captured at Shards=%d, resumed at Shards=%d", snap.ErrShardCount, shards, r.cfg.Shards)
+	}
+	t := rd.F64()
+	nextRec := rd.F64()
+	cols, err := opinion.DecodeSlice(rd, r.cfg.K)
+	if err != nil {
+		return fmt.Errorf("leader: opinions: %w", err)
+	}
+	gens := rd.I32s()
+	locked := rd.Bools()
+	seenG := rd.I32s()
+	seenP := rd.Bools()
+	colorCount, err := opinion.DecodeCounts(rd, r.cfg.K)
+	if err != nil {
+		return fmt.Errorf("leader: color counts: %w", err)
+	}
+	genCount := rd.Ints()
+	maxGen := rd.Int()
+	leaderGen := rd.Int()
+	leaderProp := rd.Bool()
+	leaderT := rd.Int()
+	leaderSize := rd.Int()
+	loadBucket := rd.I32()
+	loadCount := rd.U64()
+	peakLoad := rd.U64()
+	mono := rd.Bool()
+	monoAt := rd.F64()
+	leaderMsgs := rd.U64()
+	timedOut := rd.Bool()
+	nPhases := rd.Len32(24)
+	if err := rd.Err(); err != nil {
+		return fmt.Errorf("leader: sharded state: %w", err)
+	}
+	phaseLog := make([]PhaseEvent, nPhases)
+	for i := range phaseLog {
+		phaseLog[i] = PhaseEvent{Time: rd.F64(), Gen: rd.Int(), Phase: Phase(rd.Int())}
+	}
+	if err := metrics.DecodeRecorder(rd, r.rec); err != nil {
+		return fmt.Errorf("leader: recorder: %w", err)
+	}
+	for _, ss := range r.shards {
+		if err := ss.sm.DecodeState(rd); err != nil {
+			return fmt.Errorf("leader: shard %d kernel state: %w", ss.id, err)
+		}
+		if err := ss.clocks.DecodeState(rd); err != nil {
+			return fmt.Errorf("leader: shard %d clock state: %w", ss.id, err)
+		}
+		if err := rd.ReadRNG(ss.tickR); err != nil {
+			return fmt.Errorf("leader: shard %d sampling rng: %w", ss.id, err)
+		}
+		if err := rd.ReadRNG(ss.latR); err != nil {
+			return fmt.Errorf("leader: shard %d latency rng: %w", ss.id, err)
+		}
+	}
+	if r.adv != nil {
+		crashed := rd.Bools()
+		aliveN := rd.Int()
+		advDone := rd.Bool()
+		if err := r.adv.DecodeShardState(rd); err != nil {
+			return fmt.Errorf("leader: adversary state: %w", err)
+		}
+		for _, ss := range r.shards {
+			if err := ss.view.DecodeState(rd); err != nil {
+				return fmt.Errorf("leader: shard %d adversary view: %w", ss.id, err)
+			}
+			if err := ss.payload.DecodeState(rd); err != nil {
+				return fmt.Errorf("leader: shard %d payload arena: %w", ss.id, err)
+			}
+		}
+		if len(crashed) != r.cfg.N {
+			return fmt.Errorf("leader: %w: crashed flags for %d nodes, want %d", snap.ErrCorrupt, len(crashed), r.cfg.N)
+		}
+		if aliveN < 0 || aliveN > r.cfg.N {
+			return fmt.Errorf("leader: %w: aliveN %d outside [0, %d]", snap.ErrCorrupt, aliveN, r.cfg.N)
+		}
+		r.crashed = crashed
+		r.aliveN = aliveN
+		r.advDone = advDone
+	}
+	if err := rd.Finish(); err != nil {
+		return fmt.Errorf("leader: sharded state: %w", err)
+	}
+	n := r.cfg.N
+	if len(cols) != n || len(gens) != n || len(locked) != n || len(seenG) != n || len(seenP) != n {
+		return fmt.Errorf("leader: %w: node-state length mismatch (blob for a different N?)", snap.ErrCorrupt)
+	}
+	if len(genCount) != len(r.genCount) {
+		return fmt.Errorf("leader: %w: generation-state length mismatch (blob for a different G*?)", snap.ErrCorrupt)
+	}
+	if maxGen < 0 || maxGen >= len(genCount) || leaderGen < 1 || leaderGen > r.gStar {
+		return fmt.Errorf("leader: %w: generation indices out of range", snap.ErrCorrupt)
+	}
+	r.cols = cols
+	r.gens = gens
+	r.locked = locked
+	r.seenG = seenG
+	r.seenP = seenP
+	r.colorCount = colorCount
+	r.genCount = genCount
+	r.maxGen = maxGen
+	r.leaderGen = leaderGen
+	r.leaderProp = leaderProp
+	r.leaderT = leaderT
+	r.leaderSize = leaderSize
+	r.loadBucket = loadBucket
+	r.loadCount = loadCount
+	r.peakLoad = peakLoad
+	r.mono = mono
+	r.monoAt = monoAt
+	r.res.TotalLeaderMessages = leaderMsgs
+	r.res.TimedOut = timedOut
+	r.res.PhaseLog = phaseLog
+	// At a barrier the published copies equal the live state, so the cut
+	// did not serialize them; rebuild both here.
+	copy(r.pubCols, r.cols)
+	copy(r.pubGens, r.gens)
+	r.pubLeaderGen = int32(r.leaderGen)
+	r.pubLeaderProp = r.leaderProp
+	r.resumed = true
+	r.resumedT = t
+	r.resumedRec = nextRec
+	if perturb != 0 {
+		for _, ss := range r.shards {
+			ss.tickR.Perturb(perturb)
+			ss.latR.Perturb(perturb)
+			ss.clocks.Perturb(perturb)
+		}
+		if r.adv != nil {
+			r.adv.Perturb(perturb)
+		}
+	}
+	return nil
+}

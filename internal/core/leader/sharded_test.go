@@ -1,6 +1,7 @@
 package leader
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 
@@ -106,8 +107,10 @@ func TestShardedLeaderReproducible(t *testing.T) {
 	}
 }
 
-// TestShardedLeaderRejectsUnsupported pins the documented gating: sharded
-// runs reject adversaries and checkpoints, and shard counts outside [0, N].
+// TestShardedLeaderRejectsUnsupported pins the remaining gating: sharded
+// runs reject the legacy CrashFrac knob (its bit-compat contract is defined
+// against the serial kernel) and shard counts outside [0, N]. Adversaries
+// and checkpoints are supported — see the tests below.
 func TestShardedLeaderRejectsUnsupported(t *testing.T) {
 	base := shardedTestConfig(2, 0)
 
@@ -115,16 +118,6 @@ func TestShardedLeaderRejectsUnsupported(t *testing.T) {
 	cfg.CrashFrac = 0.1
 	if _, err := Run(cfg); err == nil {
 		t.Error("sharded run with CrashFrac accepted, want error")
-	}
-	cfg = base
-	cfg.Adv = adversary.Config{Kind: adversary.Crash, Fraction: 0.1}
-	if _, err := Run(cfg); err == nil {
-		t.Error("sharded run with adversary accepted, want error")
-	}
-	cfg = base
-	cfg.Ckpt = &snap.Checkpoint{At: 1, Sink: func([]byte, float64, uint64) {}}
-	if _, err := Run(cfg); err == nil {
-		t.Error("sharded run with checkpoint accepted, want error")
 	}
 	cfg = base
 	cfg.Shards = -1
@@ -135,6 +128,116 @@ func TestShardedLeaderRejectsUnsupported(t *testing.T) {
 	cfg.Shards = cfg.N + 1
 	if _, err := Run(cfg); err == nil {
 		t.Error("Shards > N accepted, want error")
+	}
+}
+
+// shardedAdvConfigs enumerates one config per adversary kind, scaled down
+// so the full matrix stays fast under -race.
+func shardedAdvConfigs(shards, workers int) map[string]Config {
+	out := make(map[string]Config)
+	for name, adv := range map[string]adversary.Config{
+		"crash":     {Kind: adversary.Crash, Fraction: 0.2, At: 2, Seed: 5},
+		"churn":     {Kind: adversary.Crash, Fraction: 0.2, At: 2, Rate: 3, Seed: 5},
+		"delay":     {Kind: adversary.Delay, Fraction: 0.3, Rate: 2, Seed: 5},
+		"drop":      {Kind: adversary.Drop, Fraction: 0.2, Seed: 5},
+		"byzantine": {Kind: adversary.Byzantine, Fraction: 0.1, Seed: 5},
+	} {
+		cfg := Config{
+			N: 1200, K: 3, Alpha: 2.5, Seed: 11,
+			Shards: shards, ShardWorkers: workers, Adv: adv,
+		}
+		out[name] = cfg
+	}
+	return out
+}
+
+// TestShardedLeaderAdversaryWorkerInvariance extends determinism contract
+// #1 to adversarial runs: node-keyed decision draws make every adversary
+// kind's sharded result invariant to the worker bound, counters included.
+func TestShardedLeaderAdversaryWorkerInvariance(t *testing.T) {
+	for name := range shardedAdvConfigs(3, 0) {
+		t.Run(name, func(t *testing.T) {
+			ref, err := Run(shardedAdvConfigs(3, 1)[name])
+			if err != nil {
+				t.Fatal(err)
+			}
+			refKey := resultKey(t, ref)
+			for _, workers := range []int{2, 5} {
+				res, err := Run(shardedAdvConfigs(3, workers)[name])
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if key := resultKey(t, res); !reflect.DeepEqual(key, refKey) {
+					t.Fatalf("workers=%d diverged:\n got %+v\nwant %+v", workers, key, refKey)
+				}
+				if res.AdvCounters != ref.AdvCounters {
+					t.Fatalf("workers=%d: counters diverged: %+v != %+v", workers, res.AdvCounters, ref.AdvCounters)
+				}
+			}
+			if ref.AdvCounters == (adversary.Counters{}) {
+				t.Fatalf("adversary %s acted zero times; the test exercises nothing", name)
+			}
+		})
+	}
+}
+
+// TestShardedLeaderCheckpointResume pins the window-barrier snapshot cut:
+// an (adversarial) sharded run captured mid-run and resumed produces a
+// result DeepEqual to the uninterrupted run, at several shard counts.
+func TestShardedLeaderCheckpointResume(t *testing.T) {
+	for _, shards := range []int{2, 3} {
+		for _, advName := range []string{"honest", "churn", "delay"} {
+			t.Run(advName, func(t *testing.T) {
+				cfg := shardedAdvConfigs(shards, 0)[advName]
+				if advName == "honest" {
+					cfg = shardedTestConfig(shards, 0)
+					cfg.N = 1200
+				}
+				plain, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				var blob []byte
+				ccfg := cfg
+				ccfg.Ckpt = &snap.Checkpoint{
+					At:   plain.EndTime / 2,
+					Halt: true,
+					Sink: func(state []byte, _ float64, _ uint64) { blob = append([]byte(nil), state...) },
+				}
+				if _, err := Run(ccfg); err != nil {
+					t.Fatal(err)
+				}
+				if blob == nil {
+					t.Fatal("no snapshot captured")
+				}
+
+				rcfg := cfg
+				rcfg.Ckpt = &snap.Checkpoint{Restore: blob}
+				resumed, err := Run(rcfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(resultKey(t, resumed), resultKey(t, plain)) {
+					t.Fatalf("shards=%d resumed run diverged from uninterrupted:\n got %+v\nwant %+v",
+						shards, resultKey(t, resumed), resultKey(t, plain))
+				}
+				if !reflect.DeepEqual(resumed.Trajectory, plain.Trajectory) {
+					t.Fatalf("shards=%d: resumed trajectory diverged", shards)
+				}
+				if resumed.AdvCounters != plain.AdvCounters {
+					t.Fatalf("shards=%d: resumed counters %+v != %+v", shards, resumed.AdvCounters, plain.AdvCounters)
+				}
+
+				// Cross-shard-count resume is a typed rejection, not a wrong
+				// answer.
+				wcfg := rcfg
+				wcfg.Shards = shards + 1
+				if _, err := Run(wcfg); !errors.Is(err, snap.ErrShardCount) {
+					t.Fatalf("resume at Shards=%d of a Shards=%d blob: err=%v, want snap.ErrShardCount", wcfg.Shards, shards, err)
+				}
+			})
+		}
 	}
 }
 

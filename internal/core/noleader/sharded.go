@@ -1,0 +1,1058 @@
+package noleader
+
+import (
+	"context"
+	"math"
+
+	"fmt"
+	"plurality/internal/adversary"
+	"plurality/internal/cluster"
+	"plurality/internal/core/syncgen"
+	"plurality/internal/metrics"
+	"plurality/internal/opinion"
+	"plurality/internal/sim"
+	"plurality/internal/snap"
+	"plurality/internal/topo"
+	"plurality/internal/xrand"
+)
+
+// Sharded execution of the decentralized engine: conservative parallel
+// discrete-event simulation over the bucketed event ladder, mirroring the
+// single-leader engine's runSharded (internal/core/leader/sharded.go) with
+// one structural difference that makes the decentralized protocol *easier*
+// to shard: the partition is cluster-aligned.
+//
+// topo.PartitionAligned over the finished clustering's LeaderOf guarantees
+// a cluster never straddles shards. Every (i, s, hasChanged)-signal flows
+// from a member to its own cluster leader, so with the aligned partition
+// ALL signal traffic is shard-local: each leader automaton (the lGen /
+// lState / lT / lGenSize slots of Algorithm 5) has exactly one writer —
+// the shard owning its cluster — and no cross-shard signal outbox exists
+// at all. What crosses shards is read-only node sampling (Algorithm 4's
+// v1, v2, v3) plus the finished-flag endgame pushes; both go through the
+// window-barrier machinery:
+//
+//  1. Live node state (cols/gens/finished/locked/tmpGen/tmpState) is
+//     owner-only. A shard reading a *remote* sample sees the published
+//     copy (pubCols/pubGens/pubFinished), frozen at the last barrier —
+//     one window (1/1024 time unit, far below any channel latency) stale.
+//  2. Remote leader reads (the sampled third node's leader, Algorithm 4
+//     line 8) see the published (pubLGen, pubLState) pair; their §4.5
+//     load accounting accumulates in a per-shard slot list folded at the
+//     barrier in fixed shard order.
+//  3. A finished node pushing its opinion onto a remote sample (line 5)
+//     parks the push in a per-shard outbox applied serially at the
+//     barrier — the only cross-shard *write*, and the merge order is a
+//     pure function of the per-shard executions.
+//  4. Global aggregates (color tally, monochromaticity, the Figure 2
+//     phase marks, §4.5 peak load, trajectory records) are folded from
+//     per-shard deltas at barriers; the folds are sums and min/max, so
+//     they are associative and the checkpoint cut loses nothing.
+//
+// Under these rules the result is a pure function of (config, seed,
+// shards): worker count, GOMAXPROCS and OS scheduling are invisible.
+// Shards <= 1 does not take this path at all — Run dispatches to the
+// serial kernel, keeping its byte-exact golden contract.
+type shardedRun struct {
+	cfg    Config
+	cl     *cluster.Clustering
+	sims   []*sim.Simulator
+	shards []*nlShard
+	runner *sim.ShardRunner
+
+	owner []int32 // node → shard (cluster-aligned)
+	local []int32 // node → index within its shard's slabs
+
+	// Owner-write live node state, indexed by global node id.
+	cols     []opinion.Opinion
+	gens     []int32
+	finished []bool
+	locked   []bool
+	tmpGen   []int32
+	tmpState []int8
+
+	// Published copies, refreshed from per-shard dirty lists at barriers;
+	// the only node state a non-owner shard may read.
+	pubCols     []opinion.Opinion
+	pubGens     []int32
+	pubFinished []bool
+
+	// Leader slots in dense struct-of-arrays form, exactly the serial
+	// layout; each slot is written only by the shard owning its cluster.
+	// Remote readers see the published pair, one window stale.
+	leaderIdx []int32
+	lGen      []int32
+	lState    []int8
+	lCard     []int32
+	lT        []int32
+	lGenSize  []int32
+	lSleepAt  []int32
+	lPropAt   []int32
+	lOwner    []int32 // slot → owning shard
+	pubLGen   []int32
+	pubLState []int8
+
+	// Barrier-folded aggregates.
+	counts     opinion.Counts
+	maxGen     int
+	mono       bool
+	monoAt     float64
+	loadBucket []int32
+	loadCount  []uint64
+	peakLoad   uint64
+	phase      map[int]*GenPhases
+
+	// Adversary state. crashed/aliveN exist for honest runs too (all-false,
+	// aliveN = N) so the hot-path gates need no nil checks; crash and churn
+	// toggles are applied only at barriers, on the merge goroutine, which
+	// makes remote crashed[] reads inside a window safe — the array is
+	// frozen while shards run. adv is nil for honest runs.
+	crashed []bool
+	aliveN  int
+	adv     *adversary.State
+	advDone bool
+
+	// Checkpoint bookkeeping: captures happen at window barriers, the only
+	// globally consistent cut of a sharded run.
+	captured   bool
+	resumed    bool
+	resumedT   float64
+	resumedRec float64
+
+	gStar     int
+	maxTime   float64
+	plurality opinion.Opinion
+	rec       *metrics.Recorder
+	res       *Result
+}
+
+// nlShard is the per-shard execution context; every field is touched by
+// exactly one goroutine inside a window.
+type nlShard struct {
+	run     *shardedRun
+	id      int32
+	sm      *sim.Simulator
+	clocks  *sim.Clocks
+	tickFn  func(int)
+	bs      topo.BatchSampler
+	scratch topo.Scratch
+	lat     sim.Latency
+	smpR    *xrand.RNG
+	latR    *xrand.RNG
+	nodes   []int32
+
+	// Adversarial runs only: the shard's node-keyed decision view and the
+	// arena parking this shard's delayed events (evAdvDeliver). Signals are
+	// shard-local under the aligned partition, so delayed signals park here
+	// too — no cross-shard redelivery path exists.
+	view    *adversary.ShardView
+	payload *sim.PayloadArena
+
+	// Window-local products, consumed and reset by the barrier merge.
+	dirty      []int32           // nodes written this window (pub refresh)
+	dirtyL     []int32           // leader slots transitioned this window
+	pushN      []int32           // finished-endgame pushes onto remote nodes…
+	pushCol    []opinion.Opinion // …and the opinions pushed
+	remLi      []int32           // remote leader slots read (§4.5 accounting)
+	colorDelta []int
+	maxGenW    int
+	msgs       uint64 // local leader messages this window
+	peak       uint64 // max time-unit bucket rolled over this window
+	phase      map[int]*GenPhases
+}
+
+// runSharded forms clusters (or decodes them from a snapshot) and executes
+// Algorithms 4 and 5 on the sharded kernel. cfg has been normalized and
+// cfg.Shards > 1.
+func runSharded(cfg Config) (*Result, error) {
+	root := xrand.New(cfg.Seed)
+
+	// Phase 1: clustering, exactly as the serial path — the substream draw
+	// always happens so the root RNG stays in the same position. A sharded
+	// snapshot payload leads with the shard count (the typed-rejection
+	// check) and then embeds the finished clustering.
+	cp := cfg.Cluster
+	cp.N = cfg.N
+	cp.Latency = cfg.Latency
+	cp.Topo = cfg.Topo
+	cp.Seed = root.SplitNamed("clustering").Uint64()
+	cp.Ctx = cfg.Ctx
+	var cl *cluster.Clustering
+	var restoreR *snap.Reader
+	if cfg.Ckpt.Restoring() {
+		restoreR = snap.NewReader(cfg.Ckpt.Restore)
+		shards := restoreR.Int()
+		if err := restoreR.Err(); err != nil {
+			return nil, fmt.Errorf("noleader: sharded state: %w", err)
+		}
+		if shards != cfg.Shards {
+			return nil, fmt.Errorf("noleader: %w: blob captured at Shards=%d, resumed at Shards=%d",
+				snap.ErrShardCount, shards, cfg.Shards)
+		}
+		var err error
+		cl, err = cluster.DecodeClustering(restoreR)
+		if err != nil {
+			return nil, fmt.Errorf("noleader: clustering state: %w", err)
+		}
+		if cl.N != cfg.N {
+			return nil, fmt.Errorf("noleader: %w: clustering for N=%d, run has N=%d", snap.ErrCorrupt, cl.N, cfg.N)
+		}
+		cl.Topo = cfg.Topo
+	} else {
+		var err error
+		cl, err = cluster.Form(cp)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	cols := make([]opinion.Opinion, cfg.N)
+	if cfg.Assignment != nil {
+		copy(cols, cfg.Assignment)
+	} else {
+		alpha := cfg.Alpha
+		if alpha < 1 {
+			alpha = 1
+		}
+		cols = opinion.PlantedBias(cfg.N, cfg.K, alpha, root.SplitNamed("assignment"))
+	}
+	initCounts := opinion.CountOf(cols, cfg.K)
+	pl, _ := initCounts.TopTwo()
+	alphaHat := initCounts.Bias()
+	gStar := cfg.GStar
+	if gStar <= 0 {
+		gStar = syncgen.GenerationBudget(cfg.N, alphaHat) + 2
+	}
+	maxTime := cfg.MaxTime
+	if maxTime <= 0 {
+		perGen := cfg.C1 * (cfg.TwoChoicesUnits + cfg.SleepUnits +
+			math.Log(4.5*float64(cfg.K+1))/math.Log(1.4) + 2)
+		maxTime = 6*float64(gStar)*perGen + 20*cfg.C1*math.Log2(float64(cfg.N))
+	}
+
+	s := cfg.Shards
+	owner := topo.PartitionAligned(cl.LeaderOf, s)
+	r := &shardedRun{
+		cfg:         cfg,
+		cl:          cl,
+		sims:        make([]*sim.Simulator, s),
+		shards:      make([]*nlShard, s),
+		owner:       owner,
+		local:       make([]int32, cfg.N),
+		cols:        cols,
+		gens:        make([]int32, cfg.N),
+		finished:    make([]bool, cfg.N),
+		locked:      make([]bool, cfg.N),
+		tmpGen:      make([]int32, cfg.N),
+		tmpState:    make([]int8, cfg.N),
+		pubCols:     append([]opinion.Opinion(nil), cols...),
+		pubGens:     make([]int32, cfg.N),
+		pubFinished: make([]bool, cfg.N),
+		leaderIdx:   make([]int32, cfg.N),
+		counts:      initCounts,
+		phase:       map[int]*GenPhases{},
+		crashed:     make([]bool, cfg.N),
+		aliveN:      cfg.N,
+		gStar:       gStar,
+		maxTime:     maxTime,
+		plurality:   opinion.Opinion(pl),
+		res: &Result{
+			Clustering:       cl,
+			ClusteringTime:   cl.EndTime,
+			InitialPlurality: opinion.Opinion(pl),
+			C1:               cfg.C1,
+			GStar:            gStar,
+		},
+	}
+	for i := range r.leaderIdx {
+		r.leaderIdx[i] = -1
+	}
+	participating := cl.ParticipatingLeaders()
+	for _, l := range participating {
+		li := int32(len(r.lGen))
+		r.leaderIdx[l] = li
+		card := cl.Size[l]
+		sleepAt := int32(math.Ceil(cfg.TwoChoicesUnits * cfg.C1 * float64(card)))
+		r.lGen = append(r.lGen, 1)
+		r.lState = append(r.lState, int8(StateTwoChoices))
+		r.lCard = append(r.lCard, int32(card))
+		r.lT = append(r.lT, 0)
+		r.lGenSize = append(r.lGenSize, 0)
+		r.lSleepAt = append(r.lSleepAt, sleepAt)
+		r.lPropAt = append(r.lPropAt, sleepAt+int32(math.Ceil(cfg.SleepUnits*cfg.C1*float64(card))))
+		r.lOwner = append(r.lOwner, owner[l])
+	}
+	r.pubLGen = append([]int32(nil), r.lGen...)
+	r.pubLState = append([]int8(nil), r.lState...)
+	r.loadBucket = make([]int32, len(participating))
+	r.loadCount = make([]uint64, len(participating))
+	r.notePhaseGlobal(1, StateTwoChoices, 0)
+	if len(participating) == 0 {
+		// Degenerate clustering: report a failed run rather than panic.
+		r.res.TimedOut = true
+		r.res.FinalCounts = initCounts
+		r.res.Outcome = metrics.EvalOutcome(metrics.Trajectory{
+			metrics.Snapshot(0, cols, cfg.K, r.plurality)},
+			initCounts, r.plurality, cfg.Eps)
+		return r.res, nil
+	}
+
+	if cfg.Adv.Kind != adversary.None {
+		adv, err := adversary.New(cfg.Adv, xrand.New(cfg.Adv.Seed))
+		if err != nil {
+			return nil, fmt.Errorf("noleader: %w", err)
+		}
+		// Node-keyed mode: ShardSetup runs unconditionally — including on
+		// restore, before the blob overwrites the generator — so the key
+		// seed is recomputed, never serialized.
+		adv.ShardSetup()
+		if _, second := initCounts.TopTwo(); second >= 0 {
+			adv.SetLieTarget(int32(second))
+		}
+		r.adv = adv
+	}
+
+	// Shard node lists in ascending id order — deterministic, and the order
+	// the per-node clock RNGs are split in.
+	nodes := make([][]int32, s)
+	for v := 0; v < cfg.N; v++ {
+		b := owner[v]
+		r.local[v] = int32(len(nodes[b]))
+		nodes[b] = append(nodes[b], int32(v))
+	}
+
+	// Per-shard RNG substreams: one named base per role, split once per
+	// shard in shard order — a pure function of (seed, shards), independent
+	// of workers. (The serial kernel consumes the same named bases without
+	// the extra split, which is one reason shards=1 bypasses this path.)
+	smpBase := root.SplitNamed("sampling")
+	latBase := root.SplitNamed("latency")
+	clockBase := root.SplitNamed("clocks")
+	bs := topo.Batch(cfg.Topo)
+	for b := 0; b < s; b++ {
+		sm := sim.New()
+		sm.Reserve(3*len(nodes[b]) + 64)
+		ss := &nlShard{
+			run:        r,
+			id:         int32(b),
+			sm:         sm,
+			bs:         bs,
+			lat:        cfg.Latency,
+			smpR:       smpBase.Split(),
+			latR:       latBase.Split(),
+			nodes:      nodes[b],
+			colorDelta: make([]int, cfg.K+1),
+			phase:      map[int]*GenPhases{},
+		}
+		ss.tickFn = ss.tick
+		ss.clocks = sim.NewClocksFor(sm, clockBase.Split(), nodes[b], r.local, 1, evTick)
+		if r.adv != nil {
+			ss.view = r.adv.View()
+			ss.payload = &sim.PayloadArena{}
+		}
+		sm.SetHandler(ss)
+		r.sims[b] = sm
+		r.shards[b] = ss
+	}
+	r.rec = metrics.NewRecorder(cfg.Eps, cfg.DiscardTrajectory, cfg.Observe)
+	if restoreR != nil {
+		if err := r.restore(restoreR, cfg.Ckpt.Perturb); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, ss := range r.shards {
+			ss.clocks.StartAll()
+		}
+	}
+	r.runner = sim.NewShardRunner(r.sims, cfg.ShardWorkers)
+	defer r.runner.Close()
+
+	if err := r.loop(cfg.Ctx); err != nil {
+		return nil, err
+	}
+
+	var events uint64
+	for _, sm := range r.sims {
+		events += sm.Processed()
+	}
+	r.res.Events = events
+	for _, c := range r.loadCount {
+		if c > r.peakLoad {
+			r.peakLoad = c
+		}
+	}
+	r.res.PeakLeaderLoad = float64(r.peakLoad)
+	r.res.FinalCounts = opinion.CountOf(r.cols, cfg.K)
+	if last, ok := r.rec.Last(); !ok || last.Time < r.res.EndTime {
+		r.record(r.res.EndTime)
+	}
+	r.res.Trajectory = r.rec.Trajectory()
+	r.res.Outcome = r.rec.Outcome(r.res.FinalCounts, r.plurality)
+	if r.adv != nil {
+		c := r.adv.Counters
+		for _, ss := range r.shards {
+			c = c.Add(ss.view.Counters)
+		}
+		r.res.AdvCounters = c
+	}
+	if r.mono {
+		r.res.Outcome.FullConsensus = true
+		r.res.Outcome.ConsensusTime = r.monoAt
+		if r.aliveN < cfg.N && r.aliveN > 0 {
+			for v := 0; v < cfg.N; v++ {
+				if !r.crashed[v] {
+					r.res.Outcome.Winner = r.cols[v]
+					break
+				}
+			}
+			r.res.Outcome.PluralityWon = r.res.Outcome.Winner == r.plurality
+		}
+	}
+	for g := 1; g <= gStar+1; g++ {
+		if ph, ok := r.phase[g]; ok {
+			r.res.PhaseSpans = append(r.res.PhaseSpans, *ph)
+		}
+	}
+	return r.res, nil
+}
+
+// loop is the barrier driver: pick the next window boundary (capped by the
+// record cadence, the deadline, the next crash toggle and a pending
+// checkpoint cut), advance all shards to it in parallel, merge, repeat.
+// Crash toggles and checkpoint captures happen only here, between windows,
+// where every shard is parked — the only globally consistent cuts.
+func (r *shardedRun) loop(ctx context.Context) error {
+	t := 0.0
+	nextRec := r.cfg.RecordEvery
+	if r.resumed {
+		t, nextRec = r.resumedT, r.resumedRec
+	} else {
+		r.record(0)
+	}
+	ck := r.cfg.Ckpt
+	capturing := ck.Capturing()
+	for i := uint(0); ; i++ {
+		if ctx != nil && i&255 == 0 {
+			select {
+			case <-ctx.Done():
+				r.res.EndTime = t
+				return ctx.Err()
+			default:
+			}
+		}
+		at, ok := r.runner.NextEventAt()
+		if !ok {
+			break // cannot happen while clocks run; defensive
+		}
+		t1 := sim.WindowEnd(at)
+		if t1 > nextRec {
+			t1 = nextRec
+		}
+		if t1 > r.maxTime {
+			t1 = r.maxTime
+		}
+		if r.adv != nil && !r.advDone {
+			if ca := r.adv.NextCrashAt(); ca > t && ca < t1 {
+				t1 = ca
+			}
+		}
+		if capturing && !r.captured && ck.At > t && ck.At < t1 {
+			t1 = ck.At
+		}
+		r.runner.Advance(t1)
+		r.merge(t1)
+		t = t1
+		if r.adv != nil {
+			r.advCrash(t1)
+		}
+		if r.mono {
+			// Consensus is absorbing; stop at this barrier instead of
+			// simulating dead ticks until the next record boundary.
+			r.record(t)
+			break
+		}
+		if t == nextRec {
+			r.record(t)
+			nextRec += r.cfg.RecordEvery
+		}
+		if capturing && !r.captured && t >= ck.At {
+			if err := r.capture(t, nextRec); err != nil {
+				return err
+			}
+			if ck.Halt {
+				break
+			}
+		}
+		if t >= r.maxTime {
+			if last, ok := r.rec.Last(); !ok || last.Time < t {
+				r.record(t)
+			}
+			r.res.TimedOut = true
+			break
+		}
+	}
+	r.res.EndTime = t
+	return nil
+}
+
+// advCrash applies every crash/churn toggle due by the barrier time; the
+// toggle times and victim order come from the adversary's own generator,
+// consumed only here on the merge goroutine.
+func (r *shardedRun) advCrash(t1 float64) {
+	changed := false
+	if r.adv.Churning() {
+		for {
+			ca := r.adv.NextCrashAt()
+			if ca < 0 || ca > t1 {
+				break
+			}
+			v := r.adv.NextVictim()
+			if r.crashed[v] {
+				r.recoverNode(v)
+			} else {
+				r.crashNode(v)
+			}
+			changed = true
+		}
+	} else if !r.advDone {
+		if ca := r.adv.NextCrashAt(); ca >= 0 && ca <= t1 {
+			for _, v := range r.adv.Victims() {
+				r.crashNode(v)
+			}
+			r.advDone = true
+			changed = true
+		}
+	}
+	if changed && !r.mono {
+		for _, cnt := range r.counts {
+			if cnt == r.aliveN && r.aliveN > 0 {
+				r.mono = true
+				r.monoAt = t1
+			}
+		}
+	}
+}
+
+func (r *shardedRun) crashNode(v int) {
+	if r.crashed[v] {
+		return
+	}
+	r.crashed[v] = true
+	r.aliveN--
+	r.counts[r.cols[v]]--
+	r.adv.NoteCrash()
+}
+
+func (r *shardedRun) recoverNode(v int) {
+	if !r.crashed[v] {
+		return
+	}
+	r.crashed[v] = false
+	r.aliveN++
+	r.counts[r.cols[v]]++
+	r.adv.NoteRecovery()
+}
+
+// merge is the barrier's serial phase: fold every shard's window products
+// into the global state in fixed shard order. All shard goroutines are
+// parked at the barrier, so plain reads and writes are safe.
+func (r *shardedRun) merge(t1 float64) {
+	for _, ss := range r.shards {
+		for _, v := range ss.dirty {
+			r.pubCols[v] = r.cols[v]
+			r.pubGens[v] = r.gens[v]
+			r.pubFinished[v] = r.finished[v]
+		}
+		ss.dirty = ss.dirty[:0]
+		for k, d := range ss.colorDelta {
+			if d != 0 {
+				r.counts[k] += d
+				ss.colorDelta[k] = 0
+			}
+		}
+		if ss.maxGenW > r.maxGen {
+			r.maxGen = ss.maxGenW
+		}
+		// Finished-endgame pushes onto remote nodes (Algorithm 4 line 5),
+		// the only cross-shard write: the target adopts the pushed opinion
+		// at its own generation and finishes, published immediately.
+		for i, u := range ss.pushN {
+			col := ss.pushCol[i]
+			if old := r.cols[u]; old != col {
+				r.counts[old]--
+				r.counts[col]++
+				r.cols[u] = col
+				r.pubCols[u] = col
+			}
+			r.finished[u] = true
+			r.pubFinished[u] = true
+		}
+		ss.pushN = ss.pushN[:0]
+		ss.pushCol = ss.pushCol[:0]
+		// Remote leader-state reads, accounted at window granularity
+		// (windows are ~C1/1000 wide, so the bucket attribution error is
+		// negligible).
+		for _, li := range ss.remLi {
+			r.leaderLoadAt(li, t1)
+		}
+		r.res.TotalLeaderMessages += ss.msgs + uint64(len(ss.remLi))
+		ss.remLi = ss.remLi[:0]
+		ss.msgs = 0
+		if ss.peak > r.peakLoad {
+			r.peakLoad = ss.peak
+		}
+		ss.peak = 0
+		for _, li := range ss.dirtyL {
+			r.pubLGen[li] = r.lGen[li]
+			r.pubLState[li] = r.lState[li]
+		}
+		ss.dirtyL = ss.dirtyL[:0]
+		// Fold the window's Figure 2 marks; min/max folds are associative,
+		// so the global map equals the serial engine's semantics at window
+		// granularity and the checkpoint cut loses nothing.
+		for g, ph := range ss.phase {
+			r.foldPhase(g, ph)
+		}
+		clear(ss.phase)
+	}
+	if !r.mono {
+		for _, cnt := range r.counts {
+			if cnt == r.aliveN && r.aliveN > 0 {
+				r.mono = true
+				r.monoAt = t1
+			}
+		}
+	}
+}
+
+// leaderLoadAt folds one remote read into slot li's §4.5 bucket at barrier
+// time t; it runs only on the merge goroutine.
+func (r *shardedRun) leaderLoadAt(li int32, t float64) {
+	bucket := int32(t / r.cfg.C1)
+	if bucket != r.loadBucket[li] {
+		if r.loadCount[li] > r.peakLoad {
+			r.peakLoad = r.loadCount[li]
+		}
+		r.loadBucket[li] = bucket
+		r.loadCount[li] = 0
+	}
+	r.loadCount[li]++
+}
+
+// notePhaseGlobal updates the global Figure 2 marks; used for the setup
+// mark and by foldPhase.
+func (r *shardedRun) notePhaseGlobal(g int, s LeaderStateKind, t float64) {
+	ph, ok := r.phase[g]
+	if !ok {
+		ph = &GenPhases{Gen: g,
+			FirstTwoChoices: -1, LastTwoChoices: -1,
+			FirstSleeping: -1, LastSleeping: -1,
+			FirstPropagation: -1, LastPropagation: -1}
+		r.phase[g] = ph
+	}
+	var first, last *float64
+	switch s {
+	case StateTwoChoices:
+		first, last = &ph.FirstTwoChoices, &ph.LastTwoChoices
+	case StateSleeping:
+		first, last = &ph.FirstSleeping, &ph.LastSleeping
+	case StatePropagation:
+		first, last = &ph.FirstPropagation, &ph.LastPropagation
+	default:
+		return
+	}
+	if *first < 0 || t < *first {
+		*first = t
+	}
+	if t > *last {
+		*last = t
+	}
+}
+
+// foldPhase merges one shard's window marks for generation g into the
+// global map.
+func (r *shardedRun) foldPhase(g int, w *GenPhases) {
+	ph, ok := r.phase[g]
+	if !ok {
+		cp := *w
+		r.phase[g] = &cp
+		return
+	}
+	foldMark(&ph.FirstTwoChoices, &ph.LastTwoChoices, w.FirstTwoChoices, w.LastTwoChoices)
+	foldMark(&ph.FirstSleeping, &ph.LastSleeping, w.FirstSleeping, w.LastSleeping)
+	foldMark(&ph.FirstPropagation, &ph.LastPropagation, w.FirstPropagation, w.LastPropagation)
+}
+
+func foldMark(first, last *float64, wf, wl float64) {
+	if wf >= 0 && (*first < 0 || wf < *first) {
+		*first = wf
+	}
+	if wl > *last {
+		*last = wl
+	}
+}
+
+// record appends one trajectory snapshot at barrier time t.
+func (r *shardedRun) record(t float64) {
+	p := metrics.Snapshot(t, r.cols, r.cfg.K, r.plurality)
+	p.MaxGen = r.maxGen
+	r.rec.Append(p)
+}
+
+// HandleEvent dispatches one shard's typed events; it runs on a worker
+// goroutine inside a window and touches only shard-owned and published
+// state. evRecord, evDeadline and evCrash never enter a sharded ladder —
+// recording, the deadline and crash toggles are barrier-driven.
+func (ss *nlShard) HandleEvent(ev sim.Event) {
+	switch ev.Kind {
+	case evTick:
+		ss.clocks.Fire(ev.Node, ss.tickFn)
+	case evSignal:
+		// Shard-local by the aligned partition: signals only flow from a
+		// member to its own cluster's leader.
+		ss.signal(int(ev.Node), int(ev.A), LeaderStateKind(ev.B), ev.C != 0)
+	case evComplete:
+		v := int(ev.Node)
+		myLeader := int(ss.run.cl.LeaderOf[v])
+		participates := myLeader >= 0 && ss.run.leaderIdx[myLeader] >= 0
+		ss.complete(v, int(ev.A), int(ev.B), int(ev.C), myLeader, participates)
+	case evAdvDeliver:
+		ss.HandleEvent(ss.payload.Take(ev.A))
+	}
+}
+
+// notePhase updates the shard's window-local Figure 2 marks.
+func (ss *nlShard) notePhase(g int, s LeaderStateKind, t float64) {
+	ph, ok := ss.phase[g]
+	if !ok {
+		ph = &GenPhases{Gen: g,
+			FirstTwoChoices: -1, LastTwoChoices: -1,
+			FirstSleeping: -1, LastSleeping: -1,
+			FirstPropagation: -1, LastPropagation: -1}
+		ss.phase[g] = ph
+	}
+	var first, last *float64
+	switch s {
+	case StateTwoChoices:
+		first, last = &ph.FirstTwoChoices, &ph.LastTwoChoices
+	case StateSleeping:
+		first, last = &ph.FirstSleeping, &ph.LastSleeping
+	case StatePropagation:
+		first, last = &ph.FirstPropagation, &ph.LastPropagation
+	default:
+		return
+	}
+	if *first < 0 || t < *first {
+		*first = t
+	}
+	if t > *last {
+		*last = t
+	}
+}
+
+// setLeader transitions leader slot li (owned by this shard) to
+// (gen, state), queueing the slot for publication at the barrier.
+func (ss *nlShard) setLeader(li int32, gen int32, s LeaderStateKind) {
+	r := ss.run
+	if gen != r.lGen[li] || int8(s) != r.lState[li] {
+		r.lGen[li] = gen
+		r.lState[li] = int8(s)
+		ss.dirtyL = append(ss.dirtyL, li)
+		ss.notePhase(int(gen), s, ss.sm.Now())
+	}
+}
+
+// leaderMessage accounts one message reaching a locally owned leader slot.
+// Bucket rollovers fold into the shard's window peak, merged at barriers.
+func (ss *nlShard) leaderMessage(li int32) {
+	r := ss.run
+	ss.msgs++
+	bucket := int32(ss.sm.Now() / r.cfg.C1)
+	if bucket != r.loadBucket[li] {
+		if r.loadCount[li] > ss.peak {
+			ss.peak = r.loadCount[li]
+		}
+		r.loadBucket[li] = bucket
+		r.loadCount[li] = 0
+	}
+	r.loadCount[li]++
+}
+
+// sendMsg schedules a shard-local message, giving the delay adversary a
+// chance to stretch the delivery: a delayed message parks the original
+// event in the shard's payload arena and is re-dispatched by evAdvDeliver.
+func (ss *nlShard) sendMsg(v int, d float64, ev sim.Event) {
+	if ss.view != nil {
+		if extra := ss.view.DelayExtra(v, ss.lat); extra > 0 {
+			ss.sm.ScheduleAfter(d+extra, sim.Event{Kind: evAdvDeliver, A: ss.payload.Put(ev)})
+			return
+		}
+	}
+	ss.sm.ScheduleAfter(d, ev)
+}
+
+// sendSignal delivers an (i, s, hasChanged)-signal from node v to leader l
+// after one channel latency; l is v's own leader, hence shard-local.
+func (ss *nlShard) sendSignal(v, l, i int, s LeaderStateKind, hasChanged bool) {
+	if l < 0 {
+		return
+	}
+	var hc int32
+	if hasChanged {
+		hc = 1
+	}
+	ss.sendMsg(v, ss.lat.Sample(ss.latR),
+		sim.Event{Kind: evSignal, Node: int32(l), A: int32(i), B: int32(s), C: hc})
+}
+
+// read returns a sampled partner's (color, generation, finished): live for
+// owned nodes, published (last barrier) for remote ones.
+func (ss *nlShard) read(x int) (opinion.Opinion, int32, bool) {
+	r := ss.run
+	if r.owner[x] == ss.id {
+		return r.cols[x], r.gens[x], r.finished[x]
+	}
+	return r.pubCols[x], r.pubGens[x], r.pubFinished[x]
+}
+
+// setNode commits a color/generation update of an owned node and tracks
+// the window deltas.
+func (ss *nlShard) setNode(v int, col opinion.Opinion, gen int32) {
+	r := ss.run
+	old := r.cols[v]
+	r.cols[v] = col
+	r.gens[v] = gen
+	ss.dirty = append(ss.dirty, int32(v))
+	if int(gen) > ss.maxGenW {
+		ss.maxGenW = int(gen)
+	}
+	if old != col {
+		ss.colorDelta[old]--
+		ss.colorDelta[col]++
+	}
+}
+
+// push is the Algorithm 4 line 5 endgame: a finished node forces its
+// opinion onto a sampled partner. Local targets update in place; remote
+// ones go through the barrier outbox.
+func (ss *nlShard) push(u int, col opinion.Opinion) {
+	r := ss.run
+	if r.owner[u] == ss.id {
+		ss.setNode(u, col, r.gens[u])
+		r.finished[u] = true
+		return
+	}
+	ss.pushN = append(ss.pushN, int32(u))
+	ss.pushCol = append(ss.pushCol, col)
+}
+
+// tick handles one Poisson tick of an owned node (Algorithm 4).
+func (ss *nlShard) tick(v int) {
+	r := ss.run
+	if r.mono || r.crashed[v] {
+		return
+	}
+	myLeader := int(r.cl.LeaderOf[v])
+	participates := myLeader >= 0 && r.leaderIdx[myLeader] >= 0
+	if participates {
+		ss.sendSignal(v, myLeader, 0, StatePropagation, false)
+	}
+	if r.locked[v] {
+		return
+	}
+	r.locked[v] = true
+	vs, out := ss.scratch.Buffers(3)
+	vs[0], vs[1], vs[2] = int32(v), int32(v), int32(v)
+	ss.bs.SampleNeighbors(ss.smpR, vs, out)
+	lat := ss.lat
+	three := math.Max(lat.Sample(ss.latR), math.Max(lat.Sample(ss.latR), lat.Sample(ss.latR)))
+	two := math.Max(lat.Sample(ss.latR), lat.Sample(ss.latR))
+	ss.sendMsg(v, three+two,
+		sim.Event{Kind: evComplete, Node: int32(v), A: out[0], B: out[1], C: out[2]})
+}
+
+// signal processes an (i, s, hasChanged)-signal arriving at a locally
+// owned leader (Algorithm 5); the automaton mirrors the serial engine's
+// statement for statement.
+func (ss *nlShard) signal(l, i int, s LeaderStateKind, hasChanged bool) {
+	r := ss.run
+	li := r.leaderIdx[l]
+	if li < 0 || r.crashed[l] {
+		return
+	}
+	ss.leaderMessage(li)
+	if r.mono {
+		return
+	}
+	gen, state := r.lGen[li], LeaderStateKind(r.lState[li])
+	if i > 0 && (int32(i) > gen || (int32(i) == gen && s > state)) {
+		genChanged := int32(i) > gen
+		ss.setLeader(li, int32(i), s)
+		switch s {
+		case StateTwoChoices:
+			r.lT[li] = 0
+		case StateSleeping:
+			r.lT[li] = r.lSleepAt[li]
+		case StatePropagation:
+			r.lT[li] = r.lPropAt[li]
+		}
+		if genChanged {
+			r.lGenSize[li] = 0
+		}
+	}
+	if i == 0 {
+		r.lT[li]++
+		if r.lState[li] == int8(StateTwoChoices) && r.lT[li] >= r.lSleepAt[li] {
+			ss.setLeader(li, r.lGen[li], StateSleeping)
+		} else if r.lState[li] == int8(StateSleeping) && r.lT[li] >= r.lPropAt[li] {
+			ss.setLeader(li, r.lGen[li], StatePropagation)
+		}
+	}
+	if hasChanged && int32(i) == r.lGen[li] {
+		r.lGenSize[li]++
+		thresh := int32(math.Ceil(r.cfg.GenFraction * float64(r.lCard[li])))
+		if r.lGenSize[li] >= thresh && int(r.lGen[li]) < r.gStar {
+			ss.setLeader(li, r.lGen[li]+1, StateTwoChoices)
+			r.lT[li] = 0
+			r.lGenSize[li] = 0
+		}
+	}
+}
+
+// complete handles an owned node's established channels (Algorithm 4 lines
+// 5-21). Sampled partners may be remote: their node state comes from the
+// published copies and a remote third-node leader's (gen, state) from the
+// published pair — both one window stale, a defined model. The own leader
+// (lines 13-19) is always shard-local by the aligned partition.
+func (ss *nlShard) complete(v, v1, v2, v3, myLeader int, participates bool) {
+	r := ss.run
+	r.locked[v] = false
+	if r.mono || r.crashed[v] {
+		return
+	}
+	u1Up, u2Up, u3Up := !r.crashed[v1], !r.crashed[v2], !r.crashed[v3]
+	col1, g1, f1 := ss.read(v1)
+	col2, g2, f2 := ss.read(v2)
+	col3, _, f3 := ss.read(v3)
+	if ss.view != nil {
+		u1Up = u1Up && !ss.view.DropMessage(v)
+		u2Up = u2Up && !ss.view.DropMessage(v)
+		u3Up = u3Up && !ss.view.DropMessage(v)
+		col1 = opinion.Opinion(ss.view.Lie(v1, int32(col1)))
+		col2 = opinion.Opinion(ss.view.Lie(v2, int32(col2)))
+		col3 = opinion.Opinion(ss.view.Lie(v3, int32(col3)))
+	}
+	// Line 5: a finished node pushes its final opinion onto the reachable
+	// partners.
+	if r.finished[v] {
+		for i, u := range [3]int{v1, v2, v3} {
+			up := u1Up
+			switch i {
+			case 1:
+				up = u2Up
+			case 2:
+				up = u3Up
+			}
+			if !up {
+				continue
+			}
+			ss.push(u, r.cols[v])
+		}
+		return
+	}
+	// Line 6-7: adopt a finished sample (at the color it reported).
+	for i := 0; i < 3; i++ {
+		up, cu, fu := u1Up, col1, f1
+		switch i {
+		case 1:
+			up, cu, fu = u2Up, col2, f2
+		case 2:
+			up, cu, fu = u3Up, col3, f3
+		}
+		if up && fu {
+			ss.setNode(v, cu, r.gens[v])
+			r.finished[v] = true
+			return
+		}
+	}
+	if !participates {
+		return
+	}
+	// Line 8: the sampled third node's leader must be active.
+	if !u3Up {
+		return
+	}
+	l := int(r.cl.LeaderOf[v3])
+	var li int32 = -1
+	if l >= 0 && !r.crashed[l] {
+		li = r.leaderIdx[l]
+	}
+	if li < 0 {
+		return
+	}
+	var lGen int
+	var lState LeaderStateKind
+	if r.lOwner[li] == ss.id {
+		ss.leaderMessage(li)
+		lGen, lState = int(r.lGen[li]), LeaderStateKind(r.lState[li])
+	} else {
+		ss.remLi = append(ss.remLi, li)
+		lGen, lState = int(r.pubLGen[li]), LeaderStateKind(r.pubLState[li])
+	}
+	inSync := int(r.tmpGen[v]) == lGen && LeaderStateKind(r.tmpState[v]) == lState
+
+	promoted := false
+	if inSync {
+		gv := r.gens[v]
+		switch {
+		case lState == StateTwoChoices && u1Up && u2Up &&
+			g1 == g2 && int(g1) == lGen-1 && gv <= g1 &&
+			col1 == col2:
+			// Line 13-16: two-choices promotion into generation lGen.
+			ss.setNode(v, col1, int32(lGen))
+			ss.sendSignal(v, myLeader, lGen, StateTwoChoices, true)
+			promoted = true
+		default:
+			// Line 9-12: propagation.
+			pick := false
+			var pickGen int32 = -1
+			var pickCol opinion.Opinion
+			for i := 0; i < 2; i++ {
+				up, cx, gx := u1Up, col1, g1
+				if i == 1 {
+					up, cx, gx = u2Up, col2, g2
+				}
+				if !up {
+					continue
+				}
+				if gx > gv && (int(gx) < lGen ||
+					(int(gx) == lGen && lState == StatePropagation)) && gx > pickGen {
+					pick = true
+					pickGen = gx
+					pickCol = cx
+				}
+			}
+			if pick {
+				ss.setNode(v, pickCol, pickGen)
+				ss.sendSignal(v, myLeader, int(pickGen), StatePropagation, true)
+				promoted = true
+			}
+		}
+	}
+	if !promoted {
+		// Line 17-18: report the sampled leader's state to the own leader.
+		ss.sendSignal(v, myLeader, lGen, lState, false)
+	}
+	// Line 19: refresh the stored leader view from the own leader, which is
+	// shard-local, so the read is live.
+	if ownLi := r.leaderIdx[myLeader]; ownLi >= 0 && !r.crashed[myLeader] {
+		ss.leaderMessage(ownLi)
+		r.tmpGen[v] = r.lGen[ownLi]
+		r.tmpState[v] = r.lState[ownLi]
+	}
+	// Line 20: the final generation finishes.
+	if int(r.gens[v]) >= r.gStar && !r.finished[v] {
+		r.finished[v] = true
+		ss.dirty = append(ss.dirty, int32(v))
+	}
+}

@@ -1,0 +1,254 @@
+package noleader
+
+import (
+	"fmt"
+
+	"plurality/internal/cluster"
+	"plurality/internal/metrics"
+	"plurality/internal/opinion"
+	"plurality/internal/snap"
+)
+
+// Sharded checkpointing. A capture happens only at a window barrier — the
+// single point where every shard is parked, the push outboxes are drained,
+// the dirty lists are empty, the window phase marks are folded and the
+// published copies equal the live state — so one serialized pass over the
+// global arrays plus one per-shard section (ladder, clocks, RNG substreams,
+// and for adversarial runs the decision-view counters and the parked-event
+// arena) is a globally consistent cut. The payload leads with the shard
+// count and then the finished clustering: a blob taken at Shards=S resumes
+// bit-exactly at Shards=S and is rejected with snap.ErrShardCount at any
+// other count (runSharded checks before decoding anything else).
+
+// capture serializes the sharded run's mutable state at barrier time t and
+// hands it to the checkpoint sink.
+func (r *shardedRun) capture(t, nextRec float64) error {
+	w := &snap.Writer{}
+	w.Int(r.cfg.Shards)
+	cluster.EncodeClustering(w, r.cl)
+	w.F64(t)
+	w.F64(nextRec)
+	opinion.EncodeSlice(w, r.cols)
+	w.I32s(r.gens)
+	w.Bools(r.finished)
+	w.Bools(r.locked)
+	w.I32s(r.tmpGen)
+	w.I8s(r.tmpState)
+	opinion.EncodeCounts(w, r.counts)
+	w.Int(r.maxGen)
+	w.I32s(r.lGen)
+	w.I8s(r.lState)
+	w.I32s(r.lT)
+	w.I32s(r.lGenSize)
+	w.I32s(r.loadBucket)
+	w.U64s(r.loadCount)
+	w.U64(r.peakLoad)
+	w.Bool(r.mono)
+	w.F64(r.monoAt)
+	// The Figure 2 phase marks, flattened in generation order like the
+	// serial engine's snapshot (the shard-local maps are empty at a
+	// barrier — the merge folded them into r.phase).
+	marks := 0
+	for g := 1; g <= r.gStar+1; g++ {
+		if _, ok := r.phase[g]; ok {
+			marks++
+		}
+	}
+	w.Len32(marks)
+	for g := 1; g <= r.gStar+1; g++ {
+		ph, ok := r.phase[g]
+		if !ok {
+			continue
+		}
+		w.Int(ph.Gen)
+		w.F64(ph.FirstTwoChoices)
+		w.F64(ph.LastTwoChoices)
+		w.F64(ph.FirstSleeping)
+		w.F64(ph.LastSleeping)
+		w.F64(ph.FirstPropagation)
+		w.F64(ph.LastPropagation)
+	}
+	w.U64(r.res.TotalLeaderMessages)
+	w.Bool(r.res.TimedOut)
+	metrics.EncodeRecorder(w, r.rec)
+	for _, ss := range r.shards {
+		if err := ss.sm.EncodeState(w); err != nil {
+			return err
+		}
+		ss.clocks.EncodeState(w)
+		w.RNG(ss.smpR)
+		w.RNG(ss.latR)
+	}
+	if r.adv != nil {
+		w.Bools(r.crashed)
+		w.Int(r.aliveN)
+		w.Bool(r.advDone)
+		r.adv.EncodeShardState(w)
+		for _, ss := range r.shards {
+			ss.view.EncodeState(w)
+			ss.payload.EncodeState(w)
+		}
+	}
+	var events uint64
+	for _, sm := range r.sims {
+		events += sm.Processed()
+	}
+	r.cfg.Ckpt.Sink(w.Bytes(), t, events)
+	r.captured = true
+	return nil
+}
+
+// restore overwrites the sharded run's mutable state from a captured
+// payload; the reader is positioned right after the embedded clustering
+// (runSharded already checked the shard count and decoded the clustering).
+// It runs after the deterministic setup, which rebuilt the shard layout,
+// the leader slots, the RNG substream tree and the adversary from the same
+// seed.
+func (r *shardedRun) restore(rd *snap.Reader, perturb uint64) error {
+	t := rd.F64()
+	nextRec := rd.F64()
+	cols, err := opinion.DecodeSlice(rd, r.cfg.K)
+	if err != nil {
+		return fmt.Errorf("noleader: opinions: %w", err)
+	}
+	gens := rd.I32s()
+	finished := rd.Bools()
+	locked := rd.Bools()
+	tmpGen := rd.I32s()
+	tmpState := rd.I8s()
+	counts, err := opinion.DecodeCounts(rd, r.cfg.K)
+	if err != nil {
+		return fmt.Errorf("noleader: counts: %w", err)
+	}
+	maxGen := rd.Int()
+	lGen := rd.I32s()
+	lState := rd.I8s()
+	lT := rd.I32s()
+	lGenSize := rd.I32s()
+	loadBucket := rd.I32s()
+	loadCount := rd.U64s()
+	peakLoad := rd.U64()
+	mono := rd.Bool()
+	monoAt := rd.F64()
+	nMarks := rd.Len32(56)
+	if err := rd.Err(); err != nil {
+		return fmt.Errorf("noleader: sharded state: %w", err)
+	}
+	phase := make(map[int]*GenPhases, nMarks)
+	for i := 0; i < nMarks; i++ {
+		ph := &GenPhases{
+			Gen:              rd.Int(),
+			FirstTwoChoices:  rd.F64(),
+			LastTwoChoices:   rd.F64(),
+			FirstSleeping:    rd.F64(),
+			LastSleeping:     rd.F64(),
+			FirstPropagation: rd.F64(),
+			LastPropagation:  rd.F64(),
+		}
+		if rd.Err() != nil {
+			return fmt.Errorf("noleader: phase marks: %w", rd.Err())
+		}
+		if ph.Gen < 1 || ph.Gen > r.gStar+1 {
+			return fmt.Errorf("noleader: %w: phase mark for generation %d outside [1, %d]", snap.ErrCorrupt, ph.Gen, r.gStar+1)
+		}
+		phase[ph.Gen] = ph
+	}
+	leaderMsgs := rd.U64()
+	timedOut := rd.Bool()
+	if err := metrics.DecodeRecorder(rd, r.rec); err != nil {
+		return fmt.Errorf("noleader: recorder: %w", err)
+	}
+	for _, ss := range r.shards {
+		if err := ss.sm.DecodeState(rd); err != nil {
+			return fmt.Errorf("noleader: shard %d kernel state: %w", ss.id, err)
+		}
+		if err := ss.clocks.DecodeState(rd); err != nil {
+			return fmt.Errorf("noleader: shard %d clock state: %w", ss.id, err)
+		}
+		if err := rd.ReadRNG(ss.smpR); err != nil {
+			return fmt.Errorf("noleader: shard %d sampling rng: %w", ss.id, err)
+		}
+		if err := rd.ReadRNG(ss.latR); err != nil {
+			return fmt.Errorf("noleader: shard %d latency rng: %w", ss.id, err)
+		}
+	}
+	if r.adv != nil {
+		crashed := rd.Bools()
+		aliveN := rd.Int()
+		advDone := rd.Bool()
+		if err := r.adv.DecodeShardState(rd); err != nil {
+			return fmt.Errorf("noleader: adversary state: %w", err)
+		}
+		for _, ss := range r.shards {
+			if err := ss.view.DecodeState(rd); err != nil {
+				return fmt.Errorf("noleader: shard %d adversary view: %w", ss.id, err)
+			}
+			if err := ss.payload.DecodeState(rd); err != nil {
+				return fmt.Errorf("noleader: shard %d payload arena: %w", ss.id, err)
+			}
+		}
+		if len(crashed) != r.cfg.N && rd.Err() == nil {
+			return fmt.Errorf("noleader: %w: crash-flag length mismatch", snap.ErrCorrupt)
+		}
+		if aliveN < 0 || aliveN > r.cfg.N {
+			return fmt.Errorf("noleader: %w: alive count %d outside [0, %d]", snap.ErrCorrupt, aliveN, r.cfg.N)
+		}
+		copy(r.crashed, crashed)
+		r.aliveN = aliveN
+		r.advDone = advDone
+	}
+	if err := rd.Finish(); err != nil {
+		return fmt.Errorf("noleader: sharded state: %w", err)
+	}
+	n := r.cfg.N
+	if len(cols) != n || len(gens) != n || len(finished) != n || len(locked) != n ||
+		len(tmpGen) != n || len(tmpState) != n {
+		return fmt.Errorf("noleader: %w: node-state length mismatch (blob for a different N?)", snap.ErrCorrupt)
+	}
+	nl := len(r.lGen)
+	if len(lGen) != nl || len(lState) != nl || len(lT) != nl || len(lGenSize) != nl ||
+		len(loadBucket) != nl || len(loadCount) != nl {
+		return fmt.Errorf("noleader: %w: leader-state length mismatch (blob for a different clustering?)", snap.ErrCorrupt)
+	}
+	r.cols = cols
+	r.gens = gens
+	r.finished = finished
+	r.locked = locked
+	r.tmpGen = tmpGen
+	r.tmpState = tmpState
+	r.counts = counts
+	r.maxGen = maxGen
+	copy(r.lGen, lGen)
+	copy(r.lState, lState)
+	copy(r.lT, lT)
+	copy(r.lGenSize, lGenSize)
+	copy(r.loadBucket, loadBucket)
+	copy(r.loadCount, loadCount)
+	r.peakLoad = peakLoad
+	r.mono = mono
+	r.monoAt = monoAt
+	r.phase = phase
+	r.res.TotalLeaderMessages = leaderMsgs
+	r.res.TimedOut = timedOut
+	// At a barrier the published copies equal the live state, so the cut
+	// did not serialize them; rebuild all of them here.
+	copy(r.pubCols, r.cols)
+	copy(r.pubGens, r.gens)
+	copy(r.pubFinished, r.finished)
+	copy(r.pubLGen, r.lGen)
+	copy(r.pubLState, r.lState)
+	r.resumed = true
+	r.resumedT = t
+	r.resumedRec = nextRec
+	if perturb != 0 {
+		for _, ss := range r.shards {
+			ss.smpR.Perturb(perturb)
+			ss.latR.Perturb(perturb)
+			ss.clocks.Perturb(perturb)
+		}
+		if r.adv != nil {
+			r.adv.Perturb(perturb)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package noleader
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"plurality/internal/adversary"
+	"plurality/internal/snap"
+)
+
+func shardedTestConfig(shards, workers int) Config {
+	return Config{
+		N: 2000, K: 3, Alpha: 2.5, Seed: 11,
+		Shards: shards, ShardWorkers: workers,
+	}
+}
+
+// nlResultKey projects the fields that must be reproducible; trajectories
+// are compared separately where relevant.
+func nlResultKey(t *testing.T, res *Result) [2]interface{} {
+	t.Helper()
+	return [2]interface{}{
+		[]interface{}{
+			res.Outcome.Winner, res.Outcome.PluralityWon, res.Outcome.FullConsensus,
+			res.Outcome.ConsensusTime, res.Outcome.EpsReached, res.Outcome.EpsTime,
+			res.EndTime, res.Events, res.TimedOut,
+			res.TotalLeaderMessages, res.PeakLeaderLoad,
+		},
+		[]interface{}{res.FinalCounts, res.PhaseSpans},
+	}
+}
+
+// TestShardedConverges checks the sharded decentralized kernel still
+// implements the protocol: plurality wins with full consensus for every
+// shard count, and the congestion metric stays populated.
+func TestShardedConverges(t *testing.T) {
+	for _, shards := range []int{2, 3, 8} {
+		res, err := Run(shardedTestConfig(shards, 0))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !res.Outcome.FullConsensus {
+			t.Fatalf("shards=%d: no full consensus (winner %d, initial %d)",
+				shards, res.Outcome.Winner, res.InitialPlurality)
+		}
+		if !res.Outcome.PluralityWon {
+			t.Fatalf("shards=%d: plurality lost (winner %d, initial %d)",
+				shards, res.Outcome.Winner, res.InitialPlurality)
+		}
+		if res.Events == 0 || res.TotalLeaderMessages == 0 || res.PeakLeaderLoad <= 0 {
+			t.Fatalf("shards=%d: empty run: %+v", shards, res)
+		}
+		if len(res.PhaseSpans) == 0 {
+			t.Fatalf("shards=%d: no phase spans recorded", shards)
+		}
+	}
+}
+
+// TestShardedWorkerInvariance pins determinism contract #1: for a fixed
+// shard count the full result is invariant to the worker bound.
+func TestShardedWorkerInvariance(t *testing.T) {
+	ref, err := Run(shardedTestConfig(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refKey := nlResultKey(t, ref)
+	for _, workers := range []int{2, 3, 4, 9} {
+		res, err := Run(shardedTestConfig(4, workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if key := nlResultKey(t, res); !reflect.DeepEqual(key, refKey) {
+			t.Fatalf("workers=%d diverged:\n got %+v\nwant %+v", workers, key, refKey)
+		}
+		if !reflect.DeepEqual(res.Trajectory, ref.Trajectory) {
+			t.Fatalf("workers=%d: trajectory diverged", workers)
+		}
+	}
+}
+
+// TestShardedReproducible pins determinism contract #2: rerunning the same
+// (config, seed, shards) reproduces the result exactly.
+func TestShardedReproducible(t *testing.T) {
+	a, err := Run(shardedTestConfig(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(shardedTestConfig(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(nlResultKey(t, a), nlResultKey(t, b)) {
+		t.Fatalf("two identical sharded runs diverged:\n%+v\n%+v", nlResultKey(t, a), nlResultKey(t, b))
+	}
+}
+
+// TestShardedRejectsBadShardCounts pins the range validation.
+func TestShardedRejectsBadShardCounts(t *testing.T) {
+	cfg := shardedTestConfig(-1, 0)
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative shard count accepted, want error")
+	}
+	cfg = shardedTestConfig(2, 0)
+	cfg.Shards = cfg.N + 1
+	if _, err := Run(cfg); err == nil {
+		t.Error("Shards > N accepted, want error")
+	}
+}
+
+// shardedAdvConfigs enumerates one config per adversary kind, scaled down
+// so the full matrix stays fast under -race.
+func shardedAdvConfigs(shards, workers int) map[string]Config {
+	out := make(map[string]Config)
+	for name, adv := range map[string]adversary.Config{
+		"crash":     {Kind: adversary.Crash, Fraction: 0.15, At: 2, Seed: 5},
+		"churn":     {Kind: adversary.Crash, Fraction: 0.15, At: 2, Rate: 3, Seed: 5},
+		"delay":     {Kind: adversary.Delay, Fraction: 0.3, Rate: 2, Seed: 5},
+		"drop":      {Kind: adversary.Drop, Fraction: 0.2, Seed: 5},
+		"byzantine": {Kind: adversary.Byzantine, Fraction: 0.1, Seed: 5},
+	} {
+		out[name] = Config{
+			N: 1200, K: 3, Alpha: 2.5, Seed: 11,
+			Shards: shards, ShardWorkers: workers, Adv: adv,
+		}
+	}
+	return out
+}
+
+// TestShardedAdversaryWorkerInvariance extends determinism contract #1 to
+// adversarial runs: node-keyed decision draws make every adversary kind's
+// sharded result invariant to the worker bound, counters included.
+func TestShardedAdversaryWorkerInvariance(t *testing.T) {
+	for name := range shardedAdvConfigs(3, 0) {
+		t.Run(name, func(t *testing.T) {
+			ref, err := Run(shardedAdvConfigs(3, 1)[name])
+			if err != nil {
+				t.Fatal(err)
+			}
+			refKey := nlResultKey(t, ref)
+			for _, workers := range []int{2, 5} {
+				res, err := Run(shardedAdvConfigs(3, workers)[name])
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if key := nlResultKey(t, res); !reflect.DeepEqual(key, refKey) {
+					t.Fatalf("workers=%d diverged:\n got %+v\nwant %+v", workers, key, refKey)
+				}
+				if res.AdvCounters != ref.AdvCounters {
+					t.Fatalf("workers=%d: counters diverged: %+v != %+v", workers, res.AdvCounters, ref.AdvCounters)
+				}
+			}
+			if ref.AdvCounters == (adversary.Counters{}) {
+				t.Fatalf("adversary %s acted zero times; the test exercises nothing", name)
+			}
+		})
+	}
+}
+
+// TestShardedCheckpointResume pins the window-barrier snapshot cut: an
+// (adversarial) sharded run captured mid-run and resumed produces a result
+// DeepEqual to the uninterrupted run, at several shard counts. Cross-shard-
+// count resume is a typed rejection.
+func TestShardedCheckpointResume(t *testing.T) {
+	for _, shards := range []int{2, 3} {
+		for _, advName := range []string{"honest", "churn", "delay"} {
+			t.Run(advName, func(t *testing.T) {
+				cfg := shardedAdvConfigs(shards, 0)[advName]
+				if advName == "honest" {
+					cfg = shardedTestConfig(shards, 0)
+					cfg.N = 1200
+				}
+				plain, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				var blob []byte
+				ccfg := cfg
+				ccfg.Ckpt = &snap.Checkpoint{
+					At:   plain.EndTime / 2,
+					Halt: true,
+					Sink: func(state []byte, _ float64, _ uint64) { blob = append([]byte(nil), state...) },
+				}
+				if _, err := Run(ccfg); err != nil {
+					t.Fatal(err)
+				}
+				if blob == nil {
+					t.Fatal("no snapshot captured")
+				}
+
+				rcfg := cfg
+				rcfg.Ckpt = &snap.Checkpoint{Restore: blob}
+				resumed, err := Run(rcfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(nlResultKey(t, resumed), nlResultKey(t, plain)) {
+					t.Fatalf("shards=%d resumed run diverged from uninterrupted:\n got %+v\nwant %+v",
+						shards, nlResultKey(t, resumed), nlResultKey(t, plain))
+				}
+				if !reflect.DeepEqual(resumed.Trajectory, plain.Trajectory) {
+					t.Fatalf("shards=%d: resumed trajectory diverged", shards)
+				}
+				if resumed.AdvCounters != plain.AdvCounters {
+					t.Fatalf("shards=%d: resumed counters %+v != %+v", shards, resumed.AdvCounters, plain.AdvCounters)
+				}
+
+				wcfg := rcfg
+				wcfg.Shards = shards + 1
+				if _, err := Run(wcfg); !errors.Is(err, snap.ErrShardCount) {
+					t.Fatalf("resume at Shards=%d of a Shards=%d blob: err=%v, want snap.ErrShardCount", wcfg.Shards, shards, err)
+				}
+			})
+		}
+	}
+}

@@ -100,6 +100,59 @@ func bfsPartition(g *AdjGraph, s int) []int32 {
 	return owner
 }
 
+// PartitionAligned assigns every node to one of s shards so that no group
+// ever straddles a shard boundary: group[v] names the group node v belongs
+// to (any representative id in [0, n); < 0 means v is a singleton), and all
+// members of a group land on the same shard. The decentralized engine
+// passes a clustering's LeaderOf array here, which makes every cluster —
+// and therefore all intra-cluster leader traffic — shard-local.
+//
+// Groups are placed greedily: representatives are visited in ascending id
+// order and each whole group goes to the currently least-loaded shard
+// (ties to the lowest shard id). The result is a pure function of
+// (group, s) — deterministic by the same argument as Partition.
+func PartitionAligned(group []int32, s int) []int32 {
+	n := len(group)
+	if s < 1 {
+		s = 1
+	}
+	if s > n {
+		s = n
+	}
+	// size[g] counts the members of the group represented by node g;
+	// singletons are groups of their own node.
+	size := make([]int32, n)
+	for v, g := range group {
+		if g < 0 {
+			g = int32(v)
+		}
+		size[g]++
+	}
+	load := make([]int, s)
+	shardOf := make([]int32, n)
+	for g := 0; g < n; g++ {
+		if size[g] == 0 {
+			continue
+		}
+		best := 0
+		for b := 1; b < s; b++ {
+			if load[b] < load[best] {
+				best = b
+			}
+		}
+		shardOf[g] = int32(best)
+		load[best] += int(size[g])
+	}
+	owner := make([]int32, n)
+	for v, g := range group {
+		if g < 0 {
+			g = int32(v)
+		}
+		owner[v] = shardOf[g]
+	}
+	return owner
+}
+
 // CutFraction reports the fraction of directed edges of a CSR graph that
 // cross shard boundaries under owner — a diagnostic for partition quality,
 // used by tests and benchmarks to verify the BFS partitioner beats naive

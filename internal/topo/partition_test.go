@@ -135,3 +135,57 @@ func TestPartitionBFSLocalityOnTorusCSR(t *testing.T) {
 		t.Fatalf("BFS cut %.3f on torus CSR, want < %.3f (striped/2, striped=%.3f)", bfsCut, stripedCut/2, stripedCut)
 	}
 }
+
+// TestPartitionAligned pins the cluster-alignment contract the decentralized
+// sharded engine relies on: no group straddles shards, singletons (< 0
+// entries) spread for balance, and the assignment is deterministic.
+func TestPartitionAligned(t *testing.T) {
+	// 40 nodes: four groups of 8 rooted at 0, 8, 16, 24, plus 8 singletons.
+	group := make([]int32, 40)
+	for v := range group {
+		if v < 32 {
+			group[v] = int32(v / 8 * 8)
+		} else {
+			group[v] = -1
+		}
+	}
+	for _, s := range []int{1, 2, 3, 5} {
+		owner := PartitionAligned(group, s)
+		if len(owner) != len(group) {
+			t.Fatalf("s=%d: owner length %d, want %d", s, len(owner), len(group))
+		}
+		for v, g := range group {
+			if owner[v] < 0 || int(owner[v]) >= s {
+				t.Fatalf("s=%d: node %d has owner %d outside [0, %d)", s, v, owner[v], s)
+			}
+			if g >= 0 && owner[v] != owner[g] {
+				t.Fatalf("s=%d: node %d (group %d) on shard %d, group root on %d — group straddles shards", s, v, g, owner[v], owner[g])
+			}
+		}
+		again := PartitionAligned(group, s)
+		for v := range owner {
+			if owner[v] != again[v] {
+				t.Fatalf("s=%d: PartitionAligned not deterministic at node %d", s, v)
+			}
+		}
+	}
+	// Greedy least-loaded placement keeps shard loads within one group size.
+	owner := PartitionAligned(group, 2)
+	load := make([]int, 2)
+	for _, b := range owner {
+		load[b]++
+	}
+	if diff := load[0] - load[1]; diff < -8 || diff > 8 {
+		t.Fatalf("shard loads %v differ by more than one group", load)
+	}
+}
+
+// TestPartitionAlignedAllSingletons checks the degenerate all-singleton
+// input balances like a plain partition.
+func TestPartitionAlignedAllSingletons(t *testing.T) {
+	group := make([]int32, 17)
+	for v := range group {
+		group[v] = -1
+	}
+	checkPartition(t, PartitionAligned(group, 4), 4)
+}

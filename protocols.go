@@ -97,7 +97,7 @@ func (syncProtocol) run(ctx context.Context, spec Spec, restore []byte, perturb 
 		return nil, fmt.Errorf("plurality: protocol %q is round-based; the delay adversary needs message latency (try crash, drop or byzantine)", "sync")
 	}
 	if spec.Shards > 1 {
-		return nil, fmt.Errorf("plurality: protocol %q is round-based; sharded execution needs the event ladder (only %q supports Shards > 1)", "sync", "leader")
+		return nil, fmt.Errorf("plurality: protocol %q is round-based; sharded execution needs the event ladder (only %q and %q support Shards > 1)", "sync", "leader", "decentralized")
 	}
 	assign, err := toInternalAssignment(spec.Assignment, spec.N, spec.K)
 	if err != nil {
@@ -228,9 +228,6 @@ func (p decentralizedProtocol) ResumeRun(ctx context.Context, spec Spec, state [
 }
 
 func (decentralizedProtocol) run(ctx context.Context, spec Spec, restore []byte, perturb uint64) (*Result, error) {
-	if spec.Shards > 1 {
-		return nil, fmt.Errorf("plurality: protocol %q does not support sharded execution yet (only %q supports Shards > 1)", "decentralized", "leader")
-	}
 	assign, err := toInternalAssignment(spec.Assignment, spec.N, spec.K)
 	if err != nil {
 		return nil, err
@@ -247,7 +244,7 @@ func (decentralizedProtocol) run(ctx context.Context, spec Spec, restore []byte,
 	c := noleader.Config{
 		N: spec.N, K: spec.K, Alpha: spec.Alpha, Assignment: assign,
 		Latency: lat, Topo: tp, Scratch: spec.scratch, MaxTime: spec.MaxTime, Seed: spec.Seed,
-		Eps: spec.Eps, RecordEvery: spec.RecordEvery,
+		Eps: spec.Eps, RecordEvery: spec.RecordEvery, Shards: spec.Shards,
 		Adv: spec.Adversary.resolveFor(spec.N, spec.Seed),
 		Ctx: ctx, Observe: spec.observe(), DiscardTrajectory: spec.DiscardTrajectory,
 		Ckpt: engineCheckpoint("decentralized", spec, restore, perturb, &captured),
@@ -264,6 +261,9 @@ func (decentralizedProtocol) run(ctx context.Context, spec Spec, restore []byte,
 		"clustering_time":    res.ClusteringTime,
 		"participating_frac": res.Clustering.ParticipatingFrac(),
 		"leaders":            float64(len(res.Clustering.ParticipatingLeaders())),
+	}
+	if spec.Shards > 1 {
+		extra["shards"] = float64(spec.Shards)
 	}
 	spec.Topology.topoStats(tp, extra)
 	spec.Adversary.advStats(res.AdvCounters, extra)
@@ -303,7 +303,7 @@ func (p baselineProtocol) run(ctx context.Context, spec Spec, restore []byte, pe
 		return nil, fmt.Errorf("plurality: protocol %q is round-based; the delay adversary needs message latency (try crash, drop or byzantine)", p.rule)
 	}
 	if spec.Shards > 1 {
-		return nil, fmt.Errorf("plurality: protocol %q is round-based; sharded execution needs the event ladder (only %q supports Shards > 1)", p.rule, "leader")
+		return nil, fmt.Errorf("plurality: protocol %q is round-based; sharded execution needs the event ladder (only %q and %q support Shards > 1)", p.rule, "leader", "decentralized")
 	}
 	assign, err := toInternalAssignment(spec.Assignment, spec.N, spec.K)
 	if err != nil {

@@ -24,13 +24,17 @@ func shardedGoldenSpec(shards int, tp TopologySpec) Spec {
 	return Spec{N: 2400, K: 3, Alpha: 2.5, Seed: 7, Shards: shards, Topology: tp}
 }
 
-// shardedGolden maps "leader/S=<shards>/<topology>" to the digest recorded
-// when the sharded kernel landed.
+// shardedGolden maps "<protocol>/S=<shards>/<topology>" to the digest
+// recorded when that protocol's sharded kernel landed.
 var shardedGolden = map[string]string{
-	"leader/S=2/complete":     "b0668c90e6ebad1aa615cea93d445457f65df1585a1d4853745ea949fbb7b159",
-	"leader/S=2/torus(48x50)": "ec67dbf96cd3d1aa2d5ca6f91eea6dfa23fe230067253d1d1ab3cd1f98a17dd0",
-	"leader/S=4/complete":     "d55c97df1543abd7e96e9924c46bb16fa6f2e212ba4368f2d88d7e18eb7bed25",
-	"leader/S=4/torus(48x50)": "2fd3c1006dd7943bca70df0e637da4c391da9b0b6b178350b98e3be3b4a56e51",
+	"decentralized/S=2/complete":     "41e226572d6ecc33ceb3335bac1301dcf5564babcc0315f33520ca17bd46193d",
+	"decentralized/S=2/torus(48x50)": "11a26366610cfd933d7a54809efaa547254b1ba6bacea15f51bdc852a7dcee99",
+	"decentralized/S=4/complete":     "4c4666c5efe122be0282e3c6b44303d84c86d2315e2a17e8e462f755bd3ae2d1",
+	"decentralized/S=4/torus(48x50)": "13d6878c51108231e177864de119b2d02cf776a1d896989a8463dfc1800a4b03",
+	"leader/S=2/complete":            "b0668c90e6ebad1aa615cea93d445457f65df1585a1d4853745ea949fbb7b159",
+	"leader/S=2/torus(48x50)":        "ec67dbf96cd3d1aa2d5ca6f91eea6dfa23fe230067253d1d1ab3cd1f98a17dd0",
+	"leader/S=4/complete":            "d55c97df1543abd7e96e9924c46bb16fa6f2e212ba4368f2d88d7e18eb7bed25",
+	"leader/S=4/torus(48x50)":        "2fd3c1006dd7943bca70df0e637da4c391da9b0b6b178350b98e3be3b4a56e51",
 }
 
 // TestShardedGolden pins shard-count invariance the way worker-count
@@ -40,31 +44,33 @@ var shardedGolden = map[string]string{
 func TestShardedGolden(t *testing.T) {
 	record := os.Getenv("PLURALITY_GOLDEN_RECORD") != ""
 	topos := []TopologySpec{{Kind: TopologyComplete}, {Kind: TopologyTorus}}
-	for _, shards := range []int{2, 4} {
-		for _, tp := range topos {
-			spec := shardedGoldenSpec(shards, tp)
-			key := fmt.Sprintf("leader/S=%d/%s", shards, tp.ResolvedLabel(spec.N))
-			t.Run(key, func(t *testing.T) {
-				if testing.Short() && tp.Kind != TopologyComplete && !record {
-					t.Skip("sparse-topology sharded column skipped in -short mode")
-				}
-				res, err := Run(context.Background(), "leader", spec)
-				if err != nil {
-					t.Fatalf("Run(%s): %v", key, err)
-				}
-				got := digestResult(res)
-				if record {
-					fmt.Printf("GOLDEN\t%q: %q,\n", key, got)
-					return
-				}
-				want, ok := shardedGolden[key]
-				if !ok || want == "" {
-					t.Fatalf("no golden digest recorded for %s (got %s)", key, got)
-				}
-				if got != want {
-					t.Errorf("sharded digest changed for %s:\n  got  %s\n  want %s\nfor a fixed shard count the result must be a pure function of (spec, seed, shards)", key, got, want)
-				}
-			})
+	for _, name := range []string{"leader", "decentralized"} {
+		for _, shards := range []int{2, 4} {
+			for _, tp := range topos {
+				spec := shardedGoldenSpec(shards, tp)
+				key := fmt.Sprintf("%s/S=%d/%s", name, shards, tp.ResolvedLabel(spec.N))
+				t.Run(key, func(t *testing.T) {
+					if testing.Short() && tp.Kind != TopologyComplete && !record {
+						t.Skip("sparse-topology sharded column skipped in -short mode")
+					}
+					res, err := Run(context.Background(), name, spec)
+					if err != nil {
+						t.Fatalf("Run(%s): %v", key, err)
+					}
+					got := digestResult(res)
+					if record {
+						fmt.Printf("GOLDEN\t%q: %q,\n", key, got)
+						return
+					}
+					want, ok := shardedGolden[key]
+					if !ok || want == "" {
+						t.Fatalf("no golden digest recorded for %s (got %s)", key, got)
+					}
+					if got != want {
+						t.Errorf("sharded digest changed for %s:\n  got  %s\n  want %s\nfor a fixed shard count the result must be a pure function of (spec, seed, shards)", key, got, want)
+					}
+				})
+			}
 		}
 	}
 }
@@ -73,21 +79,23 @@ func TestShardedGolden(t *testing.T) {
 // public API: Shards: 1 routes through the serial kernel and reproduces the
 // pre-sharding golden digest byte for byte.
 func TestShardsOneIsSerial(t *testing.T) {
-	for _, tp := range goldenTopologies {
-		spec := kernelGoldenSpec(tp)
-		spec.Shards = 1
-		key := fmt.Sprintf("leader/%s", tp.ResolvedLabel(spec.N))
-		t.Run(key, func(t *testing.T) {
-			if testing.Short() && tp.Kind != TopologyComplete {
-				t.Skip("sparse-topology column skipped in -short mode")
-			}
-			res, err := Run(context.Background(), "leader", spec)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if got := digestResult(res); got != kernelGolden[key] {
-				t.Errorf("Shards=1 digest %s != serial golden %s: the serial path is no longer byte-identical", got, kernelGolden[key])
-			}
-		})
+	for _, name := range []string{"leader", "decentralized"} {
+		for _, tp := range goldenTopologies {
+			spec := kernelGoldenSpec(tp)
+			spec.Shards = 1
+			key := fmt.Sprintf("%s/%s", name, tp.ResolvedLabel(spec.N))
+			t.Run(key, func(t *testing.T) {
+				if testing.Short() && tp.Kind != TopologyComplete {
+					t.Skip("sparse-topology column skipped in -short mode")
+				}
+				res, err := Run(context.Background(), name, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := digestResult(res); got != kernelGolden[key] {
+					t.Errorf("Shards=1 digest %s != serial golden %s: the serial path is no longer byte-identical", got, kernelGolden[key])
+				}
+			})
+		}
 	}
 }

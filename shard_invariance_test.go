@@ -1,0 +1,272 @@
+package plurality
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// This file pins what sharded execution must preserve across shard counts.
+// Different shard counts are different sample paths, so byte digests cannot
+// agree across S — what must agree is the statistical outcome: the Result's
+// summary fields (winner, plurality-won, full-consensus, timed-out) are
+// identical for Shards ∈ {1, 2, 3, 7} whatever the protocol, topology or
+// adversary. That includes cells where the outcome is a consistent
+// *shortfall*: the leader protocol's generation budget is derived from
+// complete-graph mixing, so on the sparse reference graphs it exhausts the
+// horizon with the plurality leading but short of unanimity — at every
+// shard count alike. CI runs the matrix under -race in the
+// parallel-kernel-matrix job, so it doubles as the race check over the
+// barrier loops and the adversary decision views.
+
+// invarianceAdversaries are the fault models the shard-invariance matrix
+// crosses with the protocols and topologies. Severities are mild so the
+// planted plurality always survives: heavier delay (f=0.3, ×2) can flip the
+// winner on the sparse decentralized cells in the serial engine too — the
+// paper's theorems cover the honest model only — and an upset cell would
+// test the regime, not shard invariance.
+var invarianceAdversaries = map[string]AdversarySpec{
+	"honest": {},
+	"crash":  {Kind: AdversaryCrash, Fraction: 0.1, At: 2, Seed: 5},
+	"delay":  {Kind: AdversaryDelay, Fraction: 0.2, Rate: 1.5, Seed: 5},
+}
+
+// invarianceSpec is the matrix cell: the golden-matrix shape at a much
+// stronger planted bias, with the default (derived) horizon and a pinned
+// seed verified to be cross-shard consistent in every cell. The regime is
+// deliberately easy, because the invariant under test is shard invariance,
+// not regime difficulty: on the sparse reference graphs the decentralized
+// protocol's cluster endgame carries a scale-free upset probability (a
+// locally-converged cluster can finish first and push a minority color —
+// in the serial engine too), and each shard count is a different sample
+// path, so a fragile regime would make the cells disagree for reasons that
+// have nothing to do with sharding. Alpha 9 shrinks the upset probability
+// enough that seed 11 is clean across the whole matrix; each cell is a
+// pure function of (spec, seed, shards), so the pin is stable.
+func invarianceSpec(tp TopologySpec) Spec {
+	return Spec{N: 600, K: 3, Alpha: 9, Seed: 11, Topology: tp}
+}
+
+// shardSummary is the shard-count-invariant projection of a Result.
+type shardSummary struct {
+	Winner        int
+	PluralityWon  bool
+	FullConsensus bool
+	TimedOut      bool
+}
+
+// TestShardInvariance runs both event-ladder protocols across the reference
+// topologies and fault models at Shards ∈ {1, 2, 3, 7} and asserts the
+// summary fields match the serial run's — and that the serial run itself
+// has the plurality winning, so the equality is not vacuous.
+func TestShardInvariance(t *testing.T) {
+	shardCounts := []int{1, 2, 3, 7}
+	for _, name := range []string{"leader", "decentralized"} {
+		for _, tp := range goldenTopologies {
+			for advName, adv := range invarianceAdversaries {
+				spec := invarianceSpec(tp)
+				spec.Adversary = adv
+				if name == "leader" && tp.Kind != TopologyComplete {
+					// The leader protocol's sparse cells never reach
+					// unanimity (see invarianceSpec); left to the derived
+					// horizon they simulate for thousands of time units
+					// just to report the same timeout summary. Cap the
+					// horizon so the cells stay cheap under -race — the
+					// invariant is unchanged: the capped summary must still
+					// be identical at every shard count.
+					spec.MaxTime = 500
+				}
+				key := fmt.Sprintf("%s/%s/%s", name, tp.ResolvedLabel(spec.N), advName)
+				t.Run(key, func(t *testing.T) {
+					if testing.Short() && tp.Kind != TopologyComplete {
+						t.Skip("sparse-topology invariance column skipped in -short mode")
+					}
+					var ref shardSummary
+					for i, shards := range shardCounts {
+						spec := spec
+						spec.Shards = shards
+						res, err := Run(context.Background(), name, spec)
+						if err != nil {
+							t.Fatalf("%s S=%d: %v", key, shards, err)
+						}
+						got := shardSummary{
+							Winner:        res.Winner,
+							PluralityWon:  res.PluralityWon,
+							FullConsensus: res.FullConsensus,
+							TimedOut:      res.TimedOut,
+						}
+						if i == 0 {
+							ref = got
+							// The serial baseline must at least have the planted
+							// plurality winning, so cross-S equality is not
+							// vacuous. Full consensus is not required: the
+							// leader protocol's sparse-topology cells exhaust
+							// their derived horizon with the plurality leading
+							// but short of unanimity — a real property of the
+							// protocol outside the paper's complete-graph
+							// regime, and one every shard count must reproduce
+							// identically.
+							if !ref.PluralityWon {
+								t.Fatalf("%s serial baseline lost the plurality: %+v", key, ref)
+							}
+							continue
+						}
+						if got != ref {
+							t.Errorf("%s S=%d summary %+v != serial %+v", key, shards, got, ref)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestShardsValidationMatrix pins, per registered protocol, which Shards
+// values are accepted: the asynchronous event-ladder protocols take any
+// 1 < S <= N, the round-based ones reject S > 1 with an error that names the
+// sharding-capable protocols, and out-of-range values fail validation for
+// everyone.
+func TestShardsValidationMatrix(t *testing.T) {
+	shardable := map[string]bool{"leader": true, "decentralized": true}
+	for _, name := range Protocols() {
+		t.Run(name, func(t *testing.T) {
+			spec := Spec{N: 300, K: 2, Alpha: 3, Seed: 9, Shards: 2}
+			res, err := Run(context.Background(), name, spec)
+			if shardable[name] {
+				if err != nil {
+					t.Fatalf("Shards=2 rejected: %v", err)
+				}
+				if res.Stats["shards"] != 2 {
+					t.Errorf("Stats[shards] = %v, want 2", res.Stats["shards"])
+				}
+			} else {
+				if err == nil {
+					t.Fatal("round-based protocol accepted Shards=2")
+				}
+				for _, want := range []string{"round-based", "leader", "decentralized"} {
+					if !strings.Contains(err.Error(), want) {
+						t.Errorf("rejection %q does not mention %q", err, want)
+					}
+				}
+			}
+			for _, bad := range []int{-1, spec.N + 1} {
+				spec := spec
+				spec.Shards = bad
+				if _, err := Run(context.Background(), name, spec); err == nil {
+					t.Errorf("Shards=%d accepted, want validation error", bad)
+				}
+			}
+		})
+	}
+}
+
+// shardedRoundtripSpec is the snapshot matrix cell size: big enough that a
+// mid-run cut lands inside the consensus phase at every tested shard count.
+func shardedRoundtripSpec(shards int) Spec {
+	return Spec{N: 600, K: 3, Alpha: 2.5, Seed: 7, Shards: shards}
+}
+
+// TestShardedSnapshotRoundtrip extends the TestSnapshotRoundtrip guarantee
+// to sharded cells: for both event-ladder protocols at Shards ∈ {2, 3},
+// honest and adversarial, a run captured at a window barrier mid-run,
+// encoded through the wire format and resumed is digest-identical to the
+// uninterrupted sharded run — including through RunBatchFrom's worker pool.
+func TestShardedSnapshotRoundtrip(t *testing.T) {
+	for _, name := range []string{"leader", "decentralized"} {
+		for _, shards := range []int{2, 3} {
+			for advName, adv := range invarianceAdversaries {
+				key := fmt.Sprintf("%s/S=%d/%s", name, shards, advName)
+				t.Run(key, func(t *testing.T) {
+					if testing.Short() && shards != 2 {
+						t.Skip("S=3 roundtrip column skipped in -short mode")
+					}
+					ctx := context.Background()
+					spec := shardedRoundtripSpec(shards)
+					spec.Adversary = adv
+					plain, err := Run(ctx, name, spec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := digestResult(plain)
+
+					cspec := spec
+					cspec.Checkpoint = CheckpointSpec{SnapshotAt: plain.Duration / 2, Halt: true}
+					half, err := Run(ctx, name, cspec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if half.Snapshot == nil {
+						t.Fatalf("no snapshot captured at t=%g of %g", plain.Duration/2, plain.Duration)
+					}
+					blob, err := half.Snapshot.Encode()
+					if err != nil {
+						t.Fatal(err)
+					}
+					sn, err := DecodeSnapshot(blob)
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := Resume(ctx, sn, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := digestResult(res); got != want {
+						t.Errorf("resumed digest %s != uninterrupted %s", got, want)
+					}
+					batch, err := RunBatchFrom(ctx, sn, 2, 2)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := digestResult(batch[0]); got != want {
+						t.Errorf("batch-resumed digest %s != uninterrupted %s", got, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestShardedResumeShardCountMismatch pins the typed rejection: a blob
+// captured at Shards=S embeds S per-shard sections and resumes only at S.
+// Any other count — including the serial kernel — fails with
+// ErrSnapshotShards before any state is decoded.
+func TestShardedResumeShardCountMismatch(t *testing.T) {
+	ctx := context.Background()
+	for _, name := range []string{"leader", "decentralized"} {
+		t.Run(name, func(t *testing.T) {
+			spec := shardedRoundtripSpec(3)
+			plain, err := Run(ctx, name, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cspec := spec
+			cspec.Checkpoint = CheckpointSpec{SnapshotAt: plain.Duration / 2, Halt: true}
+			half, err := Run(ctx, name, cspec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if half.Snapshot == nil {
+				t.Fatal("no snapshot captured")
+			}
+			for _, wrong := range []int{2, 4} {
+				tampered := &Snapshot{meta: half.Snapshot.meta, payload: half.Snapshot.payload}
+				tampered.meta.Spec.Shards = wrong
+				_, err := Resume(ctx, tampered, nil)
+				if !errors.Is(err, ErrSnapshotShards) {
+					t.Errorf("resume at Shards=%d of a Shards=3 blob: err=%v, want ErrSnapshotShards", wrong, err)
+				}
+			}
+			// Resumed serially the shard prefix is not even a valid serial
+			// payload; the failure is still a typed snapshot error, just not
+			// a shard-count one (the serial decoder has no shard field to
+			// compare).
+			tampered := &Snapshot{meta: half.Snapshot.meta, payload: half.Snapshot.payload}
+			tampered.meta.Spec.Shards = 1
+			if _, err := Resume(ctx, tampered, nil); !errors.Is(err, ErrSnapshotCorrupt) && !errors.Is(err, ErrSnapshotTruncated) {
+				t.Errorf("serial resume of a Shards=3 blob: err=%v, want a typed snapshot error", err)
+			}
+		})
+	}
+}

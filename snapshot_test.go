@@ -340,6 +340,26 @@ func FuzzDecodeSnapshot(f *testing.F) {
 			f.Add(blob[:len(blob)-3])
 		}
 	}
+	// A sharded (v3) blob rounds out the corpus: its payload leads with the
+	// shard count and carries per-shard ladder/clock/RNG sections plus the
+	// delay adversary's parked-message arenas.
+	sspec := Spec{N: 64, K: 2, Alpha: 2, Seed: 1, Shards: 3,
+		Adversary: AdversarySpec{Kind: AdversaryDelay, Fraction: 0.3, Rate: 2}}
+	splain, err := Run(ctx, "leader", sspec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	sspec.Checkpoint = CheckpointSpec{SnapshotAt: splain.Duration / 2, Halt: true}
+	shalf, err := Run(ctx, "leader", sspec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if shalf.Snapshot != nil {
+		if blob, err := shalf.Snapshot.Encode(); err == nil {
+			f.Add(blob)
+			f.Add(blob[:len(blob)-7])
+		}
+	}
 	f.Add([]byte(snapshotMagic))
 	f.Add([]byte("PLURSNAPxxxxxxxxxxxx"))
 	f.Add([]byte{})

@@ -86,8 +86,11 @@ type Spec struct {
 	// different sample path than the serial kernel's — statistically
 	// equivalent, not byte-equal. Shards is an execution knob, not a model
 	// parameter: it does not enter CanonicalBytes, so cached results are
-	// shared across shard counts. Only "leader" currently supports > 1;
-	// other protocols reject it, as do adversarial or checkpointed runs.
+	// shared across shard counts. The asynchronous protocols ("leader" and
+	// "decentralized") support > 1, adversaries and checkpoints included —
+	// a snapshot taken at Shards=S resumes only at Shards=S
+	// (ErrSnapshotShards otherwise). The round-based protocols reject > 1:
+	// they have no event ladder to shard.
 	Shards int `json:"shards,omitempty"`
 	// Sync holds the synchronous protocol's knobs.
 	Sync SyncOptions `json:"sync,omitzero"`
