@@ -29,6 +29,13 @@ type BenchReport struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	// EventsPerSec is Events / WallSeconds.
 	EventsPerSec float64 `json:"events_per_sec"`
+	// WorkUnit names what Events counts: "events" (simulator events, the
+	// asynchronous protocols) or "node_updates" (rounds × n, the
+	// round-based protocols — the synchronous engine's throughput is
+	// node-updates/s, not events/s). The field makes the unit explicit in
+	// every report; the events/events_per_sec key names are kept for
+	// BENCH_*.json continuity.
+	WorkUnit string `json:"work_unit"`
 	// AllocBytes and Allocs are the heap traffic of the run (TotalAlloc and
 	// Mallocs deltas), and BytesPerEvent / AllocsPerEvent the per-event
 	// quotients. The steady-state scheduling path allocates nothing, so
@@ -108,14 +115,14 @@ func (hs *heapSampler) finish() uint64 {
 	return hs.peak
 }
 
-// benchEvents extracts the work metric from a finished run: simulator
-// events for asynchronous protocols, node-updates (rounds × n) for
-// round-based ones.
-func benchEvents(res *Result, n int) uint64 {
+// benchEvents extracts the work metric and its unit from a finished run:
+// simulator events for asynchronous protocols, node-updates (rounds × n)
+// for round-based ones.
+func benchEvents(res *Result, n int) (uint64, string) {
 	if ev, ok := res.Stats["events"]; ok {
-		return uint64(ev)
+		return uint64(ev), "events"
 	}
-	return uint64(res.Duration) * uint64(n)
+	return uint64(res.Duration) * uint64(n), "node_updates"
 }
 
 // Bench executes one run of the named protocol with trajectory recording
@@ -124,8 +131,13 @@ func benchEvents(res *Result, n int) uint64 {
 // deterministic Run — benchmarking changes measurement, not behaviour.
 func Bench(ctx context.Context, name string, spec Spec) (*BenchReport, error) {
 	spec = benchSpec(spec)
-	return benchRun(ctx, name, spec, 1, 1, func(ctx context.Context) (*Result, error) {
-		return Run(ctx, name, spec)
+	return benchRun(ctx, name, spec, 1, 1, func(ctx context.Context) (uint64, string, error) {
+		res, err := Run(ctx, name, spec)
+		if err != nil {
+			return 0, "", err
+		}
+		events, unit := benchEvents(res, spec.N)
+		return events, unit, nil
 	})
 }
 
@@ -138,19 +150,20 @@ func BenchBatch(ctx context.Context, name string, spec Spec, reps, workers int) 
 		workers = runtime.GOMAXPROCS(0)
 	}
 	spec = benchSpec(spec)
-	return benchRun(ctx, name, spec, reps, workers, func(ctx context.Context) (*Result, error) {
+	return benchRun(ctx, name, spec, reps, workers, func(ctx context.Context) (uint64, string, error) {
 		results, err := RunBatch(ctx, name, spec, reps, workers)
 		if err != nil {
-			return nil, err
+			return 0, "", err
 		}
-		// Fold the batch into one result carrying the summed event count.
-		total := uint64(0)
+		// Fold the batch into the summed work count; every replication runs
+		// the same protocol, so they all report the same unit.
+		total, unit := uint64(0), ""
 		for _, r := range results {
-			total += benchEvents(r, spec.N)
+			ev, u := benchEvents(r, spec.N)
+			total += ev
+			unit = u
 		}
-		agg := *results[0]
-		agg.Stats = map[string]float64{"events": float64(total)}
-		return &agg, nil
+		return total, unit, nil
 	})
 }
 
@@ -163,21 +176,19 @@ func benchSpec(spec Spec) Spec {
 }
 
 func benchRun(ctx context.Context, name string, spec Spec, reps, workers int,
-	run func(context.Context) (*Result, error)) (*BenchReport, error) {
+	run func(context.Context) (uint64, string, error)) (*BenchReport, error) {
 	runtime.GC()
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 	hs := startHeapSampler()
 	start := time.Now()
-	res, err := run(ctx)
+	events, unit, err := run(ctx)
 	wall := time.Since(start).Seconds()
 	peak := hs.finish()
 	runtime.ReadMemStats(&m1)
 	if err != nil {
 		return nil, err
 	}
-
-	events := benchEvents(res, spec.N)
 	if events == 0 {
 		return nil, fmt.Errorf("plurality: bench of %q produced no events", name)
 	}
@@ -191,6 +202,7 @@ func benchRun(ctx context.Context, name string, spec Spec, reps, workers int,
 		Events:        events,
 		WallSeconds:   wall,
 		EventsPerSec:  float64(events) / wall,
+		WorkUnit:      unit,
 		AllocBytes:    m1.TotalAlloc - m0.TotalAlloc,
 		Allocs:        m1.Mallocs - m0.Mallocs,
 		PeakHeapBytes: peak,

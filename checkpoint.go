@@ -20,8 +20,11 @@ import (
 // meta JSON's field names do (version 2 switched SnapshotMeta.Spec to the
 // stable snake_case wire tags the serving layer speaks; version 3 added the
 // sharded engines' per-shard payload section — shard ladders, clocks, RNG
-// substreams and parked-message arenas captured at a window barrier).
-const SnapshotFormatVersion = 3
+// substreams and parked-message arenas captured at a window barrier;
+// version 4 switched the synchronous engine's payload to the packed
+// word-per-node configuration, dropping the serialized tally matrix that
+// is now rebuilt at restore).
+const SnapshotFormatVersion = 4
 
 // snapshotMagic is the 8-byte blob signature.
 const snapshotMagic = "PLURSNAP"

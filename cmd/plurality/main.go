@@ -83,7 +83,7 @@ func main() {
 		quiet       = flag.Bool("q", false, "print only the outcome line")
 		jsonOut     = flag.Bool("json", false, "emit the run as one JSON object on stdout (for analysis scripts); with -stream the object omits the trajectory")
 
-		bench         = flag.Bool("bench", false, "benchmark mode: run with O(1) recording and emit a throughput report (events/sec, allocs, peak heap) as JSON on stdout")
+		bench         = flag.Bool("bench", false, "benchmark mode: run with O(1) recording and emit a throughput report as JSON on stdout (events/sec for the asynchronous protocols, node-updates/sec for round-based ones — see work_unit — plus allocs and peak heap)")
 		benchProtocol = flag.String("bench-protocol", "", "with -bench: protocol to benchmark, overriding -protocol; every registered protocol (sync, decentralized, the baselines) is benchmarkable")
 		benchReps     = flag.Int("bench-reps", 1, "with -bench: replications to run through the parallel batch layer")
 		benchWorkers  = flag.Int("bench-workers", 0, "with -bench: worker bound for the batch layer; 0 means GOMAXPROCS")

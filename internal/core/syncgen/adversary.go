@@ -2,7 +2,6 @@ package syncgen
 
 import (
 	"plurality/internal/adversary"
-	"plurality/internal/opinion"
 	"plurality/internal/topo"
 	"plurality/internal/xrand"
 )
@@ -65,89 +64,68 @@ func (st *state) crashNode(v int) {
 // stepAdversarial is state.step with the adversary consulted at the apply
 // stage: crashed nodes keep their state and are unreadable when sampled, the
 // drop adversary loses sampled replies, and Byzantine liars report the lie
-// target. The partner batch draws are identical to the honest loop — the
-// adversary's own generator carries every extra decision.
+// target. The partner batch draws are identical to the honest loop, and —
+// unlike the honest loop's cache-blocked traversal — the apply stage walks
+// nodes in id order: the adversary's own generator carries every extra
+// decision, and those draws happen in processing order, so reordering the
+// walk would reorder the adversary's stream and break its golden digests.
 func (st *state) stepAdversarial(r *xrand.RNG, tp topo.BatchSampler, twoChoices bool) {
+	st.drawPartners(r, tp)
 	n := st.n
 	adv := st.adv
-	for base := 0; base < n; base += stepChunk {
-		m := stepChunk
-		if base+m > n {
-			m = n - base
-		}
-		vs, out := st.scratch.Buffers(2 * m)
-		for i := 0; i < m; i++ {
-			v := int32(base + i)
-			vs[2*i] = v
-			vs[2*i+1] = v
-		}
-		tp.SampleNeighbors(r, vs, out)
-		for i := 0; i < m; i++ {
-			v := base + i
-			col, gen := st.cols[v], st.gens[v]
-			st.next[v] = col
-			st.nextG[v] = gen
-			if st.crashed[v] {
-				continue
-			}
-			a, b := int(out[2*i]), int(out[2*i+1])
-			aUp := !st.crashed[a] && !adv.DropMessage()
-			bUp := !st.crashed[b] && !adv.DropMessage()
-			ga, gb := st.gens[a], st.gens[b]
-			ca := opinion.Opinion(adv.Lie(a, int32(st.cols[a])))
-			cb := opinion.Opinion(adv.Lie(b, int32(st.cols[b])))
-			// wlog the a-side is the best available sample: swap when a is
-			// unreadable or b is readable with the higher generation.
-			if !aUp || (bUp && ga < gb) {
-				aUp, bUp = bUp, aUp
-				ga, gb = gb, ga
-				ca, cb = cb, ca
-			}
-			if !aUp {
-				continue // no readable sample: keep state
-			}
-			switch {
-			case twoChoices && bUp &&
-				ga == gb && gen <= ga && int(ga) < st.gCap && ca == cb:
-				gen = ga + 1
-				col = ca
-			case ga > gen:
-				gen = ga
-				col = ca
-			}
-			st.next[v] = col
-			st.nextG[v] = gen
-		}
-	}
-	st.cols, st.next = st.next, st.cols
-	st.gens, st.nextG = st.nextG, st.gens
+	gCap := uint32(st.gCap)
 	for v := 0; v < n; v++ {
-		oc, og := st.next[v], st.nextG[v]
-		c, g := st.cols[v], st.gens[v]
-		if c != oc || g != og {
-			st.genCol[og][oc]--
-			st.genSize[og]--
-			st.genCol[g][c]++
-			st.genSize[g]++
-			if int(g) > st.maxGen {
-				st.maxGen = int(g)
-			}
+		w := st.packed[v]
+		st.next[v] = w
+		if st.crashed[v] {
+			continue
+		}
+		a, b := int(st.partners[2*v]), int(st.partners[2*v+1])
+		aUp := !st.crashed[a] && !adv.DropMessage()
+		bUp := !st.crashed[b] && !adv.DropMessage()
+		wa, wb := st.packed[a], st.packed[b]
+		ga, gb := wa>>genShift, wb>>genShift
+		ca := uint32(adv.Lie(a, int32(wa&colMask)))
+		cb := uint32(adv.Lie(b, int32(wb&colMask)))
+		// wlog the a-side is the best available sample: swap when a is
+		// unreadable or b is readable with the higher generation.
+		if !aUp || (bUp && ga < gb) {
+			aUp, bUp = bUp, aUp
+			ga, gb = gb, ga
+			ca, cb = cb, ca
+		}
+		if !aUp {
+			continue // no readable sample: keep state
+		}
+		nw := w
+		switch {
+		case twoChoices && bUp &&
+			ga == gb && w>>genShift <= ga && ga < gCap && ca == cb:
+			nw = (ga+1)<<genShift | ca
+		case ga > w>>genShift:
+			nw = ga<<genShift | ca
+		}
+		st.next[v] = nw
+		if nw != w {
+			st.tally.moveWord(w, nw)
 		}
 	}
+	st.packed, st.next = st.next, st.packed
 }
 
 // monochromaticAlive reports whether all non-crashed nodes share one color;
 // with a crash adversary consensus is evaluated over the survivors, exactly
 // like the asynchronous engines.
 func (st *state) monochromaticAlive() bool {
-	var col opinion.Opinion = -1
+	col := int64(-1)
 	for v := 0; v < st.n; v++ {
 		if st.crashed[v] {
 			continue
 		}
+		c := int64(st.packed[v] & colMask)
 		if col < 0 {
-			col = st.cols[v]
-		} else if st.cols[v] != col {
+			col = c
+		} else if c != col {
 			return false
 		}
 	}

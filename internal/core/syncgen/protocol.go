@@ -18,7 +18,10 @@ import (
 type Config struct {
 	// N is the number of nodes (>= 2).
 	N int
-	// K is the number of opinions (>= 1).
+	// K is the number of opinions (>= 1, at most 2^24: the packed node
+	// word keeps the color in its low 24 bits). Above 512 opinions the
+	// engine switches to sparse per-generation tallies, which keep k up to
+	// about n^(1/3) practical.
 	K int
 	// Alpha is the initial multiplicative bias used when Assignment is nil;
 	// the assignment is then opinion.PlantedBias(N, K, Alpha). Ignored when
@@ -37,6 +40,8 @@ type Config struct {
 	// are the Lemma 11 tail: at laptop-scale n the generation that first
 	// pushes the bias past n is born with a few dissenting stragglers with
 	// noticeable probability, and only further squarings remove them.
+	// At most 255 (the packed node word keeps the generation in its high
+	// byte); the default budget is O(log log n) and never comes close.
 	GStar int
 	// MaxSteps aborts a run that fails to converge; default
 	// 64·(t_{G*} + PropagationTail).
@@ -124,6 +129,9 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.K < 1 {
 		return nil, fmt.Errorf("syncgen: need K >= 1, got %d", cfg.K)
 	}
+	if cfg.K > maxPackedOpinions {
+		return nil, fmt.Errorf("syncgen: K %d exceeds %d (the packed node word holds the color in 24 bits)", cfg.K, maxPackedOpinions)
+	}
 	if cfg.Assignment != nil && len(cfg.Assignment) != cfg.N {
 		return nil, fmt.Errorf("syncgen: assignment length %d != N %d", len(cfg.Assignment), cfg.N)
 	}
@@ -167,6 +175,9 @@ func Run(cfg Config) (*Result, error) {
 	if gStar <= 0 {
 		gStar = GenerationBudget(cfg.N, alphaHat) + 2
 	}
+	if gStar > maxPackedGen {
+		return nil, fmt.Errorf("syncgen: G* %d exceeds %d (the packed node word holds the generation in 8 bits; the default budget O(log log n) never comes close)", gStar, maxPackedGen)
+	}
 	var schedule []int
 	if cfg.Schedule == ScheduleTheoretical {
 		schedule = TwoChoicesTimes(alphaHat, cfg.K, gStar, cfg.Gamma)
@@ -189,7 +200,7 @@ func Run(cfg Config) (*Result, error) {
 		eps = 1 / (l2 * l2)
 	}
 
-	st := newState(cols, cfg.K, gStar, cfg.Scratch)
+	st := newState(cols, cfg.K, gStar, cfg.Topo, cfg.Scratch)
 	if cfg.Adv.Kind != adversary.None {
 		if cfg.Adv.Kind == adversary.Delay {
 			return nil, errors.New("syncgen: the delay adversary needs message latency; round-based engines reject it")
@@ -208,9 +219,12 @@ func Run(cfg Config) (*Result, error) {
 	res := &Result{InitialPlurality: opinion.Opinion(plurality)}
 	rec := metrics.NewRecorder(eps, cfg.DiscardTrajectory, cfg.Observe)
 	record := func(step int) {
-		p := metrics.Snapshot(float64(step), st.cols, cfg.K, opinion.Opinion(plurality))
-		p.MaxGen = st.maxGen
-		p.MaxGenFrac = float64(st.genSize[st.maxGen]) / float64(cfg.N)
+		// The tally's global color totals equal opinion.CountOf on the
+		// configuration, so the recorded Point is bit-identical to the
+		// historical per-snapshot recount.
+		p := metrics.SnapshotCounts(float64(step), st.tally.counts(), opinion.Opinion(plurality))
+		p.MaxGen = st.tally.maxGen
+		p.MaxGenFrac = float64(st.tally.genSize[st.tally.maxGen]) / float64(cfg.N)
 		rec.Append(p)
 	}
 	stepRNG := rng.SplitNamed("steps")
@@ -243,8 +257,8 @@ func Run(cfg Config) (*Result, error) {
 				nextTheoretical++
 			}
 		case ScheduleAdaptive:
-			if st.maxGen < gStar &&
-				float64(st.genSize[st.maxGen]) >= cfg.Gamma*float64(cfg.N) {
+			if st.tally.maxGen < gStar &&
+				float64(st.tally.genSize[st.tally.maxGen]) >= cfg.Gamma*float64(cfg.N) {
 				twoChoices = true
 			}
 		}
@@ -278,7 +292,10 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	res.FinalCounts = opinion.CountOf(st.cols, cfg.K)
+	// The tally's totals are what CountOf would produce on the final
+	// configuration (copied: the state is about to go out of scope, but the
+	// Result outlives it).
+	res.FinalCounts = append(opinion.Counts(nil), st.tally.counts()...)
 	res.Trajectory = rec.Trajectory()
 	res.Outcome = rec.Outcome(res.FinalCounts, opinion.Opinion(plurality))
 	if st.adv != nil {
@@ -290,7 +307,7 @@ func Run(cfg Config) (*Result, error) {
 			// the asynchronous engines' aliveN-based detection).
 			for v := 0; v < st.n; v++ {
 				if !st.crashed[v] {
-					res.Outcome.Winner = st.cols[v]
+					res.Outcome.Winner = st.colOf(v)
 					break
 				}
 			}

@@ -4,16 +4,18 @@ import (
 	"fmt"
 
 	"plurality/internal/metrics"
-	"plurality/internal/opinion"
 	"plurality/internal/snap"
 	"plurality/internal/xrand"
 )
 
-// This file implements the synchronous engine's checkpoint hooks: the full
-// configuration (opinion and generation vectors, per-generation tallies),
-// the step RNG, the schedule position and the partial result are captured
-// at a step boundary; thresholds and the theoretical schedule itself are
-// recomputed at restore from the Config.
+// This file implements the synchronous engine's checkpoint hooks. The
+// configuration travels as the packed word vector — one uint32 per node —
+// and nothing else: the per-generation tallies, generation sizes and the
+// maxGen watermark are pure functions of the words (node generations are
+// monotone, so the running maximum equals the current maximum) and are
+// rebuilt at restore, which halves the payload the historical parallel
+// cols/gens slices and dense tally matrix used to occupy. Thresholds and
+// the theoretical schedule itself are likewise recomputed from the Config.
 
 // capture serializes the run's mutable state after completing `step`.
 func (st *state) capture(step, nextTheoretical int, stepRNG *xrand.RNG,
@@ -22,14 +24,7 @@ func (st *state) capture(step, nextTheoretical int, stepRNG *xrand.RNG,
 	w.Int(step)
 	w.Int(nextTheoretical)
 	w.RNG(stepRNG)
-	opinion.EncodeSlice(w, st.cols)
-	w.I32s(st.gens)
-	w.Len32(len(st.genCol))
-	for _, row := range st.genCol {
-		w.Ints(row)
-	}
-	w.Ints(st.genSize)
-	w.Int(st.maxGen)
+	w.U32s(st.packed)
 	w.Ints(res.TwoChoicesSteps)
 	w.Len32(len(res.Generations))
 	for _, g := range res.Generations {
@@ -54,7 +49,8 @@ func (st *state) capture(step, nextTheoretical int, stepRNG *xrand.RNG,
 
 // restore overwrites the run's mutable state from a captured payload and
 // returns the (step, nextTheoretical) position to resume after. Slices are
-// filled in place so caller-held references stay valid.
+// filled in place so caller-held references stay valid; the tallies are
+// rebuilt from the restored words, validating every one against (k, G*).
 func (st *state) restore(stateBytes []byte, stepRNG *xrand.RNG,
 	rec *metrics.Recorder, res *Result, perturb uint64) (step, nextTheoretical int, err error) {
 	r := snap.NewReader(stateBytes)
@@ -63,27 +59,7 @@ func (st *state) restore(stateBytes []byte, stepRNG *xrand.RNG,
 	if err := r.ReadRNG(stepRNG); err != nil {
 		return 0, 0, fmt.Errorf("syncgen: step rng: %w", err)
 	}
-	cols, err := opinion.DecodeSlice(r, st.k)
-	if err != nil {
-		return 0, 0, fmt.Errorf("syncgen: opinions: %w", err)
-	}
-	gens := r.I32s()
-	ng := r.Len32(4)
-	if e := r.Err(); e != nil {
-		return 0, 0, fmt.Errorf("syncgen: state: %w", e)
-	}
-	if ng != len(st.genCol) {
-		return 0, 0, fmt.Errorf("syncgen: %w: %d generation rows for G*=%d (blob for a different G*?)", snap.ErrCorrupt, ng, st.gCap)
-	}
-	genCol := make([][]int, ng)
-	for g := range genCol {
-		genCol[g] = r.Ints()
-		if len(genCol[g]) != st.k && r.Err() == nil {
-			return 0, 0, fmt.Errorf("syncgen: %w: generation row width %d != k %d", snap.ErrCorrupt, len(genCol[g]), st.k)
-		}
-	}
-	genSize := r.Ints()
-	maxGen := r.Int()
+	packed := r.U32s()
 	twoChoices := r.Ints()
 	nGen := r.Len32(40)
 	if e := r.Err(); e != nil {
@@ -121,20 +97,16 @@ func (st *state) restore(stateBytes []byte, stepRNG *xrand.RNG,
 	if err := r.Finish(); err != nil {
 		return 0, 0, fmt.Errorf("syncgen: state: %w", err)
 	}
-	if len(cols) != st.n || len(gens) != st.n {
+	if len(packed) != st.n {
 		return 0, 0, fmt.Errorf("syncgen: %w: node-state length mismatch (blob for a different N?)", snap.ErrCorrupt)
 	}
-	if len(genSize) != len(st.genSize) || maxGen < 0 || maxGen > st.gCap ||
-		step < 0 || nextTheoretical < 0 {
-		return 0, 0, fmt.Errorf("syncgen: %w: generation bookkeeping out of range", snap.ErrCorrupt)
+	if step < 0 || nextTheoretical < 0 {
+		return 0, 0, fmt.Errorf("syncgen: %w: negative resume position", snap.ErrCorrupt)
 	}
-	copy(st.cols, cols)
-	copy(st.gens, gens)
-	for g := range st.genCol {
-		copy(st.genCol[g], genCol[g])
+	copy(st.packed, packed)
+	if err := st.tally.rebuild(st.packed); err != nil {
+		return 0, 0, fmt.Errorf("syncgen: %w (blob for a different K or G*?)", err)
 	}
-	copy(st.genSize, genSize)
-	st.maxGen = maxGen
 	if st.adv != nil {
 		copy(st.crashed, crashed)
 		st.aliveN = aliveN

@@ -293,8 +293,8 @@ func TestScheduleKindString(t *testing.T) {
 func BenchmarkStep(b *testing.B) {
 	r := xrand.New(1)
 	cols := opinion.PlantedBias(10000, 8, 2, r)
-	st := newState(cols, 8, 5, nil)
 	tp := topo.NewComplete(len(cols))
+	st := newState(cols, 8, 5, tp, nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st.step(r, tp, i%10 == 0)
@@ -329,7 +329,7 @@ func BenchmarkSyncStep(b *testing.B) {
 		b.Run(kind, func(b *testing.B) {
 			r := xrand.New(1)
 			cols := opinion.PlantedBias(n, 8, 2, r)
-			st := newState(cols, 8, 6, nil)
+			st := newState(cols, 8, 6, tp, nil)
 			bs := topo.Batch(tp)
 			st.step(r, bs, false) // warm the scratch buffers
 			b.ReportAllocs()
@@ -346,5 +346,30 @@ func BenchmarkRunN10k(b *testing.B) {
 		if _, err := Run(Config{N: 10000, K: 8, Alpha: 2, Seed: uint64(i)}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSyncStepLargeK pins the wide-opinion-space hot loop: one full
+// synchronous step at n = 100000 over k = 1024 opinions, which puts the
+// tally in sparse mode (k > sparseTallyThreshold) so per-step bookkeeping
+// scales with the occupied opinions, not with k. CI records its throughput
+// next to the dense-mode BenchmarkSyncStep rows; the sparse rows may grow
+// as generations colonize, so this benchmark asserts feasibility, not
+// zero allocations.
+func BenchmarkSyncStepLargeK(b *testing.B) {
+	const n, k = 100000, 1024
+	r := xrand.New(1)
+	cols := opinion.PlantedBias(n, k, 2, r)
+	tp := topo.NewComplete(n)
+	st := newState(cols, k, 8, tp, nil)
+	if !st.tally.sparse {
+		b.Fatalf("k = %d must select the sparse tally", k)
+	}
+	bs := topo.Batch(tp)
+	st.step(r, bs, false) // warm the scratch buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.step(r, bs, i%10 == 0)
 	}
 }

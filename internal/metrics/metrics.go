@@ -133,7 +133,15 @@ func EvalOutcome(tr Trajectory, final opinion.Counts, initialPlurality opinion.O
 // k and the initial plurality opinion. Generation fields are left zero;
 // generation-aware protocols fill them in afterwards.
 func Snapshot(t float64, a []opinion.Opinion, k int, initialPlurality opinion.Opinion) Point {
-	c := opinion.CountOf(a, k)
+	return SnapshotCounts(t, opinion.CountOf(a, k), initialPlurality)
+}
+
+// SnapshotCounts is Snapshot for engines that already maintain the opinion
+// counts incrementally (the synchronous engine's packed-state tallies): it
+// skips the O(n) recount and builds the Point from the counts directly,
+// computing exactly what Snapshot would — so switching an engine from
+// Snapshot to SnapshotCounts never moves a recorded trajectory.
+func SnapshotCounts(t float64, c opinion.Counts, initialPlurality opinion.Opinion) Point {
 	top, _ := c.TopTwo()
 	total := c.Total()
 	p := Point{Time: t, Bias: c.Bias()}

@@ -156,6 +156,14 @@ func (w *Writer) Ints(vs []int) {
 	}
 }
 
+// U32s writes a length-prefixed []uint32.
+func (w *Writer) U32s(vs []uint32) {
+	w.Len32(len(vs))
+	for _, v := range vs {
+		w.U32(v)
+	}
+}
+
 // U64s writes a length-prefixed []uint64.
 func (w *Writer) U64s(vs []uint64) {
 	w.Len32(len(vs))
@@ -329,6 +337,19 @@ func (r *Reader) Ints() []int {
 	vs := make([]int, n)
 	for i := range vs {
 		vs[i] = r.Int()
+	}
+	return vs
+}
+
+// U32s reads a length-prefixed []uint32.
+func (r *Reader) U32s() []uint32 {
+	n := r.Len32(4)
+	if r.err != nil {
+		return nil
+	}
+	vs := make([]uint32, n)
+	for i := range vs {
+		vs[i] = r.U32()
 	}
 	return vs
 }

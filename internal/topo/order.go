@@ -1,0 +1,137 @@
+package topo
+
+// This file implements the locality-order API behind the synchronous
+// engine's cache-blocked traversal: BlockOrder groups a graph's nodes into
+// cache-sized blocks such that most partner gathers issued while a block is
+// being processed land on state that is already cache-resident. A block is
+// exactly a shard at degree 1 — the torus case tiles the grid and the CSR
+// case reuses the BFS-greedy partitioner — so the locality machinery stays
+// shared with the sharded kernel (Partition) instead of growing a parallel
+// implementation.
+//
+// BlockOrder only reorders *memory access*, never sampling: callers draw
+// their random partners in canonical node-id order first and then walk the
+// blocks, so a blocked traversal is observationally identical to a
+// sequential one (the engines' RNG streams and golden digests are
+// unaffected).
+
+// BlockOrder returns a deterministic cache-blocked traversal order for g:
+// a permutation perm of [0, Size()) and block boundaries off (off[0] = 0,
+// off[len-1] = Size(), strictly increasing), such that perm[off[b]:off[b+1]]
+// lists the nodes of block b. Blocks hold about target nodes each (at least
+// 1); callers size target so a block's node state fits in cache.
+//
+// A nil perm signals the identity order: node ids already encode locality
+// (complete graphs have none to exploit, ring neighbors are adjacent in
+// id), so the blocks are the contiguous ranges [off[b], off[b+1]) and
+// callers can skip the permutation indirection entirely. Tori are tiled
+// into near-square sub-grids, and CSR graphs (random-regular, Erdős–Rényi)
+// group nodes by the BFS-greedy Partition with one shard per block.
+//
+// The result is a pure function of (g, target) — like Partition, any
+// ambient source of order would break run reproducibility.
+func BlockOrder(g Sampler, target int) (perm []int32, off []int32) {
+	n := g.Size()
+	if target < 1 {
+		target = 1
+	}
+	if target > n {
+		target = n
+	}
+	switch t := g.(type) {
+	case *Torus:
+		return tileOrder(t, target)
+	case *AdjGraph:
+		s := (n + target - 1) / target
+		if s <= 1 {
+			return nil, []int32{0, int32(n)}
+		}
+		return groupByOwner(bfsPartition(t, s), s)
+	default:
+		return nil, contiguousBlocks(n, target)
+	}
+}
+
+// contiguousBlocks cuts [0, n) into ⌈n/target⌉ contiguous ranges of near-
+// equal size (they differ by at most one, like blockPartition).
+func contiguousBlocks(n, target int) []int32 {
+	s := (n + target - 1) / target
+	off := make([]int32, s+1)
+	v := 0
+	for b := 0; b < s; b++ {
+		size := n / s
+		if b < n%s {
+			size++
+		}
+		v += size
+		off[b+1] = int32(v)
+	}
+	return off
+}
+
+// tileOrder covers the rows×cols torus with near-square tiles of about
+// target nodes, visiting tiles row-major and each tile's nodes row-major.
+// A tile's grid neighbors lie inside the tile or one cell beyond its rim,
+// so gathers during a tile stay within the tile plus a thin halo.
+func tileOrder(t *Torus, target int) (perm []int32, off []int32) {
+	n := t.rows * t.cols
+	side := isqrt(target)
+	if side < 1 {
+		side = 1
+	}
+	tr, tc := side, side
+	if tr > t.rows {
+		tr = t.rows
+	}
+	if tc > t.cols {
+		tc = t.cols
+	}
+	if tr == t.rows && tc == t.cols {
+		return nil, []int32{0, int32(n)}
+	}
+	perm = make([]int32, 0, n)
+	off = append(off, 0)
+	for r0 := 0; r0 < t.rows; r0 += tr {
+		rHi := r0 + tr
+		if rHi > t.rows {
+			rHi = t.rows
+		}
+		for c0 := 0; c0 < t.cols; c0 += tc {
+			cHi := c0 + tc
+			if cHi > t.cols {
+				cHi = t.cols
+			}
+			for r := r0; r < rHi; r++ {
+				base := int32(r * t.cols)
+				for c := c0; c < cHi; c++ {
+					perm = append(perm, base+int32(c))
+				}
+			}
+			off = append(off, int32(len(perm)))
+		}
+	}
+	return perm, off
+}
+
+// groupByOwner turns a shard-owner array into a traversal order: nodes
+// grouped by owner (block = shard), ascending node id within each block —
+// a counting sort, so the order is deterministic and O(n + s).
+func groupByOwner(owner []int32, s int) (perm []int32, off []int32) {
+	n := len(owner)
+	off = make([]int32, s+1)
+	for _, o := range owner {
+		off[o+1]++
+	}
+	for b := 1; b <= s; b++ {
+		off[b] += off[b-1]
+	}
+	perm = make([]int32, n)
+	cursor := make([]int32, s)
+	copy(cursor, off[:s])
+	for v := 0; v < n; v++ {
+		o := owner[v]
+		perm[cursor[o]] = int32(v)
+		cursor[o]++
+	}
+	return perm, off
+}

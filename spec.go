@@ -14,6 +14,15 @@ import (
 // and beyond — is accepted by validation.
 const MaxNodes = math.MaxInt32 - 1
 
+// MaxOpinions is the largest supported K. The synchronous engine's memory
+// model packs a node's (opinion, generation) pair into one 32-bit word —
+// opinion in the low 24 bits, generation counter in the high 8 — so one
+// node costs 4 bytes and a round's partner gathers touch a single array.
+// That layout caps opinions at 2^24; the regime the paper studies
+// (k = O(n^(1/2-ε)), and practically k up to ~n^(1/3)) sits far below the
+// cap for every N the kernel addresses.
+const MaxOpinions = 1 << 24
+
 // Spec is the unified parameter set of every registered protocol. One Spec
 // value describes one run regardless of the protocol family; fields a
 // protocol does not use are ignored (for example Latency by the synchronous
@@ -23,7 +32,7 @@ type Spec struct {
 	// N is the number of nodes (>= 2, at most MaxNodes; the decentralized
 	// protocol needs >= 8 for its clustering substrate).
 	N int `json:"n"`
-	// K is the number of opinions (>= 1).
+	// K is the number of opinions (>= 1, at most MaxOpinions).
 	K int `json:"k"`
 	// Alpha is the planted initial bias used when Assignment is nil: the
 	// assignment is then PlantedBias(N, K, Alpha, Seed-derived). 0 means
@@ -156,6 +165,9 @@ func (s *Spec) validate() error {
 	}
 	if s.K < 1 {
 		return fmt.Errorf("plurality: need K >= 1, got %d", s.K)
+	}
+	if s.K > MaxOpinions {
+		return fmt.Errorf("plurality: K %d exceeds MaxOpinions %d (opinions pack into 24 bits of the per-node state word)", s.K, MaxOpinions)
 	}
 	if s.Assignment == nil {
 		if math.IsNaN(s.Alpha) || math.IsInf(s.Alpha, 0) || (s.Alpha != 0 && s.Alpha < 1) {

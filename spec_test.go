@@ -21,6 +21,12 @@ func TestSpecValidate(t *testing.T) {
 		{"n too small", func(s *Spec) { s.N = 1 }, "need N >= 2"},
 		{"n negative", func(s *Spec) { s.N = -5 }, "need N >= 2"},
 		{"k zero", func(s *Spec) { s.K = 0 }, "need K >= 1"},
+		{"k beyond packed word", func(s *Spec) { s.K = MaxOpinions + 1 }, "MaxOpinions"},
+		{"k at packed ceiling", func(s *Spec) {
+			// MaxOpinions itself is representable: opinions occupy exactly
+			// the 24 low bits of the per-node state word.
+			s.K = MaxOpinions
+		}, ""},
 		{"alpha below one", func(s *Spec) { s.Alpha = 0.5 }, "Alpha"},
 		{"alpha ignored with assignment", func(s *Spec) {
 			s.Alpha = 0.5
